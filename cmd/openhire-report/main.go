@@ -1,0 +1,65 @@
+// Command openhire-report runs the full experiment suite — every table and
+// figure in the paper's evaluation — against one simulated world and prints
+// each artifact with its paper-vs-measured comparison.
+//
+// Usage:
+//
+//	openhire-report [-seed N] [-quick] [-only ID[,ID...]]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"openhire/internal/core/report"
+	"openhire/internal/expr"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 2021, "simulation seed")
+		quick = flag.Bool("quick", false, "use the small fast world")
+		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
+	)
+	flag.Parse()
+
+	cfg := expr.DefaultConfig()
+	if *quick {
+		cfg = expr.QuickConfig()
+	}
+	cfg.Seed = *seed
+	world := expr.BuildWorld(cfg)
+
+	var selected []expr.Experiment
+	if *only == "" {
+		selected = expr.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := expr.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", id)
+				for _, e := range expr.All() {
+					fmt.Fprintf(os.Stderr, " %s", e.ID)
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("world: universe %s boost %.0fx (scale 1/%.0f), attack intensity %.4f, telescope scale %.2g\n",
+		cfg.UniversePrefix, cfg.DensityBoost, world.ScaleFactor(),
+		cfg.AttackIntensity, cfg.TelescopeScale)
+
+	for _, e := range selected {
+		fmt.Printf("\n================ %s — %s ================\n\n", e.ID, e.Title)
+		res := e.Run(world)
+		fmt.Println(res.Artifact)
+		if len(res.Comparisons) > 0 {
+			_ = report.RenderComparisons(os.Stdout, "paper vs measured", res.Comparisons)
+		}
+	}
+}

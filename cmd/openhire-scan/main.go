@@ -1,0 +1,199 @@
+// Command openhire-scan runs the paper's Internet-wide measurement pipeline
+// against the simulated universe: six-protocol scan, honeypot fingerprint
+// filtering, misconfiguration classification and device typing, printing the
+// Table 4/5 style summaries.
+//
+// Usage:
+//
+//	openhire-scan [-seed N] [-prefix CIDR] [-boost F] [-workers N]
+//	              [-protocol P] [-rate N] [-show-honeypots]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"openhire/internal/core/classify"
+	"openhire/internal/core/fingerprint"
+	"openhire/internal/core/report"
+	"openhire/internal/core/scan"
+	"openhire/internal/core/store"
+	"openhire/internal/geo"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+func main() {
+	var (
+		seed          = flag.Uint64("seed", 2021, "simulation seed")
+		prefixStr     = flag.String("prefix", "100.0.0.0/14", "universe prefix to scan")
+		boost         = flag.Float64("boost", 16, "population density boost")
+		workers       = flag.Int("workers", 128, "probe concurrency")
+		protocol      = flag.String("protocol", "", "scan a single protocol (telnet|mqtt|coap|amqp|xmpp|upnp)")
+		rate          = flag.Int("rate", 0, "probes per second (0 = unthrottled)")
+		showHoneypots = flag.Bool("show-honeypots", false, "list detected honeypot instances")
+		extended      = flag.Bool("extended", false, "also scan the future-work protocols (tr069, smb)")
+		verifyPots    = flag.Bool("verify-honeypots", false, "confirm banner detections with the active deviation probe")
+		out           = flag.String("out", "", "save raw scan results as JSON Lines")
+		in            = flag.String("in", "", "skip scanning; analyze a previously saved result file")
+	)
+	flag.Parse()
+
+	prefix, err := netsim.ParsePrefix(*prefixStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	universe := iot.NewUniverse(iot.UniverseConfig{
+		Seed: *seed, Prefix: prefix, DensityBoost: *boost,
+	})
+	network := netsim.NewNetwork(netsim.NewSimClock(netsim.ExperimentStart))
+	network.AddProvider(prefix, universe)
+
+	scanner := scan.NewScanner(scan.Config{
+		Network:    network,
+		Source:     netsim.MustParseIPv4("130.226.0.1"),
+		Prefix:     prefix,
+		Seed:       *seed,
+		Workers:    *workers,
+		RatePerSec: *rate,
+	})
+
+	modules := scan.AllModules()
+	if *extended {
+		modules = append(modules, scan.ExtendedModules()...)
+	}
+	if *protocol != "" {
+		m, ok := scan.ModuleFor(iot.Protocol(*protocol))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+			os.Exit(2)
+		}
+		modules = []scan.ProbeModule{m}
+	}
+
+	var results map[iot.Protocol][]*scan.Result
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		db, err := store.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = make(map[iot.Protocol][]*scan.Result)
+		for _, p := range db.Protocols() {
+			results[p] = db.ByProtocol(p)
+		}
+		fmt.Printf("loaded %s records from %s\n", report.Comma(db.Len()), *in)
+	} else {
+		fmt.Printf("scanning %s (%s addresses, boost %.0fx, scale 1/%.0f)\n",
+			prefix, report.Comma(int(prefix.Size())), *boost, universe.ScaleFactor())
+		var stats map[iot.Protocol]scan.Stats
+		results, stats = scanner.RunAll(context.Background(), modules)
+
+		// Table 4 style exposure summary.
+		expo := report.NewTable("\nExposed systems by protocol", "Protocol", "Probed", "Responded", "Elapsed")
+		for _, m := range modules {
+			p := m.Protocol()
+			st := stats[p]
+			expo.AddRow(string(p), int(st.Probed), len(results[p]), st.Elapsed.Round(1000000).String())
+		}
+		_ = expo.Render(os.Stdout)
+	}
+
+	if *out != "" {
+		db := store.New()
+		for _, rs := range results {
+			for _, r := range rs {
+				db.Insert(r)
+			}
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = db.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %s records to %s\n", report.Comma(db.Len()), *out)
+	}
+
+	// Honeypot filtering (Table 6).
+	var allFindings []classify.Finding
+	var detections []fingerprint.Detection
+	for _, m := range modules {
+		genuine, dets := fingerprint.Filter(results[m.Protocol()])
+		detections = append(detections, dets...)
+		allFindings = append(allFindings, classify.ClassifyAll(genuine)...)
+	}
+	if len(detections) > 0 {
+		pot := report.NewTable("\nDetected honeypots (filtered from results)", "Family", "Instances")
+		for _, fc := range fingerprint.CountByFamily(detections) {
+			pot.AddRow(fc.Family, fc.Count)
+		}
+		_ = pot.Render(os.Stdout)
+		if *showHoneypots {
+			for _, d := range detections {
+				fmt.Printf("  %s  %s\n", d.IP, d.Family)
+			}
+		}
+		if *verifyPots {
+			confirmed, disputed := fingerprint.VerifyDetections(context.Background(),
+				network, netsim.MustParseIPv4("130.226.0.1"), detections, 0)
+			fmt.Printf("active verification: %d confirmed, %d disputed\n",
+				len(confirmed), len(disputed))
+		}
+	}
+
+	// Table 5 style misconfiguration summary.
+	summary := classify.Summarize(allFindings)
+	mis := report.NewTable("\nMisconfigured devices", "Protocol", "Vulnerability", "Count")
+	type row struct {
+		cls iot.Misconfig
+		n   int
+	}
+	rows := make([]row, 0, len(summary.MisconfigByClass))
+	for cls, n := range summary.MisconfigByClass {
+		rows = append(rows, row{cls, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n < rows[j].n })
+	for _, r := range rows {
+		mis.AddRow(string(r.cls.Protocol()), r.cls.String(), r.n)
+	}
+	mis.AddRow("", "Total", summary.TotalMisconfigured)
+	_ = mis.Render(os.Stdout)
+
+	// Country distribution (Table 10).
+	geodb := geo.NewDB(*seed, nil)
+	var misIPs []netsim.IPv4
+	for _, f := range allFindings {
+		if f.Misconfigured() {
+			misIPs = append(misIPs, f.Result.IP)
+		}
+	}
+	if len(misIPs) > 0 {
+		ct := report.NewTable("\nMisconfigured devices by country", "Country", "Count")
+		for i, cc := range geodb.CountryCounts(misIPs) {
+			if i >= 10 {
+				break
+			}
+			ct.AddRow(string(cc.Country), cc.Count)
+		}
+		_ = ct.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,138 @@
+// Command openhire-telescope generates calibrated darknet traffic into the
+// /8 network telescope, writes FlowTuple files (binary or CSV), and prints
+// the Table 8 aggregation. It can also parse previously written files.
+//
+// Usage:
+//
+//	openhire-telescope [-seed N] [-scale F] [-days N] [-out FILE] [-format csv|bin]
+//	openhire-telescope -parse FILE
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"openhire/internal/attack"
+	"openhire/internal/core/report"
+	"openhire/internal/geo"
+	"openhire/internal/netsim"
+	"openhire/internal/telescope"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 2021, "simulation seed")
+		scale  = flag.Float64("scale", 1.0/8192, "fraction of the paper's telescope volume")
+		days   = flag.Int("days", 1, "days of traffic to generate")
+		out    = flag.String("out", "", "write FlowTuple records to this file")
+		format = flag.String("format", "csv", "output format: csv or bin")
+		parse  = flag.String("parse", "", "parse a FlowTuple CSV file instead of generating")
+	)
+	flag.Parse()
+
+	if *parse != "" {
+		parseFile(*parse)
+		return
+	}
+
+	prefix := netsim.MustParsePrefix("44.0.0.0/8")
+	geodb := geo.NewDB(*seed, nil)
+	tel := telescope.New(prefix, geodb)
+	gen := attack.NewDarknetGenerator(attack.DarknetConfig{
+		Seed:      *seed,
+		Telescope: tel,
+		GeoDB:     geodb,
+		Scale:     *scale,
+		Days:      *days,
+	})
+	fmt.Printf("generating %d day(s) of telescope traffic at scale %.2g ...\n", *days, *scale)
+	flows := gen.Run()
+	fmt.Printf("captured %s aggregated flows\n", report.Comma(flows))
+
+	all := tel.Flows()
+	t8 := report.NewTable("\nTelescope traffic by protocol", "Protocol", "Packets", "Flows", "Unique IPs")
+	for _, s := range telescope.AggregateByProtocol(all) {
+		t8.AddRow(string(s.Protocol), s.Packets, s.Flows, s.UniqueIPs)
+	}
+	_ = t8.Render(os.Stdout)
+
+	if *out != "" {
+		if err := writeFile(*out, *format, all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s records to %s (%s)\n", report.Comma(len(all)), *out, *format)
+	}
+}
+
+func writeFile(path, format string, flows []*telescope.FlowTuple) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	switch format {
+	case "csv":
+		if err := telescope.WriteCSVHeader(w); err != nil {
+			return err
+		}
+		for _, ft := range flows {
+			if err := ft.WriteCSV(w); err != nil {
+				return err
+			}
+		}
+	case "bin":
+		for _, ft := range flows {
+			if err := ft.WriteBinary(w); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+func parseFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	// Auto-detect: binary records start with the FT04 magic.
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(4)
+	var flows []*telescope.FlowTuple
+	if string(head) == "FT04" {
+		for {
+			ft, err := telescope.ReadBinary(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			flows = append(flows, ft)
+		}
+	} else {
+		flows, err = telescope.ReadCSV(br)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("parsed %s records from %s\n", report.Comma(len(flows)), path)
+	t := report.NewTable("", "Protocol", "Packets", "Flows", "Unique IPs")
+	for _, s := range telescope.AggregateByProtocol(flows) {
+		t.AddRow(string(s.Protocol), s.Packets, s.Flows, s.UniqueIPs)
+	}
+	_ = t.Render(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module openhire
+
+go 1.22

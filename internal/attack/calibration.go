@@ -1,0 +1,249 @@
+// Package attack simulates the adversarial Internet of April 2021: the
+// scanning services, botnets, bruteforcers, flooders, poisoners and
+// multistage actors whose traffic the paper's honeypots and telescope
+// recorded. Event volumes, source-pool sizes and the daily shape are
+// calibrated to Table 7 and Figure 8; every honeypot-directed event is
+// executed as a real protocol conversation over the simulated fabric, so the
+// honeypots log exactly what their protocol servers observe.
+package attack
+
+import (
+	"time"
+
+	"openhire/internal/honeypot"
+	"openhire/internal/iot"
+)
+
+// Target is the calibrated event volume for one (honeypot, protocol) pair —
+// Table 7's "#Attack events" column.
+type Target struct {
+	Honeypot string
+	Protocol iot.Protocol
+	Events   int
+}
+
+// PaperTargets reproduces Table 7.
+var PaperTargets = []Target{
+	{"HosTaGe", iot.ProtoTelnet, 19733},
+	{"HosTaGe", iot.ProtoMQTT, 2511},
+	{"HosTaGe", iot.ProtoAMQP, 2780},
+	{"HosTaGe", iot.ProtoCoAP, 11543},
+	{"HosTaGe", iot.ProtoSSH, 19174},
+	{"HosTaGe", iot.ProtoHTTP, 16192},
+	{"HosTaGe", iot.ProtoSMB, 1830},
+	{"U-Pot", iot.ProtoUPnP, 17101},
+	{"Conpot", iot.ProtoSSH, 12837},
+	{"Conpot", iot.ProtoTelnet, 12377},
+	{"Conpot", iot.ProtoS7, 7113},
+	{"Conpot", iot.ProtoHTTP, 11313},
+	{"ThingPot", iot.ProtoXMPP, 11344},
+	{"Cowrie", iot.ProtoSSH, 15459},
+	{"Cowrie", iot.ProtoTelnet, 14963},
+	{"Dionaea", iot.ProtoHTTP, 11974},
+	{"Dionaea", iot.ProtoMQTT, 1557},
+	{"Dionaea", iot.ProtoFTP, 3565},
+	{"Dionaea", iot.ProtoSMB, 6873},
+}
+
+// PaperTotalEvents is Table 7's stated total. Note: the table's individual
+// rows sum to 200,239 — the paper's own total differs by 30; we reproduce
+// the rows verbatim and keep the stated total for reporting.
+const PaperTotalEvents = 200209
+
+// TargetsTotal sums the Table 7 rows.
+func TargetsTotal() int {
+	total := 0
+	for _, t := range PaperTargets {
+		total += t.Events
+	}
+	return total
+}
+
+// SourcePoolTargets is Table 7's unique-source columns per honeypot.
+type SourcePoolTargets struct {
+	Scanning  int
+	Malicious int
+	Unknown   int
+}
+
+// PaperSourcePools reproduces the per-honeypot unique source IP counts.
+var PaperSourcePools = map[string]SourcePoolTargets{
+	"HosTaGe":  {Scanning: 2866, Malicious: 21189, Unknown: 2347},
+	"U-Pot":    {Scanning: 1121, Malicious: 7814, Unknown: 1786},
+	"Conpot":   {Scanning: 1678, Malicious: 11765, Unknown: 1876},
+	"ThingPot": {Scanning: 967, Malicious: 2172, Unknown: 963},
+	"Cowrie":   {Scanning: 2111, Malicious: 12874, Unknown: 1113},
+	"Dionaea":  {Scanning: 1953, Malicious: 13876, Unknown: 1694},
+}
+
+// TypeMix is the attack-type distribution for one protocol (Figure 7).
+// Weights need not sum to 1; they are normalized when sampled.
+type TypeMix map[honeypot.AttackType]float64
+
+// ProtocolTypeMix calibrates Figure 7's shape: UDP protocols are dominated
+// by DoS ("More than 80% of the total attacks [on U-Pot] were a part of the
+// DoS attacks", Section 5.1.3); TCP protocols see brute force, malware
+// deployment and data poisoning.
+var ProtocolTypeMix = map[iot.Protocol]TypeMix{
+	iot.ProtoTelnet: {honeypot.AttackScan: 0.28, honeypot.AttackBruteForce: 0.38,
+		honeypot.AttackDictionary: 0.12, honeypot.AttackMalware: 0.22},
+	iot.ProtoSSH: {honeypot.AttackScan: 0.22, honeypot.AttackBruteForce: 0.40,
+		honeypot.AttackDictionary: 0.16, honeypot.AttackMalware: 0.22},
+	iot.ProtoMQTT: {honeypot.AttackScan: 0.40, honeypot.AttackPoisoning: 0.45,
+		honeypot.AttackDoS: 0.15},
+	iot.ProtoAMQP: {honeypot.AttackScan: 0.30, honeypot.AttackPoisoning: 0.50,
+		honeypot.AttackDoS: 0.20},
+	iot.ProtoXMPP: {honeypot.AttackScan: 0.30, honeypot.AttackBruteForce: 0.45,
+		honeypot.AttackDictionary: 0.10, honeypot.AttackPoisoning: 0.15},
+	iot.ProtoCoAP: {honeypot.AttackScan: 0.30, honeypot.AttackPoisoning: 0.20,
+		honeypot.AttackDoS: 0.45, honeypot.AttackReflection: 0.05},
+	iot.ProtoUPnP: {honeypot.AttackScan: 0.13, honeypot.AttackDoS: 0.82,
+		honeypot.AttackReflection: 0.05},
+	iot.ProtoHTTP: {honeypot.AttackWebScrape: 0.40, honeypot.AttackBruteForce: 0.25,
+		honeypot.AttackDictionary: 0.10, honeypot.AttackDoS: 0.15, honeypot.AttackMalware: 0.10},
+	iot.ProtoSMB: {honeypot.AttackExploit: 0.50, honeypot.AttackMalware: 0.35,
+		honeypot.AttackScan: 0.15},
+	iot.ProtoS7: {honeypot.AttackPoisoning: 0.45, honeypot.AttackDoS: 0.25,
+		honeypot.AttackScan: 0.30},
+	iot.ProtoModbus: {honeypot.AttackPoisoning: 0.50, honeypot.AttackScan: 0.50},
+	iot.ProtoFTP: {honeypot.AttackBruteForce: 0.45, honeypot.AttackDictionary: 0.20,
+		honeypot.AttackMalware: 0.20, honeypot.AttackScan: 0.15},
+}
+
+// ExperimentDays is the measurement month length (April 2021).
+const ExperimentDays = 30
+
+// logAmplification estimates how many honeypot log events one planned
+// attack conversation produces per protocol, given the type mixes above:
+// a UDP DoS burst is 8-16 datagrams (one event each), an S7 job flood wedges
+// the device after ~65 logged jobs, an SSH dictionary run logs every attempt.
+// The planner divides its per-day quotas by these so the *logged* volumes —
+// which is what Table 7 counts — match the calibration targets.
+// Values are measured against the deployed profiles (see EXPERIMENTS.md).
+var logAmplification = map[iot.Protocol]float64{
+	iot.ProtoTelnet: 1.0,
+	iot.ProtoSSH:    1.64,
+	iot.ProtoMQTT:   2.25,
+	iot.ProtoAMQP:   2.1,
+	iot.ProtoXMPP:   2.1,
+	iot.ProtoCoAP:   3.45,
+	iot.ProtoUPnP:   13.2,
+	iot.ProtoHTTP:   2.55,
+	iot.ProtoSMB:    1.0,
+	iot.ProtoS7:     25.0,
+	iot.ProtoModbus: 1.0,
+	iot.ProtoFTP:    1.0,
+}
+
+// amplificationOverride handles honeypot-specific behaviour: Cowrie accepts
+// any credential pair, so a dictionary run ends on its first attempt and
+// SSH sessions log exactly one event.
+var amplificationOverride = map[string]map[iot.Protocol]float64{
+	"Cowrie": {iot.ProtoSSH: 1.0},
+}
+
+// LogAmplification exposes the per-protocol factor for reports and tests.
+func LogAmplification(p iot.Protocol) float64 {
+	if a, ok := logAmplification[p]; ok {
+		return a
+	}
+	return 1.0
+}
+
+// LogAmplificationFor returns the factor for a specific honeypot target.
+func LogAmplificationFor(honeypotName string, p iot.Protocol) float64 {
+	if m, ok := amplificationOverride[honeypotName]; ok {
+		if a, ok := m[p]; ok {
+			return a
+		}
+	}
+	return LogAmplification(p)
+}
+
+// Listing is a scanning-service indexing event (Figure 8's vertical marks):
+// after Day, the daily attack rate rises by Boost.
+type Listing struct {
+	Service string
+	Day     int     // 0-based day of the month
+	Boost   float64 // additive increase of the daily rate multiplier
+}
+
+// PaperListings models the listings the paper marks in Figure 8 (Shodan,
+// BinaryEdge and ZoomEye listings, each followed by an upward trend).
+var PaperListings = []Listing{
+	{Service: "shodan.io", Day: 6, Boost: 0.35},
+	{Service: "binaryedge.io", Day: 12, Boost: 0.25},
+	{Service: "zoomeye.org", Day: 17, Boost: 0.20},
+}
+
+// DoSSpikeDays are the days with major DoS events (Figure 8 marks days 24
+// and 26; 0-based: 23 and 25).
+var DoSSpikeDays = []int{23, 25}
+
+// dosSpikeBoost is the extra rate multiplier on spike days.
+const dosSpikeBoost = 0.9
+
+// DayWeights returns the normalized per-day share of monthly events,
+// encoding the Figure 8 shape: flat baseline, a step up after each listing,
+// and spikes on the DoS days.
+func DayWeights() []float64 {
+	w := make([]float64, ExperimentDays)
+	for d := range w {
+		w[d] = 1.0
+		for _, l := range PaperListings {
+			if d >= l.Day {
+				w[d] += l.Boost
+			}
+		}
+		for _, spike := range DoSSpikeDays {
+			if d == spike {
+				w[d] += dosSpikeBoost
+			}
+		}
+	}
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	for d := range w {
+		w[d] /= total
+	}
+	return w
+}
+
+// DayStart returns the UTC start of day d of the experiment month.
+func DayStart(d int) time.Time {
+	return time.Date(2021, time.April, 1+d, 0, 0, 0, 0, time.UTC)
+}
+
+// Infection calibration (Section 5.3): of the 1.8 M misconfigured devices,
+// 11,118 appeared as attack sources. The split across where they attacked:
+// 1,147 honeypots only, 1,274 telescope only, 8,697 both.
+const (
+	// InfectedShare is the probability a misconfigured device is infected.
+	InfectedShare = 11118.0 / 1832893.0
+	// InfectedHoneypotOnly, InfectedTelescopeOnly and the remainder (both)
+	// split the infected population.
+	InfectedHoneypotOnly  = 1147.0 / 11118.0
+	InfectedTelescopeOnly = 1274.0 / 11118.0
+)
+
+// Censys-extension calibration (Section 5.3): 1,671 additional attacking
+// IoT devices were identified via Censys tags among sources *not* in the
+// misconfigured set — i.e. infected exposed-but-configured devices. The
+// share is over the configured exposure (Table 4 total minus Table 5
+// total), inflated by the ~70% Censys tag coverage so the *found* count
+// matches.
+const (
+	ConfiguredInfectedShare = 1671.0 / (14397929.0 - 1832893.0) / 0.7
+	// Their split across targets: 439 honeypots only, 564 telescope only,
+	// 668 both.
+	ConfiguredHoneypotOnly  = 439.0 / 1671.0
+	ConfiguredTelescopeOnly = 564.0 / 1671.0
+)
+
+// Tor calibration: 151 unique Tor exit relays scraped HTTP (Section 5.1.6).
+const PaperTorExitCount = 151
+
+// Multistage calibration: 267 multistage attacks (Section 5.4).
+const PaperMultistageCount = 267

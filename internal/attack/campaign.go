@@ -1,0 +1,426 @@
+package attack
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"openhire/internal/attack/malware"
+	"openhire/internal/geo"
+	"openhire/internal/honeypot"
+	"openhire/internal/intel"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+	"openhire/internal/prng"
+)
+
+// CampaignConfig parameterizes the attack-month replay.
+type CampaignConfig struct {
+	// Seed drives every stochastic choice.
+	Seed uint64
+	// Network is the fabric carrying the attacks.
+	Network *netsim.Network
+	// Honeypots are the deployed targets (from honeypot.DeployAll).
+	Honeypots []*honeypot.Honeypot
+	// Universe provides infected misconfigured devices (may be nil).
+	Universe *iot.Universe
+	// Sources manages address pools. Required.
+	Sources *Sources
+	// Corpus is the malware sample set. Required for malware attacks.
+	Corpus *malware.Corpus
+	// Intensity scales the Table 7 event volumes (1.0 replays all 200,209
+	// events; tests use small fractions). Must be > 0.
+	Intensity float64
+	// Workers is attack concurrency (0 = 64).
+	Workers int
+	// Clock must be the network's SimClock so honeypot logs carry April
+	// 2021 timestamps.
+	Clock *netsim.SimClock
+	// GreyNoise and VirusTotal, when set, receive source registrations for
+	// the classification experiments.
+	GreyNoise  *intel.GreyNoise
+	VirusTotal *intel.VirusTotal
+	// RDNS, when set, is used for scanning-service reverse registration.
+	RDNS *geo.RDNS
+	// MultistageActors is the number of deliberate multi-protocol
+	// adversaries to schedule (0 = scaled PaperMultistageCount).
+	MultistageActors int
+}
+
+// Campaign replays the paper's attack month.
+type Campaign struct {
+	cfg     CampaignConfig
+	exec    *Executor
+	src     *prng.Source
+	pools   map[string]*honeypotPools
+	byName  map[string]*honeypot.Honeypot
+	weights []float64
+}
+
+// honeypotPools holds the per-honeypot source pools sized per Table 7.
+type honeypotPools struct {
+	scanning  []netsim.IPv4
+	malicious []netsim.IPv4
+	unknown   []netsim.IPv4
+}
+
+// NewCampaign validates config and provisions source pools.
+func NewCampaign(cfg CampaignConfig) *Campaign {
+	if cfg.Intensity <= 0 {
+		cfg.Intensity = 1.0
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 64
+	}
+	c := &Campaign{
+		cfg:     cfg,
+		exec:    NewExecutor(cfg.Network, cfg.Corpus),
+		src:     prng.New(cfg.Seed),
+		pools:   make(map[string]*honeypotPools),
+		byName:  make(map[string]*honeypot.Honeypot),
+		weights: DayWeights(),
+	}
+	for _, hp := range cfg.Honeypots {
+		c.byName[hp.Name] = hp
+	}
+
+	// Infected devices that target honeypots join the malicious pools.
+	var infectedForPots []netsim.IPv4
+	if cfg.Universe != nil {
+		for _, ip := range cfg.Sources.DeriveInfected() {
+			if t, _ := cfg.Sources.InfectedTargetsFor(ip); t.Honeypots {
+				infectedForPots = append(infectedForPots, ip)
+			}
+		}
+	}
+
+	// Pool sizes follow Table 7's unique-source columns, scaled.
+	idx := 0
+	for name, targets := range PaperSourcePools {
+		if _, deployed := c.byName[name]; !deployed {
+			continue
+		}
+		p := &honeypotPools{
+			scanning: cfg.Sources.BuildScanningPool(scaleCount(targets.Scanning, cfg.Intensity)),
+			unknown:  cfg.Sources.BuildUnknownPool(scaleCount(targets.Unknown, cfg.Intensity)),
+		}
+		// Spread infected devices across honeypot pools round-robin, then
+		// fill with ordinary malicious hosts.
+		var infectedSlice []netsim.IPv4
+		for i := idx; i < len(infectedForPots); i += len(PaperSourcePools) {
+			infectedSlice = append(infectedSlice, infectedForPots[i])
+		}
+		idx++
+		p.malicious = cfg.Sources.BuildMaliciousPool(
+			scaleCount(targets.Malicious, cfg.Intensity), infectedSlice)
+		c.pools[name] = p
+	}
+	return c
+}
+
+func scaleCount(n int, intensity float64) int {
+	v := int(float64(n) * intensity)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Stats summarizes a replay.
+type Stats struct {
+	EventsPlanned int
+	EventsRun     int
+	Elapsed       time.Duration
+}
+
+// Run replays the month: for each day, each (honeypot, protocol) target
+// receives its scaled share of events with the calibrated type mix and
+// source classes. Events within a day run concurrently; days advance the
+// simulation clock sequentially so Figure 8's series is faithful.
+func (c *Campaign) Run(ctx context.Context) Stats {
+	start := time.Now()
+	var stats Stats
+
+	type job struct {
+		typ   honeypot.AttackType
+		proto iot.Protocol
+		src   netsim.IPv4
+		dst   netsim.IPv4
+		seed  uint64
+	}
+	jobs := make(chan job, 4*c.cfg.Workers)
+	var wg sync.WaitGroup
+	// dayWG drains in-flight jobs at day boundaries so every event is
+	// stamped with the day it was scheduled for — Figure 8's daily series
+	// and the multistage stage ordering depend on it.
+	var dayWG sync.WaitGroup
+	var runCount int64
+	var mu sync.Mutex
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				gen := prng.New(j.seed)
+				_ = c.exec.Execute(ctx, j.typ, j.proto, j.src, j.dst, gen)
+				mu.Lock()
+				runCount++
+				mu.Unlock()
+				dayWG.Done()
+			}
+		}()
+	}
+
+	multistage := c.planMultistage()
+
+	for day := 0; day < ExperimentDays; day++ {
+		if ctx.Err() != nil {
+			break
+		}
+		c.cfg.Clock.Set(DayStart(day).Add(time.Duration(day%7) * time.Minute))
+		for _, target := range PaperTargets {
+			hp, ok := c.byName[target.Honeypot]
+			if !ok {
+				continue
+			}
+			pools := c.pools[target.Honeypot]
+			quota := float64(target.Events) * c.cfg.Intensity * c.weights[day] /
+				LogAmplificationFor(target.Honeypot, target.Protocol)
+			dayEvents := int(quota)
+			if dayEvents == 0 && c.src.Bool(quota) {
+				dayEvents = 1
+			}
+			mix, hasMix := ProtocolTypeMix[target.Protocol]
+			for i := 0; i < dayEvents; i++ {
+				typ := honeypot.AttackScan
+				if hasMix {
+					typ = sampleType(c.src, mix)
+				}
+				// DoS spike days skew toward floods.
+				if isDoSSpike(day) && c.src.Bool(0.5) {
+					if target.Protocol == iot.ProtoCoAP || target.Protocol == iot.ProtoUPnP ||
+						target.Protocol == iot.ProtoHTTP || target.Protocol == iot.ProtoS7 {
+						typ = honeypot.AttackDoS
+					}
+				}
+				src := c.pickSource(pools, target.Protocol, typ)
+				stats.EventsPlanned++
+				dayWG.Add(1)
+				select {
+				case jobs <- job{typ: typ, proto: target.Protocol, src: src, dst: hp.IP,
+					seed: c.src.Uint64()}:
+				case <-ctx.Done():
+					dayWG.Done()
+				}
+			}
+		}
+		// Multistage actors run one stage per day: the paper notes follow-up
+		// attacks from the same adversary arrive days apart (Section 5.4),
+		// and consecutive days give the stages unambiguous time order.
+		for _, m := range multistage {
+			stageIdx := day - m.day
+			if stageIdx < 0 || stageIdx >= len(m.steps) {
+				continue
+			}
+			step := m.steps[stageIdx]
+			hp, ok := c.byName[step.pot]
+			if !ok {
+				continue
+			}
+			stats.EventsPlanned++
+			dayWG.Add(1)
+			select {
+			case jobs <- job{typ: step.typ, proto: step.proto, src: m.src, dst: hp.IP,
+				seed: c.src.Uint64()}:
+			case <-ctx.Done():
+				dayWG.Done()
+			}
+		}
+		// Drain before the clock moves to the next day.
+		dayWG.Wait()
+	}
+	close(jobs)
+	wg.Wait()
+	// Leave the clock at the end of the month.
+	c.cfg.Clock.Set(DayStart(ExperimentDays))
+	mu.Lock()
+	stats.EventsRun = int(runCount)
+	mu.Unlock()
+	stats.Elapsed = time.Since(start)
+	return stats
+}
+
+func isDoSSpike(day int) bool {
+	for _, d := range DoSSpikeDays {
+		if d == day {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleType draws an attack type from a mix.
+func sampleType(src *prng.Source, mix TypeMix) honeypot.AttackType {
+	// Stable iteration order for determinism.
+	types := []honeypot.AttackType{
+		honeypot.AttackScan, honeypot.AttackBruteForce, honeypot.AttackDictionary,
+		honeypot.AttackMalware, honeypot.AttackPoisoning, honeypot.AttackDoS,
+		honeypot.AttackReflection, honeypot.AttackExploit, honeypot.AttackWebScrape,
+	}
+	weights := make([]float64, len(types))
+	for i, t := range types {
+		weights[i] = mix[t]
+	}
+	return types[src.WeightedChoice(weights)]
+}
+
+// pickSource draws a source address appropriate for the attack type:
+// scanning events come mostly from scanning services, everything else from
+// the malicious or unknown pools. Malicious sources are sharded per
+// protocol — real botnets specialize (a Telnet worm does not also poke
+// Modbus) — which keeps organic cross-protocol reuse rare so the deliberate
+// multistage actors (Section 5.4) dominate the multistage analysis.
+func (c *Campaign) pickSource(p *honeypotPools, proto iot.Protocol, typ honeypot.AttackType) netsim.IPv4 {
+	switch typ {
+	case honeypot.AttackScan, honeypot.AttackWebScrape:
+		roll := c.src.Float64()
+		switch {
+		case roll < 0.5 && len(p.scanning) > 0:
+			return p.scanning[c.src.Intn(len(p.scanning))]
+		case roll < 0.8 && len(p.unknown) > 0:
+			return c.shardPick(p.unknown, proto)
+		default:
+			return c.shardPick(p.malicious, proto)
+		}
+	default:
+		if len(p.malicious) == 0 {
+			return c.shardPick(p.unknown, proto)
+		}
+		return c.shardPick(p.malicious, proto)
+	}
+}
+
+// protocolShard maps each honeypot-exposed protocol to a distinct pool
+// shard; the assignment must be collision-free or two protocols would share
+// sources and register as phantom multistage attacks.
+var protocolShard = map[iot.Protocol]int{
+	iot.ProtoTelnet: 0, iot.ProtoSSH: 1, iot.ProtoMQTT: 2, iot.ProtoAMQP: 3,
+	iot.ProtoXMPP: 4, iot.ProtoCoAP: 5, iot.ProtoUPnP: 6, iot.ProtoHTTP: 7,
+	iot.ProtoSMB: 8, iot.ProtoS7: 9, iot.ProtoModbus: 10, iot.ProtoFTP: 11,
+}
+
+// shardPick selects from the protocol's shard of a pool.
+func (c *Campaign) shardPick(pool []netsim.IPv4, proto iot.Protocol) netsim.IPv4 {
+	n := len(pool)
+	shards := len(protocolShard)
+	shardSize := n / shards
+	if shardSize == 0 {
+		return pool[c.src.Intn(n)]
+	}
+	base := protocolShard[proto] * shardSize
+	return pool[base+c.src.Intn(shardSize)]
+}
+
+// multistagePlan is one deliberate multi-protocol adversary (Section 5.4).
+type multistagePlan struct {
+	src   netsim.IPv4
+	day   int
+	steps []multistageStep
+}
+
+type multistageStep struct {
+	pot   string
+	proto iot.Protocol
+	typ   honeypot.AttackType
+}
+
+// planMultistage builds the Figure 9 adversaries: sequences starting with
+// Telnet/SSH, hitting SMB heavily at stage two and S7 at stage three.
+func (c *Campaign) planMultistage() []multistagePlan {
+	count := c.cfg.MultistageActors
+	if count == 0 {
+		count = scaleCount(PaperMultistageCount, c.cfg.Intensity)
+		// Keep enough actors for the Figure 9 stage distribution to be
+		// visible even in heavily scaled-down replays.
+		if count < 10 {
+			count = 10
+		}
+	}
+	gen := c.src.Derive(prng.HashString("multistage"))
+	var plans []multistagePlan
+	for i := 0; i < count; i++ {
+		src := c.cfg.Sources.BuildMaliciousPool(1, nil)[0]
+		// Start early enough that a three-stage sequence fits the month.
+		plan := multistagePlan{src: src, day: gen.Intn(ExperimentDays - 3)}
+		// Stage 1: Telnet or SSH (the majority per Figure 9).
+		if gen.Bool(0.6) {
+			plan.steps = append(plan.steps, multistageStep{"Cowrie", iot.ProtoTelnet, honeypot.AttackBruteForce})
+		} else {
+			plan.steps = append(plan.steps, multistageStep{"Cowrie", iot.ProtoSSH, honeypot.AttackBruteForce})
+		}
+		// Stage 2: SMB receives most second-step attacks.
+		if gen.Bool(0.75) {
+			plan.steps = append(plan.steps, multistageStep{"HosTaGe", iot.ProtoSMB, honeypot.AttackExploit})
+		} else {
+			plan.steps = append(plan.steps, multistageStep{"HosTaGe", iot.ProtoHTTP, honeypot.AttackWebScrape})
+		}
+		// Stage 3 (some actors): S7.
+		if gen.Bool(0.5) {
+			plan.steps = append(plan.steps, multistageStep{"Conpot", iot.ProtoS7, honeypot.AttackPoisoning})
+		}
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// RegisterIntel populates GreyNoise/VirusTotal from the replayed events:
+// vendor flag probability follows the worst behaviour a source exhibited,
+// so exploit/malware actors (SMB's EternalBlue droppers) are flagged most
+// often — the Figure 6 shape where SMB sources lead the malicious share.
+func (c *Campaign) RegisterIntel() {
+	if c.cfg.VirusTotal == nil {
+		return
+	}
+	gen := c.src.Derive(prng.HashString("vt"))
+	flagProb := map[honeypot.AttackType]float64{
+		honeypot.AttackExploit:    0.97,
+		honeypot.AttackMalware:    0.95,
+		honeypot.AttackDoS:        0.72,
+		honeypot.AttackPoisoning:  0.68,
+		honeypot.AttackDictionary: 0.66,
+		honeypot.AttackBruteForce: 0.60,
+		honeypot.AttackReflection: 0.50,
+		honeypot.AttackWebScrape:  0.30,
+		honeypot.AttackScan:       0.22,
+	}
+	// Worst observed behaviour per source.
+	worst := make(map[netsim.IPv4]float64)
+	var log *honeypot.Log
+	for _, hp := range c.cfg.Honeypots {
+		log = hp.Log()
+		break
+	}
+	if log != nil {
+		for _, ev := range log.Events() {
+			if cls, ok := c.cfg.Sources.Class(ev.Src); ok && cls == ClassScanningService {
+				continue // benign infrastructure is not VT-flagged
+			}
+			if p := flagProb[ev.Type]; p > worst[ev.Src] {
+				worst[ev.Src] = p
+			}
+		}
+	}
+	for ip, p := range worst {
+		if gen.Bool(p) {
+			c.cfg.VirusTotal.FlagIP(ip, 1+gen.Zipf(20, 1.3))
+		}
+		if c.cfg.GreyNoise != nil && p >= 0.6 && gen.Bool(0.6) {
+			c.cfg.GreyNoise.RegisterMalicious(ip)
+		}
+	}
+	// Every infected misconfigured device is VT-flagged: the paper reports
+	// all 11,118 were flagged by at least one vendor (Section 5.3).
+	for _, ip := range c.cfg.Sources.DeriveInfected() {
+		c.cfg.VirusTotal.FlagIP(ip, 1+gen.Zipf(10, 1.5))
+	}
+}

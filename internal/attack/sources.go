@@ -1,0 +1,318 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"openhire/internal/geo"
+	"openhire/internal/intel"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+	"openhire/internal/prng"
+)
+
+// SourceClass is where an attack source belongs in the paper's taxonomy.
+type SourceClass uint8
+
+// Source classes (Table 7 columns).
+const (
+	ClassScanningService SourceClass = iota
+	ClassMalicious
+	ClassUnknown
+)
+
+// String names the class.
+func (c SourceClass) String() string {
+	switch c {
+	case ClassScanningService:
+		return "scanning-service"
+	case ClassMalicious:
+		return "malicious"
+	default:
+		return "unknown"
+	}
+}
+
+// ScanningService is one known Internet-scanning operator (Figure 3's
+// legend: Stretchoid, Censys, Shodan, BitSight, BinaryEdge, Project Sonar,
+// ShadowServer and the rest).
+type ScanningService struct {
+	Name string
+	// Share is the service's fraction of total scanning-service traffic,
+	// calibrated so Figure 3's ordering holds.
+	Share float64
+}
+
+// KnownScanningServices lists the services the paper identifies in
+// Section 4.3.1, most active first.
+var KnownScanningServices = []ScanningService{
+	{"stretchoid.com", 0.17},
+	{"censys.io", 0.14},
+	{"shodan.io", 0.13},
+	{"bitsight.com", 0.09},
+	{"binaryedge.io", 0.08},
+	{"projectsonar.rapid7.com", 0.07},
+	{"shadowserver.org", 0.06},
+	{"internettl.org", 0.05},
+	{"alphastrike.io", 0.04},
+	{"sharashka.io", 0.03},
+	{"comsys.rwth-aachen.de", 0.03},
+	{"criminalip.com", 0.02},
+	{"ipip.net", 0.02},
+	{"netsystemsresearch.com", 0.02},
+	{"leakix.net", 0.01},
+	{"onyphe.io", 0.01},
+	{"natlas.io", 0.01},
+	{"quadmetrics.com", 0.01},
+	{"arbor-observatory.com", 0.005},
+	{"zoomeye.org", 0.005},
+	{"fofa.so", 0.005},
+}
+
+// Sources manages the address pools adversaries and scanners draw from, and
+// keeps the ground-truth class of every source for later validation.
+type Sources struct {
+	src      *prng.Source
+	universe *iot.Universe
+	rdns     *geo.RDNS
+	gn       *intel.GreyNoise
+
+	classes    map[netsim.IPv4]SourceClass
+	services   map[netsim.IPv4]string // scanning-service IP → service name
+	infected   []netsim.IPv4          // infected misconfigured devices
+	infectedAt map[netsim.IPv4]InfectedTargets
+	torExits   []netsim.IPv4
+}
+
+// InfectedTargets says where an infected device sends attacks (Section 5.3)
+// and whether the device is exposed-but-configured (the Censys-extension
+// population) rather than misconfigured.
+type InfectedTargets struct {
+	Honeypots  bool
+	Telescope  bool
+	Configured bool
+}
+
+// NewSources builds the pools. universe may be nil when no infected-device
+// correlation is needed.
+func NewSources(seed uint64, universe *iot.Universe, rdns *geo.RDNS, gn *intel.GreyNoise) *Sources {
+	return &Sources{
+		src:        prng.New(seed),
+		universe:   universe,
+		rdns:       rdns,
+		gn:         gn,
+		classes:    make(map[netsim.IPv4]SourceClass),
+		services:   make(map[netsim.IPv4]string),
+		infectedAt: make(map[netsim.IPv4]InfectedTargets),
+	}
+}
+
+// randomPublicIP draws an address outside reserved space and outside the
+// universe prefix (ordinary Internet hosts).
+func (s *Sources) randomPublicIP(gen *prng.Source) netsim.IPv4 {
+	for {
+		ip := netsim.IPv4(gen.Uint32())
+		o := ip.Octets()
+		if o[0] == 0 || o[0] == 10 || o[0] == 127 || o[0] >= 224 {
+			continue
+		}
+		if s.universe != nil && s.universe.Config().Prefix.Contains(ip) {
+			continue
+		}
+		if _, taken := s.classes[ip]; taken {
+			continue
+		}
+		return ip
+	}
+}
+
+// BuildScanningPool provisions n scanning-service addresses distributed by
+// service share, registering them in reverse DNS and GreyNoise.
+func (s *Sources) BuildScanningPool(n int) []netsim.IPv4 {
+	gen := s.src.Derive(prng.HashString("scan-pool"))
+	weights := make([]float64, len(KnownScanningServices))
+	for i, svc := range KnownScanningServices {
+		weights[i] = svc.Share
+	}
+	out := make([]netsim.IPv4, 0, n)
+	for i := 0; i < n; i++ {
+		ip := s.randomPublicIP(gen)
+		svc := KnownScanningServices[gen.WeightedChoice(weights)]
+		s.classes[ip] = ClassScanningService
+		s.services[ip] = svc.Name
+		if s.rdns != nil {
+			s.rdns.RegisterService(ip, svc.Name)
+		}
+		if s.gn != nil {
+			s.gn.RegisterBenign(ip)
+		}
+		out = append(out, ip)
+	}
+	return out
+}
+
+// BuildMaliciousPool provisions n malicious addresses. A calibrated share
+// are infected misconfigured devices drawn from the universe (the Section
+// 5.3 correlation); the rest are ordinary compromised hosts.
+func (s *Sources) BuildMaliciousPool(n int, infectedFromUniverse []netsim.IPv4) []netsim.IPv4 {
+	gen := s.src.Derive(prng.HashString("mal-pool"))
+	out := make([]netsim.IPv4, 0, n)
+	for _, ip := range infectedFromUniverse {
+		if len(out) >= n {
+			break
+		}
+		s.classes[ip] = ClassMalicious
+		out = append(out, ip)
+	}
+	for len(out) < n {
+		ip := s.randomPublicIP(gen)
+		s.classes[ip] = ClassMalicious
+		out = append(out, ip)
+	}
+	return out
+}
+
+// BuildUnknownPool provisions n unclassifiable addresses (one-time scanners,
+// suspicious sources).
+func (s *Sources) BuildUnknownPool(n int) []netsim.IPv4 {
+	gen := s.src.Derive(prng.HashString("unk-pool"))
+	out := make([]netsim.IPv4, 0, n)
+	for i := 0; i < n; i++ {
+		ip := s.randomPublicIP(gen)
+		s.classes[ip] = ClassUnknown
+		out = append(out, ip)
+	}
+	return out
+}
+
+// BuildTorPool provisions n Tor exit addresses (HTTP scrapers,
+// Section 5.1.6) and registers them with the ExoneraTor-style relay list.
+func (s *Sources) BuildTorPool(n int) []netsim.IPv4 {
+	gen := s.src.Derive(prng.HashString("tor-pool"))
+	out := make([]netsim.IPv4, 0, n)
+	for i := 0; i < n; i++ {
+		ip := s.randomPublicIP(gen)
+		s.classes[ip] = ClassMalicious
+		if s.rdns != nil {
+			s.rdns.RegisterTorRelay(ip)
+		}
+		s.torExits = append(s.torExits, ip)
+		out = append(out, ip)
+	}
+	return out
+}
+
+// DeriveInfected walks the universe and selects the infected devices per
+// the Section 5.3 calibration, assigning each its target mix. Misconfigured
+// devices are infected at InfectedShare (the 11,118); exposed-but-configured
+// devices at ConfiguredInfectedShare (the Censys-extension population of
+// 1,671 additional IoT attackers). The scan is linear over the prefix; cost
+// is a few hashes per (address, protocol).
+func (s *Sources) DeriveInfected() []netsim.IPv4 {
+	if s.universe != nil && s.infected == nil {
+		prefix := s.universe.Config().Prefix
+		label := prng.HashString("infected")
+		for i := uint64(0); i < prefix.Size(); i++ {
+			ip := prefix.Nth(i)
+			misconfigured, exposed := s.exposureOf(ip)
+			if !exposed {
+				continue
+			}
+			h := s.src.Hash64(label, uint64(ip))
+			roll2 := prng.New(s.src.Hash64(label, uint64(ip), 2)).Float64()
+			u := float64(h>>11) / (1 << 53)
+			var t InfectedTargets
+			switch {
+			case misconfigured && u < InfectedShare:
+				t = InfectedTargets{Honeypots: true, Telescope: true}
+				switch {
+				case roll2 < InfectedHoneypotOnly:
+					t = InfectedTargets{Honeypots: true}
+				case roll2 < InfectedHoneypotOnly+InfectedTelescopeOnly:
+					t = InfectedTargets{Telescope: true}
+				}
+			case !misconfigured && u < ConfiguredInfectedShare:
+				t = InfectedTargets{Honeypots: true, Telescope: true, Configured: true}
+				switch {
+				case roll2 < ConfiguredHoneypotOnly:
+					t = InfectedTargets{Honeypots: true, Configured: true}
+				case roll2 < ConfiguredHoneypotOnly+ConfiguredTelescopeOnly:
+					t = InfectedTargets{Telescope: true, Configured: true}
+				}
+			default:
+				continue
+			}
+			s.infected = append(s.infected, ip)
+			s.infectedAt[ip] = t
+		}
+		sort.Slice(s.infected, func(i, j int) bool { return s.infected[i] < s.infected[j] })
+	}
+	return s.infected
+}
+
+// exposureOf reports whether ip exposes any scanned protocol and whether it
+// is misconfigured on at least one.
+func (s *Sources) exposureOf(ip netsim.IPv4) (misconfigured, exposed bool) {
+	for _, p := range iot.ScannedProtocols {
+		spec, ok := s.universe.Spec(ip, p)
+		if !ok {
+			continue
+		}
+		exposed = true
+		if spec.Misconfig != iot.MisconfigNone {
+			misconfigured = true
+		}
+	}
+	return misconfigured, exposed
+}
+
+func (s *Sources) isMisconfigured(ip netsim.IPv4) bool {
+	for _, p := range iot.ScannedProtocols {
+		if spec, ok := s.universe.Spec(ip, p); ok && spec.Misconfig != iot.MisconfigNone {
+			return true
+		}
+	}
+	return false
+}
+
+// InfectedTargetsFor returns where an infected source attacks.
+func (s *Sources) InfectedTargetsFor(ip netsim.IPv4) (InfectedTargets, bool) {
+	t, ok := s.infectedAt[ip]
+	return t, ok
+}
+
+// Class returns the ground-truth class of a source.
+func (s *Sources) Class(ip netsim.IPv4) (SourceClass, bool) {
+	c, ok := s.classes[ip]
+	return c, ok
+}
+
+// ServiceOf returns which scanning service owns ip, if any.
+func (s *Sources) ServiceOf(ip netsim.IPv4) (string, bool) {
+	svc, ok := s.services[ip]
+	return svc, ok
+}
+
+// ScanningServiceIPs returns all provisioned scanning-service addresses.
+func (s *Sources) ScanningServiceIPs() map[netsim.IPv4]string {
+	out := make(map[netsim.IPv4]string, len(s.services))
+	for ip, svc := range s.services {
+		out[ip] = svc
+	}
+	return out
+}
+
+// TorExits returns the provisioned Tor exit addresses.
+func (s *Sources) TorExits() []netsim.IPv4 {
+	return append([]netsim.IPv4(nil), s.torExits...)
+}
+
+// Describe renders a short summary for logs.
+func (s *Sources) Describe() string {
+	counts := map[SourceClass]int{}
+	for _, c := range s.classes {
+		counts[c]++
+	}
+	return fmt.Sprintf("sources: %d scanning-service, %d malicious, %d unknown, %d infected",
+		counts[ClassScanningService], counts[ClassMalicious], counts[ClassUnknown], len(s.infected))
+}

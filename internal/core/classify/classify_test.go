@@ -1,0 +1,195 @@
+package classify
+
+import (
+	"testing"
+
+	"openhire/internal/core/scan"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+func telnetResult(text string) *scan.Result {
+	return &scan.Result{
+		IP: netsim.MustParseIPv4("60.1.2.3"), Port: 23,
+		Protocol: iot.ProtoTelnet, Transport: netsim.TCP,
+		Banner: []byte(text),
+		Meta:   map[string]string{"telnet.text": text},
+	}
+}
+
+func TestClassifyTelnetRootPrompt(t *testing.T) {
+	f := Classify(telnetResult("root@hikvision:~$ "))
+	if f.Misconfig != iot.TelnetNoAuthRoot {
+		t.Fatalf("misconfig %v", f.Misconfig)
+	}
+	f = Classify(telnetResult("admin@PK5001Z:~$ "))
+	if f.Misconfig != iot.TelnetNoAuthRoot {
+		t.Fatalf("admin prompt: %v", f.Misconfig)
+	}
+}
+
+func TestClassifyTelnetBarePrompt(t *testing.T) {
+	f := Classify(telnetResult("BusyBox v1.22\r\n$ "))
+	if f.Misconfig != iot.TelnetNoAuth {
+		t.Fatalf("misconfig %v", f.Misconfig)
+	}
+}
+
+func TestClassifyTelnetLoginPromptIsConfigured(t *testing.T) {
+	for _, banner := range []string{
+		"192.0.0.64 login: ",
+		"Welcome to DCS-6620\r\nlogin: ",
+		"PK5001Z login: ",
+		"Password: ",
+	} {
+		f := Classify(telnetResult(banner))
+		if f.Misconfigured() {
+			t.Errorf("banner %q classified as %v", banner, f.Misconfig)
+		}
+	}
+}
+
+func TestClassifyMQTTCode(t *testing.T) {
+	open := &scan.Result{Protocol: iot.ProtoMQTT, Meta: map[string]string{"mqtt.code": "0"}}
+	if f := Classify(open); f.Misconfig != iot.MQTTNoAuth || f.Indicator != "MQTT Connection Code:0" {
+		t.Fatalf("open: %+v", f)
+	}
+	closed := &scan.Result{Protocol: iot.ProtoMQTT, Meta: map[string]string{"mqtt.code": "5"}}
+	if f := Classify(closed); f.Misconfigured() {
+		t.Fatalf("closed misclassified: %+v", f)
+	}
+}
+
+func TestClassifyAMQPVulnerableVersions(t *testing.T) {
+	for _, v := range []string{"2.7.1", "2.8.4"} {
+		r := &scan.Result{Protocol: iot.ProtoAMQP, Meta: map[string]string{"amqp.version": v}}
+		if f := Classify(r); f.Misconfig != iot.AMQPNoAuth {
+			t.Errorf("version %s: %v", v, f.Misconfig)
+		}
+	}
+	modern := &scan.Result{Protocol: iot.ProtoAMQP, Meta: map[string]string{
+		"amqp.version": "3.8.9", "amqp.mechanisms": "PLAIN AMQPLAIN"}}
+	if f := Classify(modern); f.Misconfigured() {
+		t.Fatalf("modern version misclassified: %+v", f)
+	}
+	anon := &scan.Result{Protocol: iot.ProtoAMQP, Meta: map[string]string{
+		"amqp.version": "3.8.9", "amqp.mechanisms": "PLAIN ANONYMOUS"}}
+	if f := Classify(anon); f.Misconfig != iot.AMQPNoAuth {
+		t.Fatalf("anonymous broker: %v", f.Misconfig)
+	}
+}
+
+func TestClassifyXMPP(t *testing.T) {
+	anon := &scan.Result{Protocol: iot.ProtoXMPP, Meta: map[string]string{
+		"xmpp.mechanisms": "PLAIN ANONYMOUS", "xmpp.tls": "false"}}
+	if f := Classify(anon); f.Misconfig != iot.XMPPAnonymous {
+		t.Fatalf("anon: %v", f.Misconfig)
+	}
+	plain := &scan.Result{Protocol: iot.ProtoXMPP, Meta: map[string]string{
+		"xmpp.mechanisms": "PLAIN", "xmpp.tls": "false"}}
+	if f := Classify(plain); f.Misconfig != iot.XMPPNoEncryption {
+		t.Fatalf("plain: %v", f.Misconfig)
+	}
+	secure := &scan.Result{Protocol: iot.ProtoXMPP, Meta: map[string]string{
+		"xmpp.mechanisms": "SCRAM-SHA-1", "xmpp.tls": "true"}}
+	if f := Classify(secure); f.Misconfigured() {
+		t.Fatalf("secure: %v", f.Misconfig)
+	}
+	plainWithTLS := &scan.Result{Protocol: iot.ProtoXMPP, Meta: map[string]string{
+		"xmpp.mechanisms": "PLAIN", "xmpp.tls": "true"}}
+	if f := Classify(plainWithTLS); f.Misconfigured() {
+		t.Fatalf("PLAIN over mandatory TLS misclassified: %v", f.Misconfig)
+	}
+}
+
+func TestClassifyCoAP(t *testing.T) {
+	cases := []struct {
+		body string
+		want iot.Misconfig
+	}{
+		{"220-Admin </x>", iot.CoAPNoAuthAdmin},
+		{"220 </x>", iot.CoAPNoAuth},
+		{"x1C </x>", iot.CoAPNoAuth},
+		{"</sensors/temperature>;rt=\"oic.r.temperature\"", iot.CoAPReflector},
+	}
+	for _, c := range cases {
+		r := &scan.Result{Protocol: iot.ProtoCoAP, Meta: map[string]string{
+			"coap.body": c.body, "coap.disclosed": "true"}}
+		if f := Classify(r); f.Misconfig != c.want {
+			t.Errorf("body %q: %v, want %v", c.body, f.Misconfig, c.want)
+		}
+	}
+	unauth := &scan.Result{Protocol: iot.ProtoCoAP, Meta: map[string]string{
+		"coap.disclosed": "false"}}
+	if f := Classify(unauth); f.Misconfigured() {
+		t.Fatalf("4.01 responder misclassified: %v", f.Misconfig)
+	}
+}
+
+func TestClassifyUPnP(t *testing.T) {
+	open := &scan.Result{Protocol: iot.ProtoUPnP, Meta: map[string]string{
+		"upnp.usn":      "uuid:abc::upnp:rootdevice",
+		"upnp.location": "http://192.168.0.1:1900/rootDesc.xml"}}
+	if f := Classify(open); f.Misconfig != iot.UPnPReflector {
+		t.Fatalf("open: %v", f.Misconfig)
+	}
+	silentish := &scan.Result{Protocol: iot.ProtoUPnP, Meta: map[string]string{}}
+	if f := Classify(silentish); f.Misconfigured() {
+		t.Fatalf("minimal responder misclassified: %v", f.Misconfig)
+	}
+}
+
+func TestTagDeviceTelnet(t *testing.T) {
+	f := Classify(telnetResult("192.0.0.64 login: "))
+	if f.DeviceType != iot.TypeCamera || f.DeviceModel != "HiKVision Camera" {
+		t.Fatalf("tag: %q %q", f.DeviceType, f.DeviceModel)
+	}
+}
+
+func TestTagDeviceUPnP(t *testing.T) {
+	r := &scan.Result{Protocol: iot.ProtoUPnP, Meta: map[string]string{
+		"upnp.server": "Linux/2.x UPnP/1.0 Avtech/1.0",
+	}}
+	typ, model := TagDevice(r)
+	if typ != iot.TypeCamera || model != "Avtech AVN801" {
+		t.Fatalf("tag: %q %q", typ, model)
+	}
+}
+
+func TestTagDeviceMQTTTopic(t *testing.T) {
+	r := &scan.Result{Protocol: iot.ProtoMQTT, Meta: map[string]string{
+		"mqtt.topics": "octoPrint/temperature/bed,$SYS/broker/version",
+	}}
+	typ, model := TagDevice(r)
+	if typ != iot.TypePrinter3D || model != "Octoprint" {
+		t.Fatalf("tag: %q %q", typ, model)
+	}
+}
+
+func TestXMPPAndAMQPNeverTagged(t *testing.T) {
+	for _, p := range []iot.Protocol{iot.ProtoXMPP, iot.ProtoAMQP} {
+		r := &scan.Result{Protocol: p, Banner: []byte("RabbitMQ jabber whatever"),
+			Meta: map[string]string{}}
+		if typ, _ := TagDevice(r); typ != "" {
+			t.Errorf("%s tagged as %q", p, typ)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	findings := []Finding{
+		{Result: &scan.Result{Protocol: iot.ProtoTelnet}, Misconfig: iot.TelnetNoAuthRoot, DeviceType: iot.TypeCamera},
+		{Result: &scan.Result{Protocol: iot.ProtoTelnet}, Misconfig: iot.MisconfigNone},
+		{Result: &scan.Result{Protocol: iot.ProtoCoAP}, Misconfig: iot.CoAPReflector},
+	}
+	s := Summarize(findings)
+	if s.ExposedByProtocol[iot.ProtoTelnet] != 2 || s.TotalMisconfigured != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.MisconfigByClass[iot.TelnetNoAuthRoot] != 1 {
+		t.Fatal("class count wrong")
+	}
+	if s.TypeByProtocol[iot.ProtoTelnet][iot.TypeCamera] != 1 {
+		t.Fatal("type count wrong")
+	}
+}

@@ -1,0 +1,284 @@
+// Package correlate implements the paper's cross-dataset analyses: joining
+// the misconfigured-device scan results with honeypot attack sources and
+// telescope traffic (Section 5.3's 11,118 attacking devices), the Censys
+// IoT-tag extension, the GreyNoise/VirusTotal validation (Section 4.3.3,
+// Figures 5/6) and the reverse-lookup study of attack domains.
+package correlate
+
+import (
+	"sort"
+
+	"openhire/internal/geo"
+	"openhire/internal/honeypot"
+	"openhire/internal/intel"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+	"openhire/internal/telescope"
+)
+
+// IPSet is a set of addresses.
+type IPSet map[netsim.IPv4]struct{}
+
+// NewIPSet builds a set from a slice.
+func NewIPSet(ips []netsim.IPv4) IPSet {
+	s := make(IPSet, len(ips))
+	for _, ip := range ips {
+		s[ip] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s IPSet) Contains(ip netsim.IPv4) bool {
+	_, ok := s[ip]
+	return ok
+}
+
+// Sorted returns the members in ascending order.
+func (s IPSet) Sorted() []netsim.IPv4 {
+	out := make([]netsim.IPv4, 0, len(s))
+	for ip := range s {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Intersection is the Section 5.3 headline result: misconfigured devices
+// observed attacking.
+type Intersection struct {
+	// HoneypotOnly attacked only the honeypots (paper: 1,147).
+	HoneypotOnly []netsim.IPv4
+	// TelescopeOnly appeared only at the telescope (paper: 1,274).
+	TelescopeOnly []netsim.IPv4
+	// Both attacked honeypots and the telescope (paper: 8,697).
+	Both []netsim.IPv4
+}
+
+// Total is the headline count (paper: 11,118).
+func (x Intersection) Total() int {
+	return len(x.HoneypotOnly) + len(x.TelescopeOnly) + len(x.Both)
+}
+
+// All returns every intersecting address.
+func (x Intersection) All() []netsim.IPv4 {
+	out := make([]netsim.IPv4, 0, x.Total())
+	out = append(out, x.HoneypotOnly...)
+	out = append(out, x.TelescopeOnly...)
+	out = append(out, x.Both...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Intersect computes which misconfigured devices appear as attack sources.
+func Intersect(misconfigured IPSet, honeypotSources IPSet, telescopeSources IPSet) Intersection {
+	var x Intersection
+	for ip := range misconfigured {
+		hp := honeypotSources.Contains(ip)
+		tel := telescopeSources.Contains(ip)
+		switch {
+		case hp && tel:
+			x.Both = append(x.Both, ip)
+		case hp:
+			x.HoneypotOnly = append(x.HoneypotOnly, ip)
+		case tel:
+			x.TelescopeOnly = append(x.TelescopeOnly, ip)
+		}
+	}
+	sortIPs(x.HoneypotOnly)
+	sortIPs(x.TelescopeOnly)
+	sortIPs(x.Both)
+	return x
+}
+
+func sortIPs(ips []netsim.IPv4) {
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+}
+
+// HoneypotSources extracts unique attack sources from honeypot events.
+func HoneypotSources(events []honeypot.Event) IPSet {
+	s := make(IPSet)
+	for _, ev := range events {
+		s[ev.Src] = struct{}{}
+	}
+	return s
+}
+
+// TelescopeSources extracts unique sources from telescope flows.
+func TelescopeSources(flows []*telescope.FlowTuple) IPSet {
+	s := make(IPSet)
+	for _, ft := range flows {
+		s[ft.SrcIP] = struct{}{}
+	}
+	return s
+}
+
+// CensysExtension is the Section 5.3 extension: attack sources that are not
+// in our misconfigured set but carry a Censys "iot" tag (paper: 1,671 more
+// devices, mostly cameras, routers and IP phones).
+type CensysExtension struct {
+	HoneypotOnly  []netsim.IPv4
+	TelescopeOnly []netsim.IPv4
+	Both          []netsim.IPv4
+	// TypeCounts tallies the tagged device types.
+	TypeCounts map[string]int
+}
+
+// Total is the number of additionally identified IoT attackers.
+func (c CensysExtension) Total() int {
+	return len(c.HoneypotOnly) + len(c.TelescopeOnly) + len(c.Both)
+}
+
+// ExtendWithCensys checks remaining attack sources against the Censys IoT
+// tags.
+func ExtendWithCensys(store *intel.Censys, alreadyFound IPSet,
+	honeypotSources, telescopeSources IPSet) CensysExtension {
+	ext := CensysExtension{TypeCounts: make(map[string]int)}
+	consider := func(ip netsim.IPv4, hp, tel bool) {
+		if alreadyFound.Contains(ip) {
+			return
+		}
+		tag, ok := store.IoTTag(ip)
+		if !ok {
+			return
+		}
+		ext.TypeCounts[tag]++
+		switch {
+		case hp && tel:
+			ext.Both = append(ext.Both, ip)
+		case hp:
+			ext.HoneypotOnly = append(ext.HoneypotOnly, ip)
+		default:
+			ext.TelescopeOnly = append(ext.TelescopeOnly, ip)
+		}
+	}
+	for ip := range honeypotSources {
+		consider(ip, true, telescopeSources.Contains(ip))
+	}
+	for ip := range telescopeSources {
+		if !honeypotSources.Contains(ip) {
+			consider(ip, false, true)
+		}
+	}
+	sortIPs(ext.HoneypotOnly)
+	sortIPs(ext.TelescopeOnly)
+	sortIPs(ext.Both)
+	return ext
+}
+
+// ScanningServiceComparison is the Figure 5 data: how many sources our
+// method classifies as scanning services versus how many GreyNoise knows.
+type ScanningServiceComparison struct {
+	Ours         int
+	GreyNoise    int
+	MissedByGN   int // sources we identified that GreyNoise did not (paper: 2,023)
+	AgreedBenign int
+}
+
+// CompareScanningServices joins our reverse-lookup classification with the
+// GreyNoise store over the given sources.
+func CompareScanningServices(sources []netsim.IPv4, rdns *geo.RDNS, gn *intel.GreyNoise) ScanningServiceComparison {
+	var cmp ScanningServiceComparison
+	for _, ip := range sources {
+		_, kind := rdns.Lookup(ip)
+		ours := kind == geo.RDNSScanerService
+		theirs := gn.Lookup(ip) == intel.LabelBenign
+		if ours {
+			cmp.Ours++
+			if theirs {
+				cmp.AgreedBenign++
+			} else {
+				cmp.MissedByGN++
+			}
+		}
+		if theirs {
+			cmp.GreyNoise++
+		}
+	}
+	return cmp
+}
+
+// MaliciousShare is one Figure 6 bar: the fraction of a protocol's sources
+// VirusTotal flags as malicious, split by origin dataset (H = honeypot,
+// T = telescope).
+type MaliciousShare struct {
+	Protocol iot.Protocol
+	Origin   string // "H" or "T"
+	Sources  int
+	Flagged  int
+}
+
+// Share returns the flagged fraction.
+func (m MaliciousShare) Share() float64 {
+	if m.Sources == 0 {
+		return 0
+	}
+	return float64(m.Flagged) / float64(m.Sources)
+}
+
+// VirusTotalShares computes Figure 6: per protocol and origin, the share of
+// unique sources at least one vendor flags.
+func VirusTotalShares(events []honeypot.Event, flows []*telescope.FlowTuple,
+	vt *intel.VirusTotal) []MaliciousShare {
+	type key struct {
+		proto  iot.Protocol
+		origin string
+	}
+	uniq := make(map[key]IPSet)
+	add := func(k key, ip netsim.IPv4) {
+		if uniq[k] == nil {
+			uniq[k] = make(IPSet)
+		}
+		uniq[k][ip] = struct{}{}
+	}
+	for _, ev := range events {
+		add(key{ev.Protocol, "H"}, ev.Src)
+	}
+	for _, ft := range flows {
+		if proto, ok := telescope.ProtocolOfPort(ft.DstPort); ok {
+			add(key{proto, "T"}, ft.SrcIP)
+		}
+	}
+	out := make([]MaliciousShare, 0, len(uniq))
+	for k, ips := range uniq {
+		ms := MaliciousShare{Protocol: k.proto, Origin: k.origin, Sources: len(ips)}
+		for ip := range ips {
+			if vt.IsMalicious(ip) {
+				ms.Flagged++
+			}
+		}
+		out = append(out, ms)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Protocol != out[j].Protocol {
+			return out[i].Protocol < out[j].Protocol
+		}
+		return out[i].Origin < out[j].Origin
+	})
+	return out
+}
+
+// DomainFindings is the Section 5.3 reverse-lookup study of attack sources.
+type DomainFindings struct {
+	RegisteredDomains int // paper: 797
+	WithWebpage       int // paper: 427
+	TorExits          int // paper: 151 (Section 5.1.6)
+}
+
+// ReverseLookupStudy resolves every source and tallies domain findings.
+func ReverseLookupStudy(sources []netsim.IPv4, rdns *geo.RDNS) DomainFindings {
+	var f DomainFindings
+	for _, ip := range sources {
+		_, kind := rdns.Lookup(ip)
+		switch kind {
+		case geo.RDNSDomain:
+			f.RegisteredDomains++
+			if rdns.HasWebpage(ip) {
+				f.WithWebpage++
+			}
+		case geo.RDNSTorRelay:
+			f.TorExits++
+		}
+	}
+	return f
+}

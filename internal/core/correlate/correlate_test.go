@@ -1,0 +1,180 @@
+package correlate
+
+import (
+	"testing"
+
+	"openhire/internal/geo"
+	"openhire/internal/honeypot"
+	"openhire/internal/intel"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+	"openhire/internal/telescope"
+)
+
+func ips(vals ...uint32) []netsim.IPv4 {
+	out := make([]netsim.IPv4, len(vals))
+	for i, v := range vals {
+		out[i] = netsim.IPv4(v)
+	}
+	return out
+}
+
+func TestIntersectSplits(t *testing.T) {
+	mis := NewIPSet(ips(1, 2, 3, 4, 5))
+	hp := NewIPSet(ips(1, 3, 100))
+	tel := NewIPSet(ips(2, 3, 200))
+	x := Intersect(mis, hp, tel)
+	if len(x.HoneypotOnly) != 1 || x.HoneypotOnly[0] != 1 {
+		t.Fatalf("hp-only %v", x.HoneypotOnly)
+	}
+	if len(x.TelescopeOnly) != 1 || x.TelescopeOnly[0] != 2 {
+		t.Fatalf("tel-only %v", x.TelescopeOnly)
+	}
+	if len(x.Both) != 1 || x.Both[0] != 3 {
+		t.Fatalf("both %v", x.Both)
+	}
+	if x.Total() != 3 || len(x.All()) != 3 {
+		t.Fatalf("total %d", x.Total())
+	}
+}
+
+func TestIntersectIgnoresNonMisconfigured(t *testing.T) {
+	x := Intersect(NewIPSet(nil), NewIPSet(ips(1)), NewIPSet(ips(1)))
+	if x.Total() != 0 {
+		t.Fatal("attackers outside the misconfigured set counted")
+	}
+}
+
+func TestSourceExtraction(t *testing.T) {
+	events := []honeypot.Event{{Src: 5}, {Src: 5}, {Src: 6}}
+	hs := HoneypotSources(events)
+	if len(hs) != 2 || !hs.Contains(5) {
+		t.Fatalf("honeypot sources %v", hs)
+	}
+	flows := []*telescope.FlowTuple{{SrcIP: 9}, {SrcIP: 9}, {SrcIP: 10}}
+	ts := TelescopeSources(flows)
+	if len(ts) != 2 || !ts.Contains(10) {
+		t.Fatalf("telescope sources %v", ts)
+	}
+}
+
+func TestExtendWithCensys(t *testing.T) {
+	store := intel.NewCensys()
+	store.Tag(50, "camera")
+	store.Tag(51, "router")
+	store.Tag(52, "ip phone")
+	store.Tag(53, "camera") // already in misconfigured set: skipped
+
+	already := NewIPSet(ips(53))
+	hp := NewIPSet(ips(50, 52, 53, 99)) // 99 untagged
+	tel := NewIPSet(ips(51, 52, 53))
+	ext := ExtendWithCensys(store, already, hp, tel)
+	if ext.Total() != 3 {
+		t.Fatalf("total %d", ext.Total())
+	}
+	if len(ext.HoneypotOnly) != 1 || ext.HoneypotOnly[0] != 50 {
+		t.Fatalf("hp-only %v", ext.HoneypotOnly)
+	}
+	if len(ext.TelescopeOnly) != 1 || ext.TelescopeOnly[0] != 51 {
+		t.Fatalf("tel-only %v", ext.TelescopeOnly)
+	}
+	if len(ext.Both) != 1 || ext.Both[0] != 52 {
+		t.Fatalf("both %v", ext.Both)
+	}
+	if ext.TypeCounts["camera"] != 1 || ext.TypeCounts["router"] != 1 {
+		t.Fatalf("type counts %v", ext.TypeCounts)
+	}
+}
+
+func TestCompareScanningServices(t *testing.T) {
+	rdns := geo.NewRDNS(1)
+	gn := intel.NewGreyNoise(1, 1.0) // full coverage for determinism here
+	var sources []netsim.IPv4
+	// 10 scanning-service IPs, 6 registered with GreyNoise.
+	for i := uint32(0); i < 10; i++ {
+		ip := netsim.IPv4(0x50000000 + i)
+		rdns.RegisterService(ip, "shodan.io")
+		if i < 6 {
+			gn.RegisterBenign(ip)
+		}
+		sources = append(sources, ip)
+	}
+	// 5 plain sources.
+	for i := uint32(0); i < 5; i++ {
+		sources = append(sources, netsim.IPv4(0x60000000+i))
+	}
+	cmp := CompareScanningServices(sources, rdns, gn)
+	if cmp.Ours != 10 {
+		t.Fatalf("ours %d", cmp.Ours)
+	}
+	if cmp.GreyNoise != 6 || cmp.AgreedBenign != 6 {
+		t.Fatalf("gn %d agreed %d", cmp.GreyNoise, cmp.AgreedBenign)
+	}
+	if cmp.MissedByGN != 4 {
+		t.Fatalf("missed %d", cmp.MissedByGN)
+	}
+}
+
+func TestVirusTotalShares(t *testing.T) {
+	vt := intel.NewVirusTotal()
+	vt.FlagIP(1, 3)
+	events := []honeypot.Event{
+		{Protocol: iot.ProtoSMB, Src: 1},
+		{Protocol: iot.ProtoSMB, Src: 2},
+		{Protocol: iot.ProtoTelnet, Src: 1},
+	}
+	flows := []*telescope.FlowTuple{
+		{SrcIP: 1, DstPort: 23},
+		{SrcIP: 3, DstPort: 23},
+		{SrcIP: 4, DstPort: 99}, // unbucketed port: ignored
+	}
+	shares := VirusTotalShares(events, flows, vt)
+	byKey := make(map[string]MaliciousShare)
+	for _, s := range shares {
+		byKey[string(s.Protocol)+s.Origin] = s
+	}
+	if s := byKey["smbH"]; s.Sources != 2 || s.Flagged != 1 || s.Share() != 0.5 {
+		t.Fatalf("smb H %+v", s)
+	}
+	if s := byKey["telnetT"]; s.Sources != 2 || s.Flagged != 1 {
+		t.Fatalf("telnet T %+v", s)
+	}
+	if _, ok := byKey["telnetH"]; !ok {
+		t.Fatal("telnet H missing")
+	}
+}
+
+func TestMaliciousShareZeroSources(t *testing.T) {
+	if (MaliciousShare{}).Share() != 0 {
+		t.Fatal("zero-source share")
+	}
+}
+
+func TestReverseLookupStudy(t *testing.T) {
+	rdns := geo.NewRDNS(2)
+	var sources []netsim.IPv4
+	tor := netsim.MustParseIPv4("171.25.193.9")
+	rdns.RegisterTorRelay(tor)
+	sources = append(sources, tor)
+	for i := uint32(0); i < 5000; i++ {
+		sources = append(sources, netsim.IPv4(0x70000000+i*13))
+	}
+	f := ReverseLookupStudy(sources, rdns)
+	if f.TorExits != 1 {
+		t.Fatalf("tor %d", f.TorExits)
+	}
+	if f.RegisteredDomains == 0 {
+		t.Fatal("no domains found")
+	}
+	if f.WithWebpage == 0 || f.WithWebpage >= f.RegisteredDomains {
+		t.Fatalf("webpages %d of %d domains", f.WithWebpage, f.RegisteredDomains)
+	}
+}
+
+func TestIPSetSorted(t *testing.T) {
+	s := NewIPSet(ips(5, 1, 3))
+	got := s.Sorted()
+	if len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Fatalf("sorted %v", got)
+	}
+}

@@ -1,0 +1,117 @@
+// Package fingerprint implements the paper's honeypot-detection step
+// (Section 3.2): banner-signature matching against the static Telnet
+// banners of known open-source honeypot families (Table 6), used to filter
+// honeypots out of the misconfigured-device results so they do not poison
+// the measurement (Section 4.2 — 8,192 filtered instances).
+package fingerprint
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+
+	"openhire/internal/core/scan"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+// Signature matches one honeypot family.
+type Signature struct {
+	Family string
+	// Marker is the static byte sequence that identifies the family in a
+	// raw Telnet banner. Raw bytes, because negotiation quirks (Cowrie's
+	// \xff\xfd\x1f) are part of the fingerprint.
+	Marker []byte
+}
+
+// Signatures reproduces the Table 6 signature database. Order matters:
+// more specific markers come first so that, e.g., the Telnet-IoT-Honeypot
+// banner is not claimed by a generic login-prompt match.
+var Signatures = []Signature{
+	{Family: "Telnet IoT Honeypot", Marker: []byte("EmbyLinux 3.13.0-24-generic")},
+	{Family: "HoneyPy", Marker: []byte("Debian GNU/Linux 7\r\nLogin:")},
+	{Family: "MTPot", Marker: []byte("\xff\xfb\x01\xff\xfd\x18\r\nlogin:")},
+	{Family: "Conpot", Marker: []byte("Connected to [00:13:EA:00:00:0")},
+	{Family: "Kippo", Marker: []byte("SSH-2.0-OpenSSH_5.1p1 Debian-5")},
+	{Family: "Kako", Marker: []byte("BusyBox v1.19.3 (2013-11-01 10:10:26 CST)")},
+	{Family: "Hontel", Marker: []byte("BusyBox v1.18.4 (2012-04-17 18:58:31 CST)")},
+	{Family: "Anglerfish", Marker: []byte("[root@LocalHost tmp]$")},
+	// Cowrie last: its marker is a bare negotiation + login prompt that
+	// several other families embed in longer banners.
+	{Family: "Cowrie", Marker: []byte("\xff\xfd\x1flogin:")},
+}
+
+// Match returns the honeypot family a raw Telnet banner belongs to, or ""
+// if it matches no known signature.
+func Match(rawBanner []byte) string {
+	for _, sig := range Signatures {
+		if bytes.Contains(rawBanner, sig.Marker) {
+			return sig.Family
+		}
+	}
+	return ""
+}
+
+// MatchResult inspects a scan result (Telnet banners only; the paper
+// restricts fingerprinting to Telnet, Section 3.2).
+func MatchResult(r *scan.Result) string {
+	if r.Protocol != iot.ProtoTelnet {
+		return ""
+	}
+	return Match(r.Banner)
+}
+
+// Detection is one identified honeypot instance.
+type Detection struct {
+	IP     netsim.IPv4
+	Family string
+}
+
+// Filter splits scan results into genuine hosts and detected honeypots.
+// It is the sanitization step the paper argues Internet measurement studies
+// must perform before reporting misconfigured-device counts.
+func Filter(results []*scan.Result) (genuine []*scan.Result, honeypots []Detection) {
+	for _, r := range results {
+		if family := MatchResult(r); family != "" {
+			honeypots = append(honeypots, Detection{IP: r.IP, Family: family})
+			continue
+		}
+		genuine = append(genuine, r)
+	}
+	return genuine, honeypots
+}
+
+// CountByFamily tallies detections per family, sorted by descending count
+// then name, matching Table 6's presentation.
+type FamilyCount struct {
+	Family string
+	Count  int
+}
+
+// CountByFamily aggregates detections.
+func CountByFamily(dets []Detection) []FamilyCount {
+	m := make(map[string]int)
+	for _, d := range dets {
+		m[d.Family]++
+	}
+	out := make([]FamilyCount, 0, len(m))
+	for f, n := range m {
+		out = append(out, FamilyCount{Family: f, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return strings.Compare(out[i].Family, out[j].Family) < 0
+	})
+	return out
+}
+
+// PaperCounts returns Table 6's detected-instance counts for comparison.
+func PaperCounts() map[string]int {
+	out := make(map[string]int, len(iot.HoneypotFamilies))
+	for _, f := range iot.HoneypotFamilies {
+		out[f.Name] = f.PaperCount
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Package report renders the study's tables and figure data as aligned
+// ASCII tables and CSV series, the output format of cmd/openhire-report and
+// the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Table is an aligned text table under construction.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch val := v.(type) {
+		case int:
+			row[i] = Comma(val)
+		case uint64:
+			row[i] = Comma(int(val))
+		case float64:
+			row[i] = strconv.FormatFloat(val, 'f', 2, 64)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// RowCount returns the number of data rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Comma formats an integer with thousands separators, as the paper's tables
+// print counts.
+func Comma(n int) string {
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := strconv.Itoa(n)
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
+}
+
+// Percent renders a fraction as "12.3%".
+func Percent(f float64) string {
+	return strconv.FormatFloat(f*100, 'f', 1, 64) + "%"
+}
+
+// Series is a named numeric sequence (figure data).
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// WriteCSV renders one or more series sharing labels as CSV.
+func WriteCSV(w io.Writer, labels []string, series ...Series) error {
+	var b strings.Builder
+	b.WriteString("label")
+	for _, s := range series {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteString("\n")
+	for i, label := range labels {
+		b.WriteString(label)
+		for _, s := range series {
+			b.WriteString(",")
+			if i < len(s.Values) {
+				b.WriteString(strconv.FormatFloat(s.Values[i], 'g', -1, 64))
+			}
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Bar renders a proportional text bar for quick terminal figures.
+func Bar(f float64, width int) string {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	n := int(f*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// SortedKeys returns map keys sorted, for deterministic rendering.
+func SortedKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Comparison is a paper-vs-measured line for EXPERIMENTS.md.
+type Comparison struct {
+	Metric   string
+	Paper    float64
+	Measured float64
+	// Scaled is the measured value scaled to paper dimensions (0 = omit).
+	Scaled float64
+	Note   string
+}
+
+// RenderComparisons writes a paper-vs-measured table.
+func RenderComparisons(w io.Writer, title string, comps []Comparison) error {
+	t := NewTable(title, "metric", "paper", "measured", "scaled", "note")
+	for _, c := range comps {
+		scaled := ""
+		if c.Scaled != 0 {
+			scaled = strconv.FormatFloat(c.Scaled, 'f', 0, 64)
+		}
+		t.AddRow(c.Metric, strconv.FormatFloat(c.Paper, 'f', -1, 64),
+			strconv.FormatFloat(c.Measured, 'f', -1, 64), scaled, c.Note)
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tbl := NewTable("Table X", "Protocol", "Count")
+	tbl.AddRow("telnet", 7096465)
+	tbl.AddRow("amqp", 34542)
+	out := tbl.String()
+	if !strings.Contains(out, "Table X") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "7,096,465") {
+		t.Fatalf("comma formatting missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if tbl.RowCount() != 2 {
+		t.Fatal("row count")
+	}
+}
+
+func TestComma(t *testing.T) {
+	cases := map[int]string{
+		0: "0", 5: "5", 999: "999", 1000: "1,000", 1832893: "1,832,893",
+		-4500: "-4,500",
+	}
+	for in, want := range cases {
+		if got := Comma(in); got != want {
+			t.Errorf("Comma(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.27) != "27.0%" {
+		t.Fatal(Percent(0.27))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"day1", "day2"},
+		Series{Name: "attacks", Values: []float64{10, 20}},
+		Series{Name: "scans", Values: []float64{1, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "label,attacks,scans\nday1,10,1\nday2,20,2\n"
+	if b.String() != want {
+		t.Fatalf("csv:\n%s", b.String())
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0.5, 10) != "#####....." {
+		t.Fatal(Bar(0.5, 10))
+	}
+	if Bar(-1, 4) != "...." || Bar(2, 4) != "####" {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("keys %v", got)
+	}
+}
+
+func TestRenderComparisons(t *testing.T) {
+	var b strings.Builder
+	err := RenderComparisons(&b, "exp", []Comparison{
+		{Metric: "total", Paper: 1832893, Measured: 1790, Scaled: 1833000, Note: "/10 universe"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1832893") || !strings.Contains(b.String(), "/10 universe") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}

@@ -1,0 +1,53 @@
+package scan
+
+import "openhire/internal/netsim"
+
+// DefaultBlocklist reproduces the structure of ZMap's shipped blocklist:
+// reserved, private, multicast and special-purpose ranges that must never be
+// probed (Section 3.1.1 — "the scans followed the default blocklist provided
+// by ZMap").
+func DefaultBlocklist() *netsim.PrefixSet {
+	return netsim.NewPrefixSet(
+		netsim.MustParsePrefix("0.0.0.0/8"),       // "this" network
+		netsim.MustParsePrefix("10.0.0.0/8"),      // RFC 1918
+		netsim.MustParsePrefix("100.64.0.0/10"),   // CGN shared space
+		netsim.MustParsePrefix("127.0.0.0/8"),     // loopback
+		netsim.MustParsePrefix("169.254.0.0/16"),  // link local
+		netsim.MustParsePrefix("172.16.0.0/12"),   // RFC 1918
+		netsim.MustParsePrefix("192.0.0.0/24"),    // IETF protocol assignments
+		netsim.MustParsePrefix("192.0.2.0/24"),    // TEST-NET-1
+		netsim.MustParsePrefix("192.88.99.0/24"),  // 6to4 relay anycast
+		netsim.MustParsePrefix("192.168.0.0/16"),  // RFC 1918
+		netsim.MustParsePrefix("198.18.0.0/15"),   // benchmarking
+		netsim.MustParsePrefix("198.51.100.0/24"), // TEST-NET-2
+		netsim.MustParsePrefix("203.0.113.0/24"),  // TEST-NET-3
+		netsim.MustParsePrefix("224.0.0.0/4"),     // multicast
+		netsim.MustParsePrefix("240.0.0.0/4"),     // reserved
+	)
+}
+
+// EuropeBlocklist models the FireHOL-project European exclusion the paper
+// layered on top of the default list for compliance reasons (Appendix A.3).
+// In the simulated universe, a fixed set of /12 blocks stands in for the
+// European registries' allocations; the experiment harness accounts for the
+// excluded volume when scaling counts.
+func EuropeBlocklist() *netsim.PrefixSet {
+	return netsim.NewPrefixSet(
+		netsim.MustParsePrefix("62.0.0.0/12"),
+		netsim.MustParsePrefix("80.16.0.0/12"),
+		netsim.MustParsePrefix("151.0.0.0/12"),
+		netsim.MustParsePrefix("193.32.0.0/12"),
+		netsim.MustParsePrefix("217.64.0.0/12"),
+	)
+}
+
+// CombinedBlocklist merges sets into one.
+func CombinedBlocklist(sets ...*netsim.PrefixSet) *netsim.PrefixSet {
+	out := netsim.NewPrefixSet()
+	for _, s := range sets {
+		for _, p := range s.Prefixes() {
+			out.Add(p)
+		}
+	}
+	return out
+}

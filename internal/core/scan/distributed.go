@@ -1,0 +1,141 @@
+package scan
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+// Vantage is one scanning location in a distributed scan: its own source
+// address and optionally its own blocklist (regional compliance differs per
+// vantage, the situation the paper cites from Wan et al. as motivation for
+// geographically distributed scanners, Section 6).
+type Vantage struct {
+	Source    netsim.IPv4
+	Blocklist *netsim.PrefixSet
+}
+
+// DistributedConfig configures a multi-vantage scan.
+type DistributedConfig struct {
+	Network  *netsim.Network
+	Prefix   netsim.Prefix
+	Seed     uint64
+	Vantages []Vantage
+	// WorkersPerVantage bounds each vantage's concurrency (0 = 32).
+	WorkersPerVantage int
+}
+
+// DistributedResult aggregates a distributed scan.
+type DistributedResult struct {
+	// Results is the merged, per-address-deduplicated result set.
+	Results []*Result
+	// PerVantage counts responsive hosts found by each vantage.
+	PerVantage []int
+	// Stats aggregates probe counts across vantages.
+	Stats Stats
+}
+
+// RunDistributed shards the permutation across the vantages (ZMap's shard
+// mechanism) and runs them concurrently, merging results. Every address is
+// probed by exactly one vantage, so the union equals a single-scanner sweep
+// while wall-clock divides by the vantage count.
+func RunDistributed(ctx context.Context, cfg DistributedConfig, module ProbeModule) DistributedResult {
+	if len(cfg.Vantages) == 0 {
+		return DistributedResult{}
+	}
+	if cfg.WorkersPerVantage == 0 {
+		cfg.WorkersPerVantage = 32
+	}
+	var (
+		mu     sync.Mutex
+		merged = make(map[addrKey]*Result)
+		per    = make([]int, len(cfg.Vantages))
+		stats  Stats
+		wg     sync.WaitGroup
+	)
+	for i, v := range cfg.Vantages {
+		i, v := i, v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewScanner(Config{
+				Network:   cfg.Network,
+				Source:    v.Source,
+				Prefix:    cfg.Prefix,
+				Seed:      cfg.Seed, // same seed: shards partition one permutation
+				Blocklist: v.Blocklist,
+				Workers:   cfg.WorkersPerVantage,
+				Shard:     i,
+				Shards:    len(cfg.Vantages),
+			})
+			st := s.Run(ctx, module, func(r *Result) {
+				mu.Lock()
+				key := addrKey{ip: r.IP, port: r.Port}
+				if _, dup := merged[key]; !dup {
+					merged[key] = r
+				}
+				per[i]++
+				mu.Unlock()
+			})
+			mu.Lock()
+			stats.Probed += st.Probed
+			stats.Responded += st.Responded
+			if st.Elapsed > stats.Elapsed {
+				stats.Elapsed = st.Elapsed // wall-clock = slowest vantage
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	out := DistributedResult{PerVantage: per, Stats: stats}
+	for _, r := range merged {
+		out.Results = append(out.Results, r)
+	}
+	sort.Slice(out.Results, func(i, j int) bool {
+		if out.Results[i].IP != out.Results[j].IP {
+			return out.Results[i].IP < out.Results[j].IP
+		}
+		return out.Results[i].Port < out.Results[j].Port
+	})
+	return out
+}
+
+type addrKey struct {
+	ip   netsim.IPv4
+	port uint16
+}
+
+// CoverageDelta compares two result sets and returns addresses only in a,
+// only in b — the analysis a multi-vantage deployment runs to quantify
+// location-dependent visibility.
+func CoverageDelta(a, b []*Result) (onlyA, onlyB []netsim.IPv4) {
+	inA := make(map[netsim.IPv4]bool)
+	inB := make(map[netsim.IPv4]bool)
+	for _, r := range a {
+		inA[r.IP] = true
+	}
+	for _, r := range b {
+		inB[r.IP] = true
+	}
+	for ip := range inA {
+		if !inB[ip] {
+			onlyA = append(onlyA, ip)
+		}
+	}
+	for ip := range inB {
+		if !inA[ip] {
+			onlyB = append(onlyB, ip)
+		}
+	}
+	sort.Slice(onlyA, func(i, j int) bool { return onlyA[i] < onlyA[j] })
+	sort.Slice(onlyB, func(i, j int) bool { return onlyB[i] < onlyB[j] })
+	return onlyA, onlyB
+}
+
+// ProtocolOf returns the module's protocol; tiny helper for distributed
+// reports.
+func ProtocolOf(m ProbeModule) iot.Protocol { return m.Protocol() }

@@ -1,0 +1,196 @@
+package scan
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+// Result is one responsive host observed by the scan: the raw banner or UDP
+// response plus protocol-specific metadata, stored for classification
+// exactly as the paper stores ZGrab output in its database (Section 3.1.1).
+type Result struct {
+	Time      time.Time
+	IP        netsim.IPv4
+	Port      uint16
+	Protocol  iot.Protocol
+	Transport netsim.Transport
+	// Banner is the raw application-layer bytes for TCP protocols.
+	Banner []byte
+	// Response is the raw datagram for UDP protocols.
+	Response []byte
+	// Meta carries parsed fields ("mqtt.code", "amqp.version",
+	// "xmpp.mechanisms", "upnp.server", ...).
+	Meta map[string]string
+}
+
+// ProbeModule probes one protocol. Implementations are stateless and safe
+// for concurrent use.
+type ProbeModule interface {
+	// Protocol identifies the module.
+	Protocol() iot.Protocol
+	// Ports lists the ports to probe, in order.
+	Ports() []uint16
+	// Probe checks one endpoint and returns a Result if it responded.
+	Probe(ctx context.Context, net *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool)
+}
+
+// Config configures a scan run.
+type Config struct {
+	// Network is the fabric to scan.
+	Network *netsim.Network
+	// Source is the scanning host's address (the paper used a fixed
+	// university address so targets could identify the research scan).
+	Source netsim.IPv4
+	// Prefix is the range to scan.
+	Prefix netsim.Prefix
+	// Seed drives the address permutation.
+	Seed uint64
+	// Blocklist excludes ranges (nil = DefaultBlocklist ∪ EuropeBlocklist).
+	Blocklist *netsim.PrefixSet
+	// Workers is the probe concurrency (0 = 64).
+	Workers int
+	// RatePerSec throttles probes when > 0. The simulation usually runs
+	// unthrottled; the examples demonstrate throttled scans.
+	RatePerSec int
+	// Shard / Shards split the permutation across cooperating scanners.
+	Shard, Shards int
+}
+
+// Stats summarizes one protocol scan.
+type Stats struct {
+	Probed    uint64
+	Blocked   uint64
+	Responded uint64
+	Elapsed   time.Duration
+}
+
+// Scanner runs probe modules over a prefix.
+type Scanner struct {
+	cfg Config
+}
+
+// NewScanner validates cfg and builds a Scanner.
+func NewScanner(cfg Config) *Scanner {
+	if cfg.Workers == 0 {
+		cfg.Workers = 64
+	}
+	if cfg.Blocklist == nil {
+		cfg.Blocklist = CombinedBlocklist(DefaultBlocklist(), EuropeBlocklist())
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	return &Scanner{cfg: cfg}
+}
+
+// Run scans the prefix with one probe module, streaming results to emit.
+// It returns scan statistics.
+func (s *Scanner) Run(ctx context.Context, module ProbeModule, emit func(*Result)) Stats {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	var stats Stats
+	var mu sync.Mutex // guards stats counters updated by workers
+
+	type target struct {
+		ip   netsim.IPv4
+		port uint16
+	}
+	targets := make(chan target, 4*s.cfg.Workers)
+
+	var limiter *rateLimiter
+	if s.cfg.RatePerSec > 0 {
+		limiter = newRateLimiter(s.cfg.RatePerSec)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range targets {
+				if limiter != nil {
+					limiter.wait()
+				}
+				res, ok := module.Probe(ctx, s.cfg.Network, s.cfg.Source,
+					netsim.Endpoint{IP: t.ip, Port: t.port})
+				mu.Lock()
+				stats.Probed++
+				if ok {
+					stats.Responded++
+				}
+				mu.Unlock()
+				if ok && emit != nil {
+					emit(res)
+				}
+			}
+		}()
+	}
+
+	it := NewAddressIterator(s.cfg.Prefix, s.cfg.Seed, s.cfg.Blocklist, s.cfg.Shard, s.cfg.Shards)
+feed:
+	for {
+		ip, ok := it.Next()
+		if !ok {
+			break
+		}
+		for _, port := range module.Ports() {
+			select {
+			case targets <- target{ip: ip, port: port}:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+	}
+	close(targets)
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	return stats
+}
+
+// RunAll scans with every module, returning all results keyed by protocol.
+func (s *Scanner) RunAll(ctx context.Context, modules []ProbeModule) (map[iot.Protocol][]*Result, map[iot.Protocol]Stats) {
+	results := make(map[iot.Protocol][]*Result)
+	stats := make(map[iot.Protocol]Stats)
+	var mu sync.Mutex
+	for _, m := range modules {
+		m := m
+		st := s.Run(ctx, m, func(r *Result) {
+			mu.Lock()
+			results[m.Protocol()] = append(results[m.Protocol()], r)
+			mu.Unlock()
+		})
+		stats[m.Protocol()] = st
+	}
+	return results, stats
+}
+
+// rateLimiter is a simple token bucket over wall time.
+type rateLimiter struct {
+	mu     sync.Mutex
+	next   time.Time
+	period time.Duration
+}
+
+func newRateLimiter(perSec int) *rateLimiter {
+	return &rateLimiter{period: time.Second / time.Duration(perSec), next: time.Now()}
+}
+
+func (r *rateLimiter) wait() {
+	r.mu.Lock()
+	now := time.Now()
+	if r.next.Before(now) {
+		r.next = now
+	}
+	sleep := r.next.Sub(now)
+	r.next = r.next.Add(r.period)
+	r.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}

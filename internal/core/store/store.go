@@ -1,0 +1,190 @@
+// Package store is the scan-result database of the pipeline: the paper
+// stores banner/response records from its scans "in a database for further
+// analysis" (Section 3.1.1) and correlates them with open datasets. This
+// implementation is an indexed in-memory store with JSON-Lines persistence,
+// so scan campaigns can be saved, reloaded and re-analyzed without
+// re-scanning.
+package store
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"openhire/internal/core/scan"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+// Store is an indexed collection of scan results. Safe for concurrent use;
+// the scanner's emit callback can insert directly.
+type Store struct {
+	mu      sync.RWMutex
+	results []*scan.Result
+	byProto map[iot.Protocol][]int // indexes into results
+	byIP    map[netsim.IPv4][]int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		byProto: make(map[iot.Protocol][]int),
+		byIP:    make(map[netsim.IPv4][]int),
+	}
+}
+
+// Insert adds a result.
+func (s *Store) Insert(r *scan.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.results)
+	s.results = append(s.results, r)
+	s.byProto[r.Protocol] = append(s.byProto[r.Protocol], idx)
+	s.byIP[r.IP] = append(s.byIP[r.IP], idx)
+}
+
+// Len returns the record count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.results)
+}
+
+// ByProtocol returns the records for one protocol, in insertion order.
+func (s *Store) ByProtocol(p iot.Protocol) []*scan.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*scan.Result, 0, len(s.byProto[p]))
+	for _, i := range s.byProto[p] {
+		out = append(out, s.results[i])
+	}
+	return out
+}
+
+// ByIP returns every record observed for an address (a host may answer on
+// several protocols).
+func (s *Store) ByIP(ip netsim.IPv4) []*scan.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*scan.Result, 0, len(s.byIP[ip]))
+	for _, i := range s.byIP[ip] {
+		out = append(out, s.results[i])
+	}
+	return out
+}
+
+// UniqueIPs returns the distinct addresses in the store, sorted.
+func (s *Store) UniqueIPs() []netsim.IPv4 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]netsim.IPv4, 0, len(s.byIP))
+	for ip := range s.byIP {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Select returns records matching the predicate, in insertion order.
+func (s *Store) Select(pred func(*scan.Result) bool) []*scan.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*scan.Result
+	for _, r := range s.results {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Protocols lists protocols present, sorted.
+func (s *Store) Protocols() []iot.Protocol {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]iot.Protocol, 0, len(s.byProto))
+	for p := range s.byProto {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// recordJSON is the persisted form. Banner/Response are base64: raw banners
+// carry Telnet IAC bytes that are not valid UTF-8.
+type recordJSON struct {
+	Time     time.Time         `json:"time"`
+	IP       string            `json:"ip"`
+	Port     uint16            `json:"port"`
+	Protocol string            `json:"protocol"`
+	UDP      bool              `json:"udp,omitempty"`
+	Banner   string            `json:"banner,omitempty"`
+	Response string            `json:"response,omitempty"`
+	Meta     map[string]string `json:"meta,omitempty"`
+}
+
+// Save writes the store as JSON Lines.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range s.results {
+		j := recordJSON{
+			Time: r.Time.UTC(), IP: r.IP.String(), Port: r.Port,
+			Protocol: string(r.Protocol), UDP: r.Transport == netsim.UDP,
+			Meta: r.Meta,
+		}
+		if len(r.Banner) > 0 {
+			j.Banner = base64.StdEncoding.EncodeToString(r.Banner)
+		}
+		if len(r.Response) > 0 {
+			j.Response = base64.StdEncoding.EncodeToString(r.Response)
+		}
+		if err := enc.Encode(j); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads JSON Lines into a new store.
+func Load(r io.Reader) (*Store, error) {
+	s := New()
+	dec := json.NewDecoder(r)
+	for {
+		var j recordJSON
+		if err := dec.Decode(&j); err == io.EOF {
+			return s, nil
+		} else if err != nil {
+			return s, err
+		}
+		ip, err := netsim.ParseIPv4(j.IP)
+		if err != nil {
+			return s, fmt.Errorf("store: bad ip: %w", err)
+		}
+		rec := &scan.Result{
+			Time: j.Time, IP: ip, Port: j.Port,
+			Protocol: iot.Protocol(j.Protocol), Meta: j.Meta,
+		}
+		if j.UDP {
+			rec.Transport = netsim.UDP
+		}
+		if j.Banner != "" {
+			if rec.Banner, err = base64.StdEncoding.DecodeString(j.Banner); err != nil {
+				return s, fmt.Errorf("store: bad banner: %w", err)
+			}
+		}
+		if j.Response != "" {
+			if rec.Response, err = base64.StdEncoding.DecodeString(j.Response); err != nil {
+				return s, fmt.Errorf("store: bad response: %w", err)
+			}
+		}
+		s.Insert(rec)
+	}
+}

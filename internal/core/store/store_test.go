@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"openhire/internal/core/scan"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+func sampleResults() []*scan.Result {
+	base := netsim.ExperimentStart
+	return []*scan.Result{
+		{Time: base, IP: netsim.MustParseIPv4("100.0.0.1"), Port: 23,
+			Protocol: iot.ProtoTelnet, Transport: netsim.TCP,
+			Banner: []byte{0xff, 0xfb, 0x01, 'l', 'o', 'g', 'i', 'n', ':'},
+			Meta:   map[string]string{"telnet.text": "login:"}},
+		{Time: base, IP: netsim.MustParseIPv4("100.0.0.1"), Port: 1883,
+			Protocol: iot.ProtoMQTT, Transport: netsim.TCP,
+			Banner: []byte("MQTT Connection Code:0"),
+			Meta:   map[string]string{"mqtt.code": "0"}},
+		{Time: base.Add(time.Minute), IP: netsim.MustParseIPv4("100.0.0.2"), Port: 5683,
+			Protocol: iot.ProtoCoAP, Transport: netsim.UDP,
+			Response: []byte{0x60, 0x45, 0, 1},
+			Meta:     map[string]string{"coap.disclosed": "true"}},
+	}
+}
+
+func fill(s *Store) {
+	for _, r := range sampleResults() {
+		s.Insert(r)
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	s := New()
+	fill(s)
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if got := s.ByProtocol(iot.ProtoTelnet); len(got) != 1 || got[0].Port != 23 {
+		t.Fatalf("telnet %+v", got)
+	}
+	multi := s.ByIP(netsim.MustParseIPv4("100.0.0.1"))
+	if len(multi) != 2 {
+		t.Fatalf("multi-protocol host returned %d records", len(multi))
+	}
+	ips := s.UniqueIPs()
+	if len(ips) != 2 || ips[0] != netsim.MustParseIPv4("100.0.0.1") {
+		t.Fatalf("unique %v", ips)
+	}
+	protos := s.Protocols()
+	if len(protos) != 3 {
+		t.Fatalf("protocols %v", protos)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	s := New()
+	fill(s)
+	open := s.Select(func(r *scan.Result) bool { return r.Meta["mqtt.code"] == "0" })
+	if len(open) != 1 || open[0].Protocol != iot.ProtoMQTT {
+		t.Fatalf("select %+v", open)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	fill(s)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("loaded %d, want %d", loaded.Len(), s.Len())
+	}
+	// Raw IAC banner bytes survive.
+	got := loaded.ByProtocol(iot.ProtoTelnet)[0]
+	want := sampleResults()[0]
+	if !bytes.Equal(got.Banner, want.Banner) {
+		t.Fatalf("banner %v != %v", got.Banner, want.Banner)
+	}
+	if got.Meta["telnet.text"] != "login:" {
+		t.Fatalf("meta %v", got.Meta)
+	}
+	coap := loaded.ByProtocol(iot.ProtoCoAP)[0]
+	if coap.Transport != netsim.UDP || !bytes.Equal(coap.Response, sampleResults()[2].Response) {
+		t.Fatalf("coap %+v", coap)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"ip":"bogus"}`)); err == nil {
+		t.Fatal("bad ip loaded")
+	}
+	if _, err := Load(strings.NewReader(`{"ip":"1.2.3.4","banner":"%%"}`)); err == nil {
+		t.Fatal("bad banner loaded")
+	}
+	if _, err := Load(strings.NewReader(`garbage`)); err == nil {
+		t.Fatal("non-JSON loaded")
+	}
+}
+
+func TestConcurrentInsert(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Insert(&scan.Result{
+					IP: netsim.IPv4(i*1000 + j), Protocol: iot.ProtoTelnet,
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 3200 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if len(s.ByProtocol(iot.ProtoTelnet)) != 3200 {
+		t.Fatal("index incomplete")
+	}
+}
+
+func TestEmptyStoreRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil || loaded.Len() != 0 {
+		t.Fatalf("empty: %v %v", loaded.Len(), err)
+	}
+}

@@ -1,0 +1,131 @@
+package datasets
+
+import (
+	"testing"
+
+	"openhire/internal/intel"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+func testUniverse() *iot.Universe {
+	return iot.NewUniverse(iot.UniverseConfig{
+		Seed:         21,
+		Prefix:       netsim.MustParsePrefix("110.0.0.0/15"),
+		DensityBoost: 150,
+	})
+}
+
+// exposedCount counts universe hosts exposing p (excluding wild honeypots).
+func exposedCount(u *iot.Universe, p iot.Protocol) int {
+	prefix := u.Config().Prefix
+	n := 0
+	for i := uint64(0); i < prefix.Size(); i++ {
+		ip := prefix.Nth(i)
+		if _, ok := u.Spec(ip, p); !ok {
+			continue
+		}
+		if _, isPot := u.WildHoneypot(ip); isPot {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func TestSonarSkipsAMQPAndXMPP(t *testing.T) {
+	d := ProjectSonar(1, testUniverse())
+	if d.Covers(iot.ProtoAMQP) || d.Covers(iot.ProtoXMPP) {
+		t.Fatal("Sonar should not publish AMQP/XMPP datasets (Table 4: NA)")
+	}
+	for _, p := range []iot.Protocol{iot.ProtoTelnet, iot.ProtoMQTT, iot.ProtoCoAP, iot.ProtoUPnP} {
+		if !d.Covers(p) {
+			t.Fatalf("Sonar missing %s", p)
+		}
+	}
+}
+
+func TestSonarUndercountsTelnet(t *testing.T) {
+	u := testUniverse()
+	d := ProjectSonar(1, u)
+	exposed := exposedCount(u, iot.ProtoTelnet)
+	got := d.Count(iot.ProtoTelnet)
+	if got >= exposed {
+		t.Fatalf("Sonar count %d >= universe %d", got, exposed)
+	}
+	ratio := float64(got) / float64(exposed)
+	// Table 4: 6,004,956 / 7,096,465 ≈ 0.846.
+	if ratio < 0.75 || ratio > 0.95 {
+		t.Fatalf("Sonar/ZMap Telnet ratio %.3f, want ~0.85", ratio)
+	}
+	// No 2323 listeners in Sonar data.
+	for _, r := range d.Records(iot.ProtoTelnet) {
+		if u.TelnetPort(r.IP) != 23 {
+			t.Fatalf("Sonar indexed a 2323 listener at %v", r.IP)
+		}
+	}
+}
+
+func TestShodanUndercountsHighVolumeProtocols(t *testing.T) {
+	u := testUniverse()
+	d := Shodan(2, u)
+	telnetRatio := float64(d.Count(iot.ProtoTelnet)) / float64(exposedCount(u, iot.ProtoTelnet))
+	if telnetRatio > 0.08 {
+		t.Fatalf("Shodan Telnet ratio %.3f, want ~0.027 (Table 4)", telnetRatio)
+	}
+	coapRatio := float64(d.Count(iot.ProtoCoAP)) / float64(exposedCount(u, iot.ProtoCoAP))
+	if coapRatio < 0.85 {
+		t.Fatalf("Shodan CoAP ratio %.3f, want ~0.955", coapRatio)
+	}
+}
+
+func TestDatasetsAreSubsetsOfUniverse(t *testing.T) {
+	u := testUniverse()
+	for _, d := range []*Dataset{ProjectSonar(3, u), Shodan(3, u)} {
+		for _, p := range iot.ScannedProtocols {
+			for _, r := range d.Records(p) {
+				if _, ok := u.Spec(r.IP, p); !ok {
+					t.Fatalf("%s lists %v for %s but universe has no host", d.Name, r.IP, p)
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetTotalAndSorted(t *testing.T) {
+	u := testUniverse()
+	d := Shodan(4, u)
+	if d.Total() == 0 {
+		t.Fatal("empty dataset")
+	}
+	recs := d.Records(iot.ProtoCoAP)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].IP <= recs[i-1].IP {
+			t.Fatal("records not sorted")
+		}
+	}
+}
+
+func TestPopulateCensys(t *testing.T) {
+	u := testUniverse()
+	store := intel.NewCensys()
+	n := PopulateCensys(5, u, store)
+	if n == 0 || store.Len() != n {
+		t.Fatalf("censys populated %d, store %d", n, store.Len())
+	}
+	// Every tag must be a known device type.
+	prefix := u.Config().Prefix
+	checked := 0
+	for i := uint64(0); i < prefix.Size() && checked < 20; i++ {
+		ip := prefix.Nth(i)
+		if tag, ok := store.IoTTag(ip); ok {
+			checked++
+			if tag == "" || tag == string(iot.TypeGenericServer) {
+				t.Fatalf("bad tag %q", tag)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no tags found in prefix walk")
+	}
+}

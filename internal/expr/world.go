@@ -1,0 +1,276 @@
+// Package expr is the experiment harness: it assembles the full simulated
+// world (universe, network, honeypots, telescope, adversaries, intel) and
+// exposes one experiment per table and figure in the paper's evaluation,
+// each producing a rendered artifact plus paper-vs-measured comparisons.
+package expr
+
+import (
+	"context"
+	"sync"
+
+	"openhire/internal/attack"
+	"openhire/internal/attack/malware"
+	"openhire/internal/core/classify"
+	"openhire/internal/core/fingerprint"
+	"openhire/internal/core/scan"
+	"openhire/internal/datasets"
+	"openhire/internal/geo"
+	"openhire/internal/honeypot"
+	"openhire/internal/intel"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+	"openhire/internal/telescope"
+)
+
+// WorldConfig sizes the simulated world. The default reproduces the paper at
+// 1/1024 of IPv4: a /14 universe with 16× density boost, so every expected
+// count is paper_count/1024.
+type WorldConfig struct {
+	Seed uint64
+	// UniversePrefix is the scanned population range.
+	UniversePrefix netsim.Prefix
+	// DensityBoost multiplies device densities (see iot.UniverseConfig).
+	DensityBoost float64
+	// HoneypotBoost oversamples wild honeypots (0 = DensityBoost).
+	HoneypotBoost float64
+	// TelescopePrefix is the darknet range (default 44.0.0.0/8).
+	TelescopePrefix netsim.Prefix
+	// AttackIntensity scales Table 7 event volumes.
+	AttackIntensity float64
+	// TelescopeScale scales Table 8 volumes.
+	TelescopeScale float64
+	// TelescopeDays of darknet traffic to generate.
+	TelescopeDays int
+	// ScannerSource is the research scanner's address.
+	ScannerSource netsim.IPv4
+	// Workers bounds concurrency in scans and attack replay.
+	Workers int
+}
+
+// DefaultConfig is the standard experiment world: 1/1024 of the paper's
+// dimensions throughout.
+func DefaultConfig() WorldConfig {
+	return WorldConfig{
+		Seed:            2021,
+		UniversePrefix:  netsim.MustParsePrefix("100.0.0.0/14"),
+		DensityBoost:    16,
+		TelescopePrefix: netsim.MustParsePrefix("44.0.0.0/8"),
+		AttackIntensity: 1.0 / 16, // ~12.5k replayed protocol conversations
+		TelescopeScale:  1.0 / 8192,
+		TelescopeDays:   1,
+		ScannerSource:   netsim.MustParseIPv4("130.226.0.1"),
+		Workers:         128,
+	}
+}
+
+// QuickConfig is a fast world for unit tests: smaller universe, lighter
+// attack month.
+func QuickConfig() WorldConfig {
+	cfg := DefaultConfig()
+	cfg.UniversePrefix = netsim.MustParsePrefix("100.0.0.0/16")
+	cfg.DensityBoost = 32
+	cfg.AttackIntensity = 1.0 / 128
+	cfg.TelescopeScale = 1.0 / 100000
+	return cfg
+}
+
+// World is the assembled simulation with lazily executed measurement
+// phases. All phase methods are safe for concurrent use and cache their
+// results.
+type World struct {
+	Cfg        WorldConfig
+	Clock      *netsim.SimClock
+	Network    *netsim.Network
+	Universe   *iot.Universe
+	GeoDB      *geo.DB
+	RDNS       *geo.RDNS
+	GreyNoise  *intel.GreyNoise
+	VirusTotal *intel.VirusTotal
+	Censys     *intel.Censys
+	Telescope  *telescope.Telescope
+	Honeypots  []*honeypot.Honeypot
+	Log        *honeypot.Log
+	Sources    *attack.Sources
+	Corpus     *malware.Corpus
+
+	scanOnce    sync.Once
+	scanResults map[iot.Protocol][]*scan.Result
+	scanStats   map[iot.Protocol]scan.Stats
+
+	filterOnce sync.Once
+	genuine    map[iot.Protocol][]*scan.Result
+	honeypots  []fingerprint.Detection
+
+	classifyOnce sync.Once
+	findings     []classify.Finding
+	summary      classify.Summary
+
+	attackOnce  sync.Once
+	attackStats attack.Stats
+
+	darknetOnce sync.Once
+	darknetLen  int
+
+	sonarOnce  sync.Once
+	sonar      *datasets.Dataset
+	shodanOnce sync.Once
+	shodan     *datasets.Dataset
+	censysOnce sync.Once
+}
+
+// BuildWorld assembles a world from cfg.
+func BuildWorld(cfg WorldConfig) *World {
+	clock := netsim.NewSimClock(netsim.ExperimentStart)
+	network := netsim.NewNetwork(clock)
+	universe := iot.NewUniverse(iot.UniverseConfig{
+		Seed:          cfg.Seed,
+		Prefix:        cfg.UniversePrefix,
+		DensityBoost:  cfg.DensityBoost,
+		HoneypotBoost: cfg.HoneypotBoost,
+	})
+	network.AddProvider(cfg.UniversePrefix, universe)
+
+	geodb := geo.NewDB(cfg.Seed, nil)
+	rdns := geo.NewRDNS(cfg.Seed)
+	gn := intel.NewGreyNoise(cfg.Seed, 0.81)
+	vt := intel.NewVirusTotal()
+	cs := intel.NewCensys()
+
+	tel := telescope.New(cfg.TelescopePrefix, geodb)
+	network.AddObserver(cfg.TelescopePrefix, tel)
+
+	pots, log := honeypot.DeployAll(network, netsim.MustParseIPv4("130.226.56.10"))
+
+	return &World{
+		Cfg: cfg, Clock: clock, Network: network, Universe: universe,
+		GeoDB: geodb, RDNS: rdns, GreyNoise: gn, VirusTotal: vt, Censys: cs,
+		Telescope: tel, Honeypots: pots, Log: log,
+		Sources: attack.NewSources(cfg.Seed, universe, rdns, gn),
+		Corpus:  malware.NewCorpus(cfg.Seed, nil),
+	}
+}
+
+// ScaleFactor converts simulated counts to paper-scale.
+func (w *World) ScaleFactor() float64 { return w.Universe.ScaleFactor() }
+
+// RunScan executes the six-protocol Internet-wide scan once.
+func (w *World) RunScan() (map[iot.Protocol][]*scan.Result, map[iot.Protocol]scan.Stats) {
+	w.scanOnce.Do(func() {
+		s := scan.NewScanner(scan.Config{
+			Network: w.Network,
+			Source:  w.Cfg.ScannerSource,
+			Prefix:  w.Cfg.UniversePrefix,
+			Seed:    w.Cfg.Seed,
+			Workers: w.Cfg.Workers,
+		})
+		w.scanResults, w.scanStats = s.RunAll(context.Background(), scan.AllModules())
+	})
+	return w.scanResults, w.scanStats
+}
+
+// FilterHoneypots splits scan results into genuine hosts and detections.
+func (w *World) FilterHoneypots() (map[iot.Protocol][]*scan.Result, []fingerprint.Detection) {
+	w.filterOnce.Do(func() {
+		results, _ := w.RunScan()
+		w.genuine = make(map[iot.Protocol][]*scan.Result, len(results))
+		for proto, rs := range results {
+			gen, dets := fingerprint.Filter(rs)
+			w.genuine[proto] = gen
+			w.honeypots = append(w.honeypots, dets...)
+		}
+	})
+	return w.genuine, w.honeypots
+}
+
+// Classify runs misconfiguration classification over the honeypot-filtered
+// results.
+func (w *World) Classify() ([]classify.Finding, classify.Summary) {
+	w.classifyOnce.Do(func() {
+		genuine, _ := w.FilterHoneypots()
+		for _, proto := range iot.ScannedProtocols {
+			w.findings = append(w.findings, classify.ClassifyAll(genuine[proto])...)
+		}
+		w.summary = classify.Summarize(w.findings)
+	})
+	return w.findings, w.summary
+}
+
+// RunAttackMonth replays the calibrated attack month once.
+func (w *World) RunAttackMonth() attack.Stats {
+	w.attackOnce.Do(func() {
+		campaign := attack.NewCampaign(attack.CampaignConfig{
+			Seed:       w.Cfg.Seed,
+			Network:    w.Network,
+			Honeypots:  w.Honeypots,
+			Universe:   w.Universe,
+			Sources:    w.Sources,
+			Corpus:     w.Corpus,
+			Intensity:  w.Cfg.AttackIntensity,
+			Workers:    w.Cfg.Workers,
+			Clock:      w.Clock,
+			GreyNoise:  w.GreyNoise,
+			VirusTotal: w.VirusTotal,
+			RDNS:       w.RDNS,
+		})
+		w.attackStats = campaign.Run(context.Background())
+		campaign.RegisterIntel()
+	})
+	return w.attackStats
+}
+
+// RunTelescope generates the calibrated darknet traffic once.
+func (w *World) RunTelescope() int {
+	w.darknetOnce.Do(func() {
+		gen := attack.NewDarknetGenerator(attack.DarknetConfig{
+			Seed:      w.Cfg.Seed,
+			Telescope: w.Telescope,
+			Sources:   w.Sources,
+			GeoDB:     w.GeoDB,
+			Scale:     w.Cfg.TelescopeScale,
+			Days:      w.Cfg.TelescopeDays,
+		})
+		w.darknetLen = gen.Run()
+	})
+	return w.darknetLen
+}
+
+// Sonar returns the simulated Project Sonar dataset.
+func (w *World) Sonar() *datasets.Dataset {
+	w.sonarOnce.Do(func() {
+		w.sonar = datasets.ProjectSonar(w.Cfg.Seed+1, w.Universe)
+	})
+	return w.sonar
+}
+
+// Shodan returns the simulated Shodan dataset.
+func (w *World) Shodan() *datasets.Dataset {
+	w.shodanOnce.Do(func() {
+		w.shodan = datasets.Shodan(w.Cfg.Seed+2, w.Universe)
+	})
+	return w.shodan
+}
+
+// PopulateCensys fills the Censys store once.
+func (w *World) PopulateCensys() *intel.Censys {
+	w.censysOnce.Do(func() {
+		datasets.PopulateCensys(w.Cfg.Seed+3, w.Universe, w.Censys)
+	})
+	return w.Censys
+}
+
+// shared is the process-wide default world, built on first use so the
+// benchmark suite amortizes setup across targets.
+var (
+	sharedMu sync.Mutex
+	sharedW  *World
+)
+
+// Shared returns the process-wide default world.
+func Shared() *World {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if sharedW == nil {
+		sharedW = BuildWorld(DefaultConfig())
+	}
+	return sharedW
+}

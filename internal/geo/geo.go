@@ -1,0 +1,122 @@
+// Package geo provides the deterministic IP-geolocation and ASN database the
+// analysis pipeline joins against.
+//
+// The paper resolves attack and device locations with the ipgeolocation.io
+// database (Section 4.1.3). That service is unavailable offline, so we
+// substitute a synthetic map: each /16 block of the simulated universe is
+// assigned a country and ASN deterministically from the seed, with country
+// weights set to the paper's Table 10 distribution. The join logic in the
+// pipeline is therefore identical to the real study — only the backing data
+// is synthetic.
+package geo
+
+import (
+	"sort"
+
+	"openhire/internal/netsim"
+	"openhire/internal/prng"
+)
+
+// Country is an ISO-like country label. We use the paper's names rather than
+// ISO codes so rendered tables match Table 10 verbatim.
+type Country string
+
+// CountryWeight pairs a country with its share of misconfigured devices.
+type CountryWeight struct {
+	Country Country
+	Weight  float64 // fraction of devices, from Table 10
+}
+
+// PaperCountryWeights is the Table 10 distribution of misconfigured devices
+// by country. Weights sum to ~1.0.
+var PaperCountryWeights = []CountryWeight{
+	{"USA", 0.27},
+	{"China", 0.13},
+	{"Russia", 0.091},
+	{"Taiwan", 0.089},
+	{"Germany", 0.078},
+	{"Philippines", 0.062},
+	{"UK", 0.058},
+	{"Brazil", 0.033},
+	{"India", 0.032},
+	{"Thailand", 0.027},
+	{"Hong Kong", 0.025},
+	{"South Korea", 0.025},
+	{"Israel", 0.021},
+	{"Canada", 0.019},
+	{"Other countries", 0.013},
+	{"Bangladesh", 0.011},
+	{"France", 0.009},
+	{"Japan", 0.007},
+}
+
+// DB is the geolocation database. Lookups are pure functions of (seed, ip):
+// no state is stored, so the database covers the whole IPv4 space for free.
+type DB struct {
+	src       *prng.Source
+	countries []Country
+	weights   []float64
+}
+
+// NewDB builds a database using the given seed and country weights.
+// If weights is nil, PaperCountryWeights is used.
+func NewDB(seed uint64, weights []CountryWeight) *DB {
+	if weights == nil {
+		weights = PaperCountryWeights
+	}
+	db := &DB{src: prng.New(seed)}
+	for _, w := range weights {
+		db.countries = append(db.countries, w.Country)
+		db.weights = append(db.weights, w.Weight)
+	}
+	return db
+}
+
+// geoGranularity groups addresses into /24 blocks: real allocation is
+// regional, so neighbouring addresses share a country and ASN, while the
+// simulation's compact universes still span many blocks.
+const geoGranularityBits = 24
+
+func (db *DB) block(ip netsim.IPv4) uint64 {
+	return uint64(ip >> (32 - geoGranularityBits))
+}
+
+// Country returns the country assigned to ip's block.
+func (db *DB) Country(ip netsim.IPv4) Country {
+	h := db.src.Hash64(prng.HashString("geo-country"), db.block(ip))
+	pick := prng.New(h)
+	return db.countries[pick.WeightedChoice(db.weights)]
+}
+
+// ASN returns the autonomous-system number for ip's block. ASNs are stable
+// per block and drawn from the 16-bit public range.
+func (db *DB) ASN(ip netsim.IPv4) uint32 {
+	h := db.src.Hash64(prng.HashString("geo-asn"), db.block(ip))
+	return uint32(1 + h%64495) // public 16-bit ASN range 1..64495
+}
+
+// CountryCounts tallies countries over a set of addresses, most frequent
+// first, matching the Table 10 presentation.
+func (db *DB) CountryCounts(ips []netsim.IPv4) []CountryCount {
+	counts := make(map[Country]int)
+	for _, ip := range ips {
+		counts[db.Country(ip)]++
+	}
+	out := make([]CountryCount, 0, len(counts))
+	for c, n := range counts {
+		out = append(out, CountryCount{Country: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// CountryCount is one row of a Table 10 style tally.
+type CountryCount struct {
+	Country Country
+	Count   int
+}

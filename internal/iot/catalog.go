@@ -1,0 +1,307 @@
+// Package iot defines the simulated IoT device population: the device-model
+// catalog whose banners reproduce the paper's Table 11 identifiers, the
+// per-protocol misconfiguration model of Tables 2/3/5, and the lazy
+// population generator that turns a (seed, IP) pair into a live simulated
+// host.
+package iot
+
+import "openhire/internal/netsim"
+
+// Protocol names the six scanned protocols plus the honeypot-side extras.
+type Protocol string
+
+// Scanned protocols (the paper's six) and honeypot-side protocols.
+const (
+	ProtoTelnet Protocol = "telnet"
+	ProtoMQTT   Protocol = "mqtt"
+	ProtoCoAP   Protocol = "coap"
+	ProtoAMQP   Protocol = "amqp"
+	ProtoXMPP   Protocol = "xmpp"
+	ProtoUPnP   Protocol = "upnp"
+
+	ProtoSSH    Protocol = "ssh"
+	ProtoHTTP   Protocol = "http"
+	ProtoFTP    Protocol = "ftp"
+	ProtoSMB    Protocol = "smb"
+	ProtoModbus Protocol = "modbus"
+	ProtoS7     Protocol = "s7"
+)
+
+// ScannedProtocols lists the paper's six scan targets in Table 4 order.
+var ScannedProtocols = []Protocol{
+	ProtoAMQP, ProtoXMPP, ProtoCoAP, ProtoUPnP, ProtoMQTT, ProtoTelnet,
+}
+
+// DefaultPort returns the primary port for a protocol.
+func (p Protocol) DefaultPort() uint16 {
+	switch p {
+	case ProtoTelnet:
+		return 23
+	case ProtoMQTT:
+		return 1883
+	case ProtoCoAP:
+		return 5683
+	case ProtoAMQP:
+		return 5672
+	case ProtoXMPP:
+		return 5222
+	case ProtoUPnP:
+		return 1900
+	case ProtoSSH:
+		return 22
+	case ProtoHTTP:
+		return 80
+	case ProtoFTP:
+		return 21
+	case ProtoSMB:
+		return 445
+	case ProtoModbus:
+		return 502
+	case ProtoS7:
+		return 102
+	case ProtoTR069:
+		return 7547
+	default:
+		return 0
+	}
+}
+
+// Transport returns whether the protocol probes run over TCP or UDP.
+func (p Protocol) Transport() netsim.Transport {
+	switch p {
+	case ProtoCoAP, ProtoUPnP:
+		return netsim.UDP
+	default:
+		return netsim.TCP
+	}
+}
+
+// DeviceType buckets models the way Figure 2 and Table 11 do.
+type DeviceType string
+
+// Device types from Table 11.
+const (
+	TypeCamera        DeviceType = "Camera"
+	TypeDSLModem      DeviceType = "DSL Modem"
+	TypeRouter        DeviceType = "Router"
+	TypeSmartHome     DeviceType = "Smart Home"
+	TypeTVReceiver    DeviceType = "TV Receiver"
+	TypeAccessPoint   DeviceType = "Access Point"
+	TypeNAS           DeviceType = "NAS"
+	TypeSmartSpeaker  DeviceType = "Smart Speaker"
+	TypePrinter3D     DeviceType = "3D Printer"
+	TypeHVAC          DeviceType = "HVAC"
+	TypeDisplayUnit   DeviceType = "Remote Display Unit"
+	TypeGenericServer DeviceType = "Server" // non-IoT host
+)
+
+// DeviceModel is one catalog entry: a concrete product whose banner or
+// response identifies it. Identifier is the Table 11 matching substring.
+type DeviceModel struct {
+	Name       string
+	Type       DeviceType
+	Protocol   Protocol
+	Identifier string // substring scanners match to tag the type
+
+	// Telnet persona.
+	TelnetBanner string // pre-login banner or login prompt
+	TelnetPrompt string // post-auth shell prompt for misconfigured units
+
+	// UPnP persona.
+	UPnPServer   string
+	UPnPFriendly string
+	UPnPModel    string
+	UPnPManuf    string
+
+	// MQTT persona: a retained topic prefix that identifies the device.
+	MQTTTopic string
+
+	// CoAP persona: a characteristic resource path.
+	CoAPResource string
+
+	// Weight sets relative population share within the protocol.
+	Weight float64
+}
+
+// Catalog reproduces the paper's Table 11 device identifiers, with weights
+// chosen so cameras and routers dominate Telnet/UPnP identifications as in
+// Figure 2.
+var Catalog = []DeviceModel{
+	// ----- Telnet devices (Table 11 rows) -----
+	{Name: "HiKVision Camera", Type: TypeCamera, Protocol: ProtoTelnet,
+		Identifier: "192.0.0.64 login:", TelnetBanner: "192.0.0.64 login: ",
+		TelnetPrompt: "root@hikvision:~$ ", Weight: 30},
+	{Name: "Polycom HDX", Type: TypeCamera, Protocol: ProtoTelnet,
+		Identifier: "Welcome to ViewStation", TelnetBanner: "Welcome to ViewStation\r\n",
+		TelnetPrompt: "$ ", Weight: 6},
+	{Name: "D-Link DCS-6620", Type: TypeCamera, Protocol: ProtoTelnet,
+		Identifier: "Welcome to DCS-6620", TelnetBanner: "Welcome to DCS-6620\r\n",
+		TelnetPrompt: "$ ", Weight: 8},
+	{Name: "D-Link DCS-5220", Type: TypeCamera, Protocol: ProtoTelnet,
+		Identifier: "Network-Camera login:", TelnetBanner: "Network-Camera login: ",
+		TelnetPrompt: "$ ", Weight: 8},
+	{Name: "ZyXEL PK5001Z", Type: TypeDSLModem, Protocol: ProtoTelnet,
+		Identifier: "PK5001Z login", TelnetBanner: "PK5001Z login: ",
+		TelnetPrompt: "admin@PK5001Z:~$ ", Weight: 12},
+	{Name: "ZTE ZXHN H108N", Type: TypeDSLModem, Protocol: ProtoTelnet,
+		Identifier: "Welcome to the world of CLI", TelnetBanner: "Welcome to the world of CLI\r\n",
+		TelnetPrompt: "$ ", Weight: 7},
+	{Name: "Technicolor modem", Type: TypeDSLModem, Protocol: ProtoTelnet,
+		Identifier: "TG234 login:", TelnetBanner: "TG234 login: ",
+		TelnetPrompt: "$ ", Weight: 5},
+	{Name: "ZTE ZXV10", Type: TypeDSLModem, Protocol: ProtoTelnet,
+		Identifier: "F670L Login", TelnetBanner: "F670L Login: ",
+		TelnetPrompt: "$ ", Weight: 5},
+	{Name: "Datacom DM991", Type: TypeDSLModem, Protocol: ProtoTelnet,
+		Identifier: "DM991CR - G.SHDSL Modem Router", TelnetBanner: "DM991CR - G.SHDSL Modem Router\r\nlogin: ",
+		TelnetPrompt: "$ ", Weight: 3},
+	{Name: "TP-Link TD-W8960N", Type: TypeDSLModem, Protocol: ProtoTelnet,
+		Identifier: "TD-W8960N 6.0 DSL Modem", TelnetBanner: "TD-W8960N 6.0 DSL Modem\r\nlogin: ",
+		TelnetPrompt: "$ ", Weight: 5},
+	{Name: "Cisco C111-4P", Type: TypeDSLModem, Protocol: ProtoTelnet,
+		Identifier: "MODEM : C111-4P", TelnetBanner: "MODEM : C111-4P\r\nlogin: ",
+		TelnetPrompt: "$ ", Weight: 3},
+	{Name: "TP-Link TD-W8968", Type: TypeDSLModem, Protocol: ProtoTelnet,
+		Identifier: "TD-W8968 4.0 DSL Modem Router", TelnetBanner: "TD-W8968 4.0 DSL Modem Router\r\nlogin: ",
+		TelnetPrompt: "$ ", Weight: 4},
+	{Name: "BelAir 100N", Type: TypeRouter, Protocol: ProtoTelnet,
+		Identifier:   "BelAir100N - BelAir Backhaul and Access Wireless Router",
+		TelnetBanner: "BelAir100N - BelAir Backhaul and Access Wireless Router\r\nlogin: ",
+		TelnetPrompt: "$ ", Weight: 6},
+	{Name: "Home Assistant", Type: TypeSmartHome, Protocol: ProtoTelnet,
+		Identifier:   "Home Assistant: Installation Type: Home Assistant OS",
+		TelnetBanner: "Home Assistant: Installation Type: Home Assistant OS\r\n",
+		TelnetPrompt: "$ ", Weight: 4},
+	{Name: "Dedicated Micros DS2", Type: TypeTVReceiver, Protocol: ProtoTelnet,
+		Identifier:   "Welcome to the DS2 command line processor",
+		TelnetBanner: "Welcome to the DS2 command line processor\r\n",
+		TelnetPrompt: "$ ", Weight: 3},
+	{Name: "Emerson Display", Type: TypeDisplayUnit, Protocol: ProtoTelnet,
+		Identifier:   "Emerson Network Power Co., Ltd.",
+		TelnetBanner: "Emerson Network Power Co., Ltd.\r\nlogin: ",
+		TelnetPrompt: "$ ", Weight: 2},
+
+	// ----- UPnP devices -----
+	{Name: "Avtech AVN801", Type: TypeCamera, Protocol: ProtoUPnP,
+		Identifier:   "Linux/2.x UPnP/1.0 Avtech/1.0",
+		UPnPServer:   "Linux/2.x UPnP/1.0 Avtech/1.0",
+		UPnPFriendly: "AVN801 Network Camera", UPnPModel: "AVN801", UPnPManuf: "AVTECH", Weight: 14},
+	{Name: "Panasonic BB-HCM581", Type: TypeCamera, Protocol: ProtoUPnP,
+		Identifier: "Network Camera BB-HCM581",
+		UPnPServer: "Panasonic UPnP/1.0", UPnPFriendly: "Network Camera BB-HCM581",
+		UPnPModel: "BB-HCM581", UPnPManuf: "Panasonic", Weight: 7},
+	{Name: "Anbash NC336FG", Type: TypeCamera, Protocol: ProtoUPnP,
+		Identifier: "NC336FG", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "IP Camera", UPnPModel: "NC336FG", UPnPManuf: "Anbash", Weight: 5},
+	{Name: "Beward N100", Type: TypeCamera, Protocol: ProtoUPnP,
+		Identifier: "N100 H.264 IP Camera", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "N100 H.264 IP Camera - 004B1000E3E2", UPnPModel: "N100",
+		UPnPManuf: "Beward", Weight: 5},
+	{Name: "Io Data TS-WLC2", Type: TypeCamera, Protocol: ProtoUPnP,
+		Identifier: "TS-WLC2", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "TS-WLC2", UPnPModel: "TS-WLC2", UPnPManuf: "I-O DATA", Weight: 4},
+	{Name: "G-Cam EFD-4430", Type: TypeCamera, Protocol: ProtoUPnP,
+		Identifier: "G-Cam/EFD-4430", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "G-Cam/EFD-4430", UPnPModel: "EFD-4430", UPnPManuf: "G-Cam", Weight: 3},
+	{Name: "Seyeon Tech FW7511-TVM", Type: TypeCamera, Protocol: ProtoUPnP,
+		Identifier: "FW7511-TVM", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "FlexWATCH", UPnPModel: "FW7511-TVM", UPnPManuf: "Seyeon Tech", Weight: 3},
+	{Name: "Tenda Wireless Router", Type: TypeRouter, Protocol: ProtoUPnP,
+		Identifier: "Manufacturer: Tenda", UPnPServer: "Linux UPnP/1.0 miniupnpd/1.0",
+		UPnPFriendly: "Tenda Wireless Router", UPnPModel: "W268R", UPnPManuf: "Tenda", Weight: 10},
+	{Name: "Totolink N150", Type: TypeRouter, Protocol: ProtoUPnP,
+		Identifier: "TOTOLINK N150RA", UPnPServer: "Linux UPnP/1.0 miniupnpd/1.0",
+		UPnPFriendly: "TOTOLINK N150RA", UPnPModel: "N150RA", UPnPManuf: "TOTOLINK", Weight: 6},
+	{Name: "ZTE H108N", Type: TypeRouter, Protocol: ProtoUPnP,
+		Identifier: "Model Name: H108N", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "ZXHN H108N", UPnPModel: "H108N", UPnPManuf: "ZTE", Weight: 8},
+	{Name: "OBSERVA BHS_RTA", Type: TypeRouter, Protocol: ProtoUPnP,
+		Identifier: "BHS_RTA", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "BHS_RTA", UPnPModel: "BHS_RTA", UPnPManuf: "OBSERVA", Weight: 4},
+	{Name: "DASAN H660GM", Type: TypeRouter, Protocol: ProtoUPnP,
+		Identifier: "H660GM", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "H660GM", UPnPModel: "H660GM", UPnPManuf: "DASAN", Weight: 4},
+	{Name: "Huawei HG532e", Type: TypeRouter, Protocol: ProtoUPnP,
+		Identifier: "HG532e", UPnPServer: "Linux UPnP/1.0 miniupnpd/1.0",
+		UPnPFriendly: "HG532e Home Gateway", UPnPModel: "HG532e", UPnPManuf: "Huawei", Weight: 8},
+	{Name: "ASUSTeK RT-AC53", Type: TypeRouter, Protocol: ProtoUPnP,
+		Identifier: "RT-AC53", UPnPServer: "ASUSTeK UPnP/1.1 MiniUPnPd/1.9",
+		UPnPFriendly: "RT-AC53", UPnPModel: "RT-AC53", UPnPManuf: "ASUSTeK", Weight: 6},
+	{Name: "Philips hue bridge", Type: TypeSmartHome, Protocol: ProtoUPnP,
+		Identifier: "Philips hue bridge 2015", UPnPServer: "Linux/3.14 UPnP/1.0 IpBridge/1.26",
+		UPnPFriendly: "Philips hue", UPnPModel: "Philips hue bridge 2015",
+		UPnPManuf: "Signify", Weight: 5},
+	{Name: "EQ3 HomeMatic", Type: TypeSmartHome, Protocol: ProtoUPnP,
+		Identifier: "HomeMatic Central", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "HomeMatic Central", UPnPModel: "HomeMatic Central",
+		UPnPManuf: "eQ-3", Weight: 3},
+	{Name: "Hyperion Ambient Light", Type: TypeSmartHome, Protocol: ProtoUPnP,
+		Identifier: "Hyperion/2.0 UPnP/1.0", UPnPServer: "Hyperion/2.0 UPnP/1.0",
+		UPnPFriendly: "Hyperion", UPnPModel: "Hyperion 2.0.0", UPnPManuf: "Hyperion", Weight: 2},
+	{Name: "Emby DS720plus", Type: TypeTVReceiver, Protocol: ProtoUPnP,
+		Identifier: "Emby - DS720plus", UPnPServer: "UPnP/1.0 DLNADOC/1.50",
+		UPnPFriendly: "Emby - DS720plus", UPnPModel: "Emby Server", UPnPManuf: "Emby", Weight: 3},
+	{Name: "Roku", Type: TypeTVReceiver, Protocol: ProtoUPnP,
+		Identifier: "Roku UPnP/1.0 MiniUPnPd/1.4", UPnPServer: "Roku UPnP/1.0 MiniUPnPd/1.4",
+		UPnPFriendly: "Roku Streaming Player", UPnPModel: "Roku 4", UPnPManuf: "Roku", Weight: 4},
+	{Name: "Realtek RTL8671", Type: TypeAccessPoint, Protocol: ProtoUPnP,
+		Identifier: "RTL8671", UPnPServer: "Linux UPnP/1.0",
+		UPnPFriendly: "Realtek AP", UPnPModel: "RTL8671", UPnPManuf: "Realtek", Weight: 4},
+	{Name: "Synology DS918+", Type: TypeNAS, Protocol: ProtoUPnP,
+		Identifier: "DiskStation (DS918+)", UPnPServer: "Synology/DSM/6.2",
+		UPnPFriendly: "DiskStation (DS918+)", UPnPModel: "DS918+", UPnPManuf: "Synology", Weight: 3},
+	{Name: "Sonos ZP100", Type: TypeSmartSpeaker, Protocol: ProtoUPnP,
+		Identifier: "Model Number: ZP120", UPnPServer: "Linux UPnP/1.0 Sonos/57.3",
+		UPnPFriendly: "Sonos Play:1", UPnPModel: "ZP120", UPnPManuf: "Sonos", Weight: 3},
+	{Name: "Trimble SPS855", Type: TypeDisplayUnit, Protocol: ProtoUPnP,
+		Identifier: "SPS855, 6013R31531: Trimble", UPnPServer: "Trimble UPnP/1.0",
+		UPnPFriendly: "SPS855, 6013R31531: Trimble", UPnPModel: "SPS855",
+		UPnPManuf: "Trimble", Weight: 1},
+
+	// ----- MQTT devices -----
+	{Name: "Home Assistant (MQTT)", Type: TypeSmartHome, Protocol: ProtoMQTT,
+		Identifier: "homeassistant/light/", MQTTTopic: "homeassistant/light/kitchen/state", Weight: 30},
+	{Name: "Octoprint", Type: TypePrinter3D, Protocol: ProtoMQTT,
+		Identifier: "octoPrint/temperature/bed", MQTTTopic: "octoPrint/temperature/bed", Weight: 12},
+	{Name: "Gozmart HVAC", Type: TypeHVAC, Protocol: ProtoMQTT,
+		Identifier: "gozmart/", MQTTTopic: "gozmart/sonoff/CC50E3C943CC110511/app", Weight: 10},
+	{Name: "Advantech HVAC", Type: TypeHVAC, Protocol: ProtoMQTT,
+		Identifier: "Advantech/", MQTTTopic: "Advantech/00D0C9FAC3D9/data", Weight: 8},
+	{Name: "Generic Mosquitto broker", Type: TypeGenericServer, Protocol: ProtoMQTT,
+		Identifier: "$SYS/broker/version", MQTTTopic: "$SYS/broker/version", Weight: 40},
+
+	// ----- CoAP devices -----
+	{Name: "NDM Router", Type: TypeRouter, Protocol: ProtoCoAP,
+		Identifier: "/ndm/login", CoAPResource: "/ndm/login", Weight: 45},
+	{Name: "QLink Router", Type: TypeRouter, Protocol: ProtoCoAP,
+		Identifier: "/qlink/ack", CoAPResource: "/qlink/ack", Weight: 25},
+	{Name: "Generic CoAP sensor", Type: TypeSmartHome, Protocol: ProtoCoAP,
+		Identifier: "/sensors/", CoAPResource: "/sensors/temperature", Weight: 30},
+
+	// ----- XMPP and AMQP endpoints (type not identifiable, Section 4.1.2) -----
+	{Name: "Generic XMPP server", Type: TypeGenericServer, Protocol: ProtoXMPP,
+		Identifier: "jabber", Weight: 100},
+	{Name: "Generic AMQP broker", Type: TypeGenericServer, Protocol: ProtoAMQP,
+		Identifier: "RabbitMQ", Weight: 100},
+}
+
+// ModelsFor returns the catalog entries for one protocol.
+func ModelsFor(p Protocol) []DeviceModel {
+	var out []DeviceModel
+	for _, m := range Catalog {
+		if m.Protocol == p {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FindModel returns the catalog entry with the given name.
+func FindModel(name string) (DeviceModel, bool) {
+	for _, m := range Catalog {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return DeviceModel{}, false
+}

@@ -1,0 +1,93 @@
+package iot
+
+import (
+	"context"
+
+	"openhire/internal/netsim"
+	"openhire/internal/prng"
+)
+
+// HoneypotFamily is one of the deployed-honeypot products whose static
+// Telnet banners the paper fingerprints (Table 6). Banner is the exact byte
+// sequence the product volunteers on connect; PaperCount is the number of
+// instances the paper detected in the wild.
+type HoneypotFamily struct {
+	Name       string
+	Banner     []byte
+	PaperCount int
+}
+
+// HoneypotFamilies reproduces Table 6. The banner bytes embed the Telnet
+// IAC negotiation quirks that make each family identifiable.
+var HoneypotFamilies = []HoneypotFamily{
+	{Name: "HoneyPy", Banner: []byte("Debian GNU/Linux 7\r\nLogin: "), PaperCount: 27},
+	{Name: "Cowrie", Banner: []byte("\xff\xfd\x1flogin: "), PaperCount: 3228},
+	{Name: "MTPot", Banner: []byte("\xff\xfb\x01\xff\xfd\x18\r\nlogin: "), PaperCount: 194},
+	{Name: "Telnet IoT Honeypot", Banner: []byte("\xff\xfd\x01Login: Password: \r\nWelcome to EmbyLinux 3.13.0-24-generic\r\n # "), PaperCount: 211},
+	{Name: "Conpot", Banner: []byte("Connected to [00:13:EA:00:00:00]\r\n"), PaperCount: 216},
+	{Name: "Kippo", Banner: []byte("SSH-2.0-OpenSSH_5.1p1 Debian-5\r\n"), PaperCount: 47},
+	{Name: "Kako", Banner: []byte("BusyBox v1.19.3 (2013-11-01 10:10:26 CST) built-in shell (ash)\r\nlogin: "), PaperCount: 16},
+	{Name: "Hontel", Banner: []byte("BusyBox v1.18.4 (2012-04-17 18:58:31 CST) built-in shell (ash)\r\nlogin: "), PaperCount: 12},
+	{Name: "Anglerfish", Banner: []byte("[root@LocalHost tmp]$ "), PaperCount: 4241},
+}
+
+// PaperHoneypotTotal is the Table 6 total the paper filtered out.
+const PaperHoneypotTotal = 8192
+
+// honeypotDensity is the probability a random address hosts a wild honeypot
+// (Table 6 total over the IPv4 space).
+const honeypotDensity = float64(PaperHoneypotTotal) / (1 << 32)
+
+var labelHoneypot = prng.HashString("iot-honeypot")
+
+// WildHoneypot reports whether ip hosts a wild (Internet-deployed) honeypot
+// in this universe, and which family. Wild honeypots take precedence over
+// devices: an address is either a honeypot or a device, never both.
+func (u *Universe) WildHoneypot(ip netsim.IPv4) (HoneypotFamily, bool) {
+	if !u.cfg.Prefix.Contains(ip) {
+		return HoneypotFamily{}, false
+	}
+	boost := u.cfg.DensityBoost
+	if u.cfg.HoneypotBoost > 0 {
+		boost = u.cfg.HoneypotBoost
+	}
+	h := u.src.Hash64(labelHoneypot, uint64(ip))
+	if float64(h>>11)/(1<<53) >= honeypotDensity*boost {
+		return HoneypotFamily{}, false
+	}
+	// Family choice weighted by Table 6 counts.
+	pick := prng.New(u.src.Hash64(labelHoneypot, uint64(ip), 7))
+	weights := make([]float64, len(HoneypotFamilies))
+	for i, f := range HoneypotFamilies {
+		weights[i] = float64(f.PaperCount)
+	}
+	return HoneypotFamilies[pick.WeightedChoice(weights)], true
+}
+
+// wildHoneypotHost serves the family's static banner on Telnet and accepts
+// (and ignores) login attempts, like the low-interaction originals.
+type wildHoneypotHost struct {
+	family HoneypotFamily
+}
+
+// StreamService implements netsim.Host.
+func (h wildHoneypotHost) StreamService(port uint16) netsim.StreamHandler {
+	if port != 23 {
+		return nil
+	}
+	return netsim.StreamHandlerFunc(func(_ context.Context, conn *netsim.ServiceConn) {
+		_, _ = conn.Write(h.family.Banner)
+		// Consume a handful of input lines, answering nothing useful —
+		// the "lack of simulation" trait fingerprinting exploits.
+		buf := make([]byte, 256)
+		for i := 0; i < 4; i++ {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+			_, _ = conn.Write([]byte("\r\n"))
+		}
+	})
+}
+
+// DatagramService implements netsim.Host.
+func (wildHoneypotHost) DatagramService(uint16) netsim.DatagramHandler { return nil }

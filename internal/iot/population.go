@@ -1,0 +1,238 @@
+package iot
+
+import (
+	"openhire/internal/netsim"
+	"openhire/internal/prng"
+)
+
+// DeviceSpec is the fully derived configuration of one simulated device's
+// presence on one protocol. Specs are pure functions of (seed, ip, protocol),
+// so the population never needs to be materialized.
+type DeviceSpec struct {
+	IP        netsim.IPv4
+	Protocol  Protocol
+	Model     DeviceModel
+	Misconfig Misconfig
+	// WeakCredentials is set when an auth-gated device uses a default
+	// credential pair from the common dictionary — the population Mirai-class
+	// bots can actually break into.
+	WeakCredentials bool
+	Username        string
+	Password        string
+}
+
+// DefaultCredentials is the default-password dictionary shared by devices
+// and attackers; the head of the list mirrors the most-used pairs in the
+// paper's Table 12.
+var DefaultCredentials = []struct{ User, Pass string }{
+	{"admin", "admin"},
+	{"root", "root"},
+	{"root", "admin"},
+	{"telnet", "telnet"},
+	{"root", "xc3511"},
+	{"admin", "admin123"},
+	{"root", "12345"},
+	{"user", "user"},
+	{"admin", "12345"},
+	{"admin", "polycom"},
+	{"admin", ""},
+	{"pi", "raspberry"},
+	{"cisco", "cisco"},
+	{"zyfwp", "PrOw!aN_fXp"},
+	{"admin", "ssh1234"},
+}
+
+// UniverseConfig parameterizes the simulated population.
+type UniverseConfig struct {
+	// Seed drives every derivation.
+	Seed uint64
+	// Prefix is the covered address range. Experiments default to a /10
+	// (1/1024 of IPv4); tests use small prefixes.
+	Prefix netsim.Prefix
+	// DensityBoost multiplies every exposure density (default 1). Small
+	// test universes use boosts so expected counts stay statistically
+	// meaningful; experiment reports divide it back out.
+	DensityBoost float64
+	// HoneypotBoost, when non-zero, overrides DensityBoost for wild
+	// honeypot planting. Table 6's family distribution needs hundreds of
+	// instances, which at device-level boosts would saturate the host
+	// population; the Table 6 experiment oversamples honeypots only and
+	// scales the counts back.
+	HoneypotBoost float64
+	// WeakCredentialShare is the fraction of auth-gated Telnet/SSH devices
+	// using a dictionary credential (default 0.15).
+	WeakCredentialShare float64
+}
+
+// Universe is the lazily derived IoT population. It implements
+// netsim.HostProvider.
+//
+// Note on state: population hosts are rebuilt on every lookup, so protocol
+// state (e.g. a poisoned MQTT topic) does not persist across connections.
+// Persistent state belongs to explicitly registered hosts (honeypots) and to
+// the attack bookkeeping layer.
+type Universe struct {
+	cfg UniverseConfig
+	src *prng.Source
+
+	// weights per protocol for model choice, precomputed.
+	modelWeights map[Protocol][]float64
+	models       map[Protocol][]DeviceModel
+}
+
+// NewUniverse builds a Universe.
+func NewUniverse(cfg UniverseConfig) *Universe {
+	if cfg.DensityBoost == 0 {
+		cfg.DensityBoost = 1
+	}
+	if cfg.WeakCredentialShare == 0 {
+		cfg.WeakCredentialShare = 0.15
+	}
+	u := &Universe{
+		cfg:          cfg,
+		src:          prng.New(cfg.Seed),
+		modelWeights: make(map[Protocol][]float64),
+		models:       make(map[Protocol][]DeviceModel),
+	}
+	for _, p := range ScannedProtocols {
+		models := ModelsFor(p)
+		weights := make([]float64, len(models))
+		for i, m := range models {
+			weights[i] = m.Weight
+		}
+		u.models[p] = models
+		u.modelWeights[p] = weights
+	}
+	return u
+}
+
+// Config returns the universe parameters.
+func (u *Universe) Config() UniverseConfig { return u.cfg }
+
+// ScaleFactor is what simulated counts must be multiplied by to compare
+// with the paper's full-IPv4 numbers.
+func (u *Universe) ScaleFactor() float64 {
+	return float64(uint64(1)<<32) / (float64(u.cfg.Prefix.Size()) * u.cfg.DensityBoost)
+}
+
+// label space for derivations, kept distinct per decision.
+var (
+	labelExposed = prng.HashString("iot-exposed")
+	labelModel   = prng.HashString("iot-model")
+	labelClass   = prng.HashString("iot-class")
+	labelCred    = prng.HashString("iot-cred")
+	labelAltPort = prng.HashString("iot-altport")
+)
+
+// Spec derives the device spec for (ip, protocol). ok is false when the
+// address does not expose that protocol.
+func (u *Universe) Spec(ip netsim.IPv4, p Protocol) (DeviceSpec, bool) {
+	if !u.cfg.Prefix.Contains(ip) {
+		return DeviceSpec{}, false
+	}
+	density, known := exposureDensity[p]
+	if !known {
+		return DeviceSpec{}, false
+	}
+	density *= u.cfg.DensityBoost
+	if density > 1 {
+		density = 1
+	}
+	ph := prng.HashString(string(p))
+	// Exposure decision.
+	h := u.src.Hash64(labelExposed, uint64(ip), ph)
+	if float64(h>>11)/(1<<53) >= density {
+		return DeviceSpec{}, false
+	}
+	spec := DeviceSpec{IP: ip, Protocol: p}
+
+	// Model choice.
+	pick := prng.New(u.src.Hash64(labelModel, uint64(ip), ph))
+	models := u.models[p]
+	if len(models) > 0 {
+		spec.Model = models[pick.WeightedChoice(u.modelWeights[p])]
+	}
+
+	// Misconfiguration class.
+	cls := prng.New(u.src.Hash64(labelClass, uint64(ip), ph))
+	roll := cls.Float64()
+	spec.Misconfig = MisconfigNone
+	for _, cs := range misconfigShares[p] {
+		if roll < cs.share {
+			spec.Misconfig = cs.class
+			break
+		}
+		roll -= cs.share
+	}
+
+	// Credentials for auth-gated endpoints.
+	cred := prng.New(u.src.Hash64(labelCred, uint64(ip), ph))
+	if cred.Float64() < u.cfg.WeakCredentialShare {
+		spec.WeakCredentials = true
+		pair := DefaultCredentials[cred.Zipf(len(DefaultCredentials), 1.2)]
+		spec.Username, spec.Password = pair.User, pair.Pass
+	} else {
+		spec.Username = "admin"
+		spec.Password = strongPassword(cred)
+	}
+	return spec, true
+}
+
+func strongPassword(src *prng.Source) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789!@#$%"
+	b := make([]byte, 14)
+	for i := range b {
+		b[i] = alphabet[src.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// TelnetPort returns which Telnet port the device listens on: most use 23,
+// a minority 2323 (which is why the paper scans both, Section 4.1.1).
+func (u *Universe) TelnetPort(ip netsim.IPv4) uint16 {
+	if u.src.Hash64(labelAltPort, uint64(ip))%100 < 7 {
+		return 2323
+	}
+	return 23
+}
+
+// Host implements netsim.HostProvider: it assembles a live host from the
+// specs of every protocol the address exposes. Returns nil for dark
+// addresses. Wild honeypots shadow devices at their address.
+func (u *Universe) Host(ip netsim.IPv4) netsim.Host {
+	if family, ok := u.WildHoneypot(ip); ok {
+		return wildHoneypotHost{family: family}
+	}
+	var specs []DeviceSpec
+	for _, p := range ScannedProtocols {
+		if spec, ok := u.Spec(ip, p); ok {
+			specs = append(specs, spec)
+		}
+	}
+	for _, p := range ExtensionProtocols {
+		if spec, ok := u.ExtensionSpec(ip, p); ok {
+			specs = append(specs, spec)
+		}
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	return newDeviceHost(u, ip, specs)
+}
+
+// ExposedProtocols lists the protocols an address exposes, in scan order.
+func (u *Universe) ExposedProtocols(ip netsim.IPv4) []Protocol {
+	var out []Protocol
+	for _, p := range ScannedProtocols {
+		if _, ok := u.Spec(ip, p); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ExpectedExposed returns the expected number of exposed hosts for a
+// protocol in this universe (density × size × boost), for calibration tests.
+func (u *Universe) ExpectedExposed(p Protocol) float64 {
+	return exposureDensity[p] * u.cfg.DensityBoost * float64(u.cfg.Prefix.Size())
+}

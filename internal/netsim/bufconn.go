@@ -1,0 +1,257 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrConnRefused is returned by Dial when the destination host exists but
+// does not listen on the requested port (the TCP RST case).
+var ErrConnRefused = errors.New("netsim: connection refused")
+
+// ErrHostUnreachable is returned by Dial and Query when no host exists at the
+// destination address (darknet space).
+var ErrHostUnreachable = errors.New("netsim: host unreachable")
+
+// pipeBuffer is one direction of a duplex in-memory connection: a bounded
+// byte queue with blocking reads, deadline support and half-close semantics.
+// Reads and writes on one buffer come from the two different endpoints of
+// the connection (A reads what B wrote), so read and write deadlines are
+// independent fields: endpoint A's read deadline must not disturb endpoint
+// B's write deadline.
+type pipeBuffer struct {
+	mu            sync.Mutex
+	cond          *sync.Cond
+	buf           []byte
+	closed        bool // write side closed: reads drain then return io.EOF
+	broken        bool // connection torn down: reads/writes fail immediately
+	readDeadline  time.Time
+	writeDeadline time.Time
+	readTimer     *time.Timer
+	writeTimer    *time.Timer
+	max           int
+}
+
+func newPipeBuffer(max int) *pipeBuffer {
+	b := &pipeBuffer{max: max}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *pipeBuffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.broken {
+			return 0, io.ErrClosedPipe
+		}
+		if len(b.buf) > 0 {
+			n := copy(p, b.buf)
+			b.buf = b.buf[n:]
+			if len(b.buf) == 0 {
+				b.buf = nil
+			}
+			b.cond.Broadcast() // wake writers blocked on a full buffer
+			return n, nil
+		}
+		if b.closed {
+			return 0, io.EOF
+		}
+		if !b.readDeadline.IsZero() && !time.Now().Before(b.readDeadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *pipeBuffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var written int
+	for len(p) > 0 {
+		if b.broken || b.closed {
+			return written, io.ErrClosedPipe
+		}
+		if !b.writeDeadline.IsZero() && !time.Now().Before(b.writeDeadline) {
+			return written, os.ErrDeadlineExceeded
+		}
+		space := b.max - len(b.buf)
+		if space == 0 {
+			b.cond.Wait()
+			continue
+		}
+		n := len(p)
+		if n > space {
+			n = space
+		}
+		b.buf = append(b.buf, p[:n]...)
+		p = p[n:]
+		written += n
+		b.cond.Broadcast()
+	}
+	return written, nil
+}
+
+// closeWrite marks the write side closed; pending data remains readable.
+func (b *pipeBuffer) closeWrite() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// breakPipe tears the connection down immediately, discarding buffered data.
+func (b *pipeBuffer) breakPipe() {
+	b.mu.Lock()
+	b.broken = true
+	b.buf = nil
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *pipeBuffer) setReadDeadline(t time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.readDeadline = t
+	b.readTimer = b.resetTimer(b.readTimer, t)
+	b.cond.Broadcast()
+}
+
+func (b *pipeBuffer) setWriteDeadline(t time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.writeDeadline = t
+	b.writeTimer = b.resetTimer(b.writeTimer, t)
+	b.cond.Broadcast()
+}
+
+// resetTimer arms a wake-up at t so blocked waiters observe an expired
+// deadline. Must be called with b.mu held.
+func (b *pipeBuffer) resetTimer(old *time.Timer, t time.Time) *time.Timer {
+	if old != nil {
+		old.Stop()
+	}
+	if t.IsZero() {
+		return nil
+	}
+	d := time.Until(t)
+	if d < 0 {
+		d = 0
+	}
+	return time.AfterFunc(d, func() {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
+}
+
+// conn is one endpoint of an in-memory duplex connection. It implements
+// net.Conn so protocol implementations run unmodified over the simulation.
+type conn struct {
+	read    *pipeBuffer // data flowing toward this endpoint
+	write   *pipeBuffer // data flowing away from this endpoint
+	local   Endpoint
+	remote  Endpoint
+	closeMu sync.Mutex
+	closed  bool
+	onClose func()
+}
+
+// connBufferSize bounds each direction of an in-memory connection. 64 KiB
+// mirrors a typical kernel socket buffer and keeps floods from exhausting
+// memory.
+const connBufferSize = 64 << 10
+
+// NewConnPair returns two connected net.Conn endpoints, as if client had
+// dialed server. It is exported for protocol tests that do not need a full
+// Network.
+func NewConnPair(client, server Endpoint) (net.Conn, net.Conn) {
+	c2s := newPipeBuffer(connBufferSize)
+	s2c := newPipeBuffer(connBufferSize)
+	cc := &conn{read: s2c, write: c2s, local: client, remote: server}
+	sc := &conn{read: c2s, write: s2c, local: server, remote: client}
+	return cc, sc
+}
+
+// NewServiceConnPair is NewConnPair wrapped in ServiceConn values stamped
+// with dialTime, for driving StreamHandlers directly in protocol tests.
+func NewServiceConnPair(client, server Endpoint, dialTime time.Time) (*ServiceConn, *ServiceConn) {
+	cc, sc := NewConnPair(client, server)
+	return &ServiceConn{conn: cc.(*conn), DialTime: dialTime},
+		&ServiceConn{conn: sc.(*conn), DialTime: dialTime}
+}
+
+func (c *conn) Read(p []byte) (int, error)  { return c.read.read(p) }
+func (c *conn) Write(p []byte) (int, error) { return c.write.write(p) }
+
+// Close shuts down both directions. The peer reading drained data still sees
+// it (TCP FIN semantics), then io.EOF.
+func (c *conn) Close() error {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	cb := c.onClose
+	c.closeMu.Unlock()
+	c.write.closeWrite()
+	c.read.closeWrite()
+	if cb != nil {
+		cb()
+	}
+	return nil
+}
+
+// Abort tears the connection down in both directions, discarding buffers.
+// It models a RST and is used by honeypot DoS protection.
+func (c *conn) Abort() {
+	c.write.breakPipe()
+	c.read.breakPipe()
+	_ = c.Close()
+}
+
+func (c *conn) LocalAddr() net.Addr  { return simAddr{transport: TCP, ep: c.local} }
+func (c *conn) RemoteAddr() net.Addr { return simAddr{transport: TCP, ep: c.remote} }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.read.setReadDeadline(t)
+	c.write.setWriteDeadline(t)
+	return nil
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.read.setReadDeadline(t)
+	return nil
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.write.setWriteDeadline(t)
+	return nil
+}
+
+// simAddr is the net.Addr implementation for simulated endpoints.
+type simAddr struct {
+	transport Transport
+	ep        Endpoint
+}
+
+func (a simAddr) Network() string { return a.transport.String() }
+func (a simAddr) String() string  { return a.ep.String() }
+
+// RemoteIPv4 extracts the simulated source address from a connection handed
+// to a service handler. It returns false for non-simulated connections
+// (e.g. a real TCP conn in integration tests).
+func RemoteIPv4(c net.Conn) (IPv4, bool) {
+	if sc, ok := c.(*conn); ok {
+		return sc.remote.IP, true
+	}
+	if a, ok := c.RemoteAddr().(simAddr); ok {
+		return a.ep.IP, true
+	}
+	return 0, false
+}

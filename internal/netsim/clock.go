@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source for the simulation. Experiments replay a full
+// month of attack traffic in seconds, so simulated components must never read
+// the wall clock directly; they take a Clock and the driver advances it.
+type Clock interface {
+	// Now returns the current simulated time.
+	Now() time.Time
+}
+
+// SimClock is a manually advanced Clock. It is safe for concurrent use.
+type SimClock struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewSimClock returns a clock starting at the given instant.
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+// Now returns the current simulated time.
+func (c *SimClock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative durations are ignored: simulated time never goes backwards.
+func (c *SimClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// Set jumps the clock to t if t is not before the current time.
+func (c *SimClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+}
+
+// WallClock is a Clock backed by the real time.Now, used by the runnable
+// examples when interacting with real sockets.
+type WallClock struct{}
+
+// Now returns time.Now().
+func (WallClock) Now() time.Time { return time.Now() }
+
+// ExperimentStart is the canonical start of the simulated measurement month.
+// The paper recorded attacks during April 2021 (Section 3.3.2); all simulated
+// timestamps are anchored here so daily series line up with Figure 8.
+var ExperimentStart = time.Date(2021, time.April, 1, 0, 0, 0, 0, time.UTC)

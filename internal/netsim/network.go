@@ -1,0 +1,320 @@
+package netsim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StreamHandler serves one TCP-like connection on a simulated host. Serve
+// must return when the conversation is over; the framework closes the conn.
+type StreamHandler interface {
+	Serve(ctx context.Context, conn *ServiceConn)
+}
+
+// StreamHandlerFunc adapts a function to a StreamHandler.
+type StreamHandlerFunc func(ctx context.Context, conn *ServiceConn)
+
+// Serve calls f.
+func (f StreamHandlerFunc) Serve(ctx context.Context, conn *ServiceConn) { f(ctx, conn) }
+
+// DatagramHandler answers one UDP-like query on a simulated host.
+// A nil response means the datagram is dropped (no reply), matching a
+// service that silently ignores malformed probes.
+type DatagramHandler interface {
+	HandleDatagram(from Endpoint, payload []byte) []byte
+}
+
+// DatagramHandlerFunc adapts a function to a DatagramHandler.
+type DatagramHandlerFunc func(from Endpoint, payload []byte) []byte
+
+// HandleDatagram calls f.
+func (f DatagramHandlerFunc) HandleDatagram(from Endpoint, payload []byte) []byte {
+	return f(from, payload)
+}
+
+// ServiceConn is the connection type handed to stream handlers. It embeds the
+// in-memory conn and carries the simulated timestamp of the dial, letting
+// services log events in simulation time.
+type ServiceConn struct {
+	*conn
+	DialTime time.Time
+}
+
+// Host describes a simulated machine: which ports answer, and how.
+// Implementations must be safe for concurrent use; the lazily derived IoT
+// population returns stateless value hosts, while honeypots are stateful.
+type Host interface {
+	// StreamService returns the handler for a TCP port, or nil if closed.
+	StreamService(port uint16) StreamHandler
+	// DatagramService returns the handler for a UDP port, or nil if closed.
+	DatagramService(port uint16) DatagramHandler
+}
+
+// HostProvider resolves an address to a host. Returning nil means no machine
+// exists there (the address is dark). Providers must be safe for concurrent
+// use and SHOULD be cheap: the scanner calls Host for every probed address.
+type HostProvider interface {
+	Host(ip IPv4) Host
+}
+
+// HostProviderFunc adapts a function to a HostProvider.
+type HostProviderFunc func(ip IPv4) Host
+
+// Host calls f.
+func (f HostProviderFunc) Host(ip IPv4) Host { return f(ip) }
+
+// ProbeKind classifies a traffic event seen by observers.
+type ProbeKind uint8
+
+// Probe kinds reported to observers.
+const (
+	ProbeSYN     ProbeKind = iota // TCP connection attempt
+	ProbeUDP                      // UDP datagram
+	ProbeACK                      // TCP established (dial succeeded)
+	ProbePayload                  // application payload bytes on a stream
+)
+
+// String names the probe kind.
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeSYN:
+		return "syn"
+	case ProbeUDP:
+		return "udp"
+	case ProbeACK:
+		return "ack"
+	case ProbePayload:
+		return "payload"
+	default:
+		return "probe"
+	}
+}
+
+// ProbeEvent is the wire-level event surfaced to observers (the network
+// telescope taps these for its covered prefix).
+type ProbeEvent struct {
+	Time      time.Time
+	Src       Endpoint
+	Dst       Endpoint
+	Transport Transport
+	Kind      ProbeKind
+	Size      int // payload length in bytes
+	TTL       uint8
+	Spoofed   bool // source address was forged by the sender
+	Masscan   bool // probe carries the masscan ip.id fingerprint
+}
+
+// Observer receives wire-level events. Observers must be fast and
+// non-blocking; the telescope aggregates in-memory.
+type Observer interface {
+	Observe(ev ProbeEvent)
+}
+
+// ObserverFunc adapts a function to an Observer.
+type ObserverFunc func(ev ProbeEvent)
+
+// Observe calls f.
+func (f ObserverFunc) Observe(ev ProbeEvent) { f(ev) }
+
+// Stats counts traffic carried by the network.
+type Stats struct {
+	Dials       atomic.Uint64 // TCP dial attempts
+	DialsOK     atomic.Uint64 // successful dials
+	Refused     atomic.Uint64 // host present, port closed
+	Unreachable atomic.Uint64 // no host at address
+	Datagrams   atomic.Uint64 // UDP queries sent
+	Responses   atomic.Uint64 // UDP responses returned
+}
+
+// Network is the simulated Internet fabric. Hosts come from registered
+// providers (checked most-specific first); traffic generates events for
+// observers whose prefix covers the destination.
+type Network struct {
+	mu        sync.RWMutex
+	providers []providerEntry
+	observers []observerEntry
+	clock     Clock
+
+	// DefaultTTL is the IP TTL attached to generated probe events when the
+	// sender does not specify one.
+	DefaultTTL uint8
+
+	stats Stats
+}
+
+type providerEntry struct {
+	prefix   Prefix
+	provider HostProvider
+}
+
+type observerEntry struct {
+	prefix   Prefix
+	observer Observer
+}
+
+// NewNetwork returns an empty network fabric using the given clock.
+func NewNetwork(clock Clock) *Network {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Network{clock: clock, DefaultTTL: 64}
+}
+
+// Clock returns the network's time source.
+func (n *Network) Clock() Clock { return n.clock }
+
+// Stats returns the network's traffic counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// AddProvider registers a host provider for a prefix. When prefixes overlap,
+// the most specific (longest) prefix wins; ties go to the later registration.
+func (n *Network) AddProvider(prefix Prefix, p HostProvider) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.providers = append(n.providers, providerEntry{prefix: prefix, provider: p})
+}
+
+// AddObserver registers an observer for traffic destined to a prefix.
+func (n *Network) AddObserver(prefix Prefix, o Observer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.observers = append(n.observers, observerEntry{prefix: prefix, observer: o})
+}
+
+// lookupHost resolves ip through the registered providers.
+func (n *Network) lookupHost(ip IPv4) Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var (
+		best     Host
+		bestBits = -1
+	)
+	for _, e := range n.providers {
+		if e.prefix.Bits >= bestBits && e.prefix.Contains(ip) {
+			if h := e.provider.Host(ip); h != nil {
+				best = h
+				bestBits = e.prefix.Bits
+			}
+		}
+	}
+	return best
+}
+
+// emit delivers an event to every observer covering the destination.
+func (n *Network) emit(ev ProbeEvent) {
+	n.mu.RLock()
+	obs := n.observers
+	n.mu.RUnlock()
+	for _, e := range obs {
+		if e.prefix.Contains(ev.Dst.IP) {
+			e.observer.Observe(ev)
+		}
+	}
+}
+
+// ProbeOptions let senders control the wire-level fingerprint of their
+// traffic (the telescope records TTLs and the masscan ip.id quirk).
+type ProbeOptions struct {
+	TTL     uint8
+	Spoofed bool
+	Masscan bool
+}
+
+// SynProbe performs a stateless TCP SYN probe: it reports whether a host at
+// dst accepts connections on the port, without establishing one. This is the
+// ZMap fast path — no connection state is created for the millions of
+// unresponsive addresses.
+func (n *Network) SynProbe(src Endpoint, dst Endpoint, opts ProbeOptions) bool {
+	ttl := opts.TTL
+	if ttl == 0 {
+		ttl = n.DefaultTTL
+	}
+	n.emit(ProbeEvent{
+		Time: n.clock.Now(), Src: src, Dst: dst, Transport: TCP, Kind: ProbeSYN,
+		Size: 0, TTL: ttl, Spoofed: opts.Spoofed, Masscan: opts.Masscan,
+	})
+	h := n.lookupHost(dst.IP)
+	if h == nil {
+		return false
+	}
+	return h.StreamService(dst.Port) != nil
+}
+
+// Dial establishes a TCP-like connection from src to dst. The returned conn
+// is served by the destination host's handler in a new goroutine.
+func (n *Network) Dial(ctx context.Context, src IPv4, dst Endpoint, opts ProbeOptions) (*ServiceConn, error) {
+	n.stats.Dials.Add(1)
+	now := n.clock.Now()
+	ttl := opts.TTL
+	if ttl == 0 {
+		ttl = n.DefaultTTL
+	}
+	srcEP := Endpoint{IP: src, Port: ephemeralPort(src, dst)}
+	n.emit(ProbeEvent{
+		Time: now, Src: srcEP, Dst: dst, Transport: TCP, Kind: ProbeSYN,
+		TTL: ttl, Spoofed: opts.Spoofed, Masscan: opts.Masscan,
+	})
+	h := n.lookupHost(dst.IP)
+	if h == nil {
+		n.stats.Unreachable.Add(1)
+		return nil, ErrHostUnreachable
+	}
+	handler := h.StreamService(dst.Port)
+	if handler == nil {
+		n.stats.Refused.Add(1)
+		return nil, ErrConnRefused
+	}
+	n.stats.DialsOK.Add(1)
+	n.emit(ProbeEvent{Time: now, Src: srcEP, Dst: dst, Transport: TCP, Kind: ProbeACK, TTL: ttl})
+
+	clientNC, serverNC := NewConnPair(srcEP, dst)
+	client := &ServiceConn{conn: clientNC.(*conn), DialTime: now}
+	server := &ServiceConn{conn: serverNC.(*conn), DialTime: now}
+	go func() {
+		defer server.Close()
+		handler.Serve(ctx, server)
+	}()
+	return client, nil
+}
+
+// Query sends a UDP datagram from src to dst and returns the response, or
+// nil if the destination does not answer (dark address, closed port, or the
+// service dropped the probe).
+func (n *Network) Query(src IPv4, dst Endpoint, payload []byte, opts ProbeOptions) []byte {
+	n.stats.Datagrams.Add(1)
+	now := n.clock.Now()
+	ttl := opts.TTL
+	if ttl == 0 {
+		ttl = n.DefaultTTL
+	}
+	srcEP := Endpoint{IP: src, Port: ephemeralPort(src, dst)}
+	n.emit(ProbeEvent{
+		Time: now, Src: srcEP, Dst: dst, Transport: UDP, Kind: ProbeUDP,
+		Size: len(payload), TTL: ttl, Spoofed: opts.Spoofed, Masscan: opts.Masscan,
+	})
+	h := n.lookupHost(dst.IP)
+	if h == nil {
+		return nil
+	}
+	handler := h.DatagramService(dst.Port)
+	if handler == nil {
+		return nil
+	}
+	resp := handler.HandleDatagram(srcEP, payload)
+	if resp != nil {
+		n.stats.Responses.Add(1)
+	}
+	return resp
+}
+
+// ephemeralPort derives a stable pseudo-ephemeral source port for a flow so
+// telescope FlowTuples have realistic, consistent 5-tuples.
+func ephemeralPort(src IPv4, dst Endpoint) uint16 {
+	h := uint32(src) * 2654435761
+	h ^= uint32(dst.IP) * 2246822519
+	h ^= uint32(dst.Port) * 3266489917
+	h = (h >> 16) ^ h
+	return uint16(32768 + h%28232) // IANA ephemeral range 32768..60999
+}

@@ -1,0 +1,365 @@
+package netsim
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler answers one line with "echo: <line>".
+type echoHandler struct{}
+
+func (echoHandler) Serve(_ context.Context, c *ServiceConn) {
+	r := bufio.NewReader(c)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	_, _ = io.WriteString(c, "echo: "+line)
+}
+
+// testHost serves echo on TCP port 7 and ping on UDP port 9.
+type testHost struct{}
+
+func (testHost) StreamService(port uint16) StreamHandler {
+	if port == 7 {
+		return echoHandler{}
+	}
+	return nil
+}
+
+func (testHost) DatagramService(port uint16) DatagramHandler {
+	if port == 9 {
+		return DatagramHandlerFunc(func(_ Endpoint, payload []byte) []byte {
+			return append([]byte("pong:"), payload...)
+		})
+	}
+	return nil
+}
+
+func testNetwork() *Network {
+	n := NewNetwork(NewSimClock(ExperimentStart))
+	n.AddProvider(MustParsePrefix("10.0.0.0/8"), HostProviderFunc(func(ip IPv4) Host {
+		if ip == MustParseIPv4("10.0.0.1") {
+			return testHost{}
+		}
+		return nil
+	}))
+	return n
+}
+
+func TestDialAndEcho(t *testing.T) {
+	n := testNetwork()
+	conn, err := n.Dial(context.Background(), MustParseIPv4("192.0.2.1"),
+		Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 7}, ProbeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "hello\n"); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line != "echo: hello\n" {
+		t.Fatalf("got %q", line)
+	}
+}
+
+func TestDialRefusedAndUnreachable(t *testing.T) {
+	n := testNetwork()
+	_, err := n.Dial(context.Background(), 1, Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 23}, ProbeOptions{})
+	if !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("closed port: err = %v, want ErrConnRefused", err)
+	}
+	_, err = n.Dial(context.Background(), 1, Endpoint{IP: MustParseIPv4("10.9.9.9"), Port: 23}, ProbeOptions{})
+	if !errors.Is(err, ErrHostUnreachable) {
+		t.Fatalf("dark address: err = %v, want ErrHostUnreachable", err)
+	}
+	st := n.Stats()
+	if st.Refused.Load() != 1 || st.Unreachable.Load() != 1 {
+		t.Fatalf("stats refused=%d unreachable=%d", st.Refused.Load(), st.Unreachable.Load())
+	}
+}
+
+func TestSynProbe(t *testing.T) {
+	n := testNetwork()
+	src := Endpoint{IP: 1, Port: 40000}
+	if !n.SynProbe(src, Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 7}, ProbeOptions{}) {
+		t.Fatal("SynProbe open port = false")
+	}
+	if n.SynProbe(src, Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 8}, ProbeOptions{}) {
+		t.Fatal("SynProbe closed port = true")
+	}
+	if n.SynProbe(src, Endpoint{IP: MustParseIPv4("10.3.3.3"), Port: 7}, ProbeOptions{}) {
+		t.Fatal("SynProbe dark address = true")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	n := testNetwork()
+	resp := n.Query(2, Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 9}, []byte("abc"), ProbeOptions{})
+	if string(resp) != "pong:abc" {
+		t.Fatalf("Query = %q", resp)
+	}
+	if resp := n.Query(2, Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 10}, []byte("abc"), ProbeOptions{}); resp != nil {
+		t.Fatalf("closed UDP port answered: %q", resp)
+	}
+	if resp := n.Query(2, Endpoint{IP: MustParseIPv4("10.7.7.7"), Port: 9}, nil, ProbeOptions{}); resp != nil {
+		t.Fatal("dark address answered UDP")
+	}
+	st := n.Stats()
+	if st.Datagrams.Load() != 3 || st.Responses.Load() != 1 {
+		t.Fatalf("stats datagrams=%d responses=%d", st.Datagrams.Load(), st.Responses.Load())
+	}
+}
+
+func TestObserverSeesDarkTraffic(t *testing.T) {
+	n := testNetwork()
+	var mu sync.Mutex
+	var events []ProbeEvent
+	n.AddObserver(MustParsePrefix("44.0.0.0/8"), ObserverFunc(func(ev ProbeEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}))
+
+	// Traffic to the observed /8 is recorded even though it is dark.
+	n.Query(5, Endpoint{IP: MustParseIPv4("44.1.2.3"), Port: 5683}, []byte("x"), ProbeOptions{TTL: 52, Masscan: true})
+	n.SynProbe(Endpoint{IP: 5, Port: 1}, Endpoint{IP: MustParseIPv4("44.9.9.9"), Port: 23}, ProbeOptions{})
+	// Traffic elsewhere is not.
+	n.Query(5, Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 9}, []byte("x"), ProbeOptions{})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("observer saw %d events, want 2", len(events))
+	}
+	if events[0].Transport != UDP || events[0].Size != 1 || events[0].TTL != 52 || !events[0].Masscan {
+		t.Fatalf("UDP event wrong: %+v", events[0])
+	}
+	if events[1].Transport != TCP || events[1].Kind != ProbeSYN || events[1].Dst.Port != 23 {
+		t.Fatalf("SYN event wrong: %+v", events[1])
+	}
+}
+
+func TestMostSpecificProviderWins(t *testing.T) {
+	n := NewNetwork(nil)
+	wide := HostProviderFunc(func(IPv4) Host { return testHost{} })
+	narrow := HostProviderFunc(func(IPv4) Host { return nil }) // dark carve-out
+	n.AddProvider(MustParsePrefix("10.0.0.0/8"), wide)
+	n.AddProvider(MustParsePrefix("10.1.0.0/16"), narrow)
+
+	// Narrow provider returns nil host, so lookup falls back to the wide one:
+	// registration order does not shadow existence, specificity does when a
+	// host is actually present.
+	if h := n.lookupHost(MustParseIPv4("10.1.0.5")); h == nil {
+		t.Fatal("expected fall-through to wide provider when narrow returns nil")
+	}
+
+	// When the narrow provider does return a host it must win.
+	type namedHost struct {
+		testHost
+		name string
+	}
+	n2 := NewNetwork(nil)
+	n2.AddProvider(MustParsePrefix("10.0.0.0/8"), HostProviderFunc(func(IPv4) Host { return namedHost{name: "wide"} }))
+	n2.AddProvider(MustParsePrefix("10.1.0.0/16"), HostProviderFunc(func(IPv4) Host { return namedHost{name: "narrow"} }))
+	h := n2.lookupHost(MustParseIPv4("10.1.0.5"))
+	if h.(namedHost).name != "narrow" {
+		t.Fatalf("got %q, want narrow", h.(namedHost).name)
+	}
+	h = n2.lookupHost(MustParseIPv4("10.2.0.5"))
+	if h.(namedHost).name != "wide" {
+		t.Fatalf("got %q, want wide", h.(namedHost).name)
+	}
+}
+
+func TestDialTimeUsesSimClock(t *testing.T) {
+	clk := NewSimClock(ExperimentStart)
+	n := NewNetwork(clk)
+	n.AddProvider(MustParsePrefix("10.0.0.0/8"), HostProviderFunc(func(IPv4) Host { return testHost{} }))
+	clk.Advance(48 * time.Hour)
+	conn, err := n.Dial(context.Background(), 1, Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 7}, ProbeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	want := ExperimentStart.Add(48 * time.Hour)
+	if !conn.DialTime.Equal(want) {
+		t.Fatalf("DialTime = %v, want %v", conn.DialTime, want)
+	}
+}
+
+func TestEphemeralPortStableAndInRange(t *testing.T) {
+	src := MustParseIPv4("192.0.2.7")
+	dst := Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 23}
+	p1 := ephemeralPort(src, dst)
+	p2 := ephemeralPort(src, dst)
+	if p1 != p2 {
+		t.Fatal("ephemeral port not stable for same flow")
+	}
+	if p1 < 32768 {
+		t.Fatalf("ephemeral port %d below range", p1)
+	}
+}
+
+func TestConnDeadline(t *testing.T) {
+	c1, c2 := NewConnPair(Endpoint{IP: 1, Port: 1}, Endpoint{IP: 2, Port: 2})
+	defer c1.Close()
+	defer c2.Close()
+	if err := c1.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_, err := c1.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Read err = %v, want deadline exceeded", err)
+	}
+	// Clearing the deadline allows reads again.
+	if err := c1.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = c2.Write([]byte("z"))
+	}()
+	if _, err := c1.Read(buf); err != nil {
+		t.Fatalf("read after deadline clear: %v", err)
+	}
+}
+
+func TestConnEOFAfterClose(t *testing.T) {
+	c1, c2 := NewConnPair(Endpoint{IP: 1, Port: 1}, Endpoint{IP: 2, Port: 2})
+	if _, err := c2.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	got, err := io.ReadAll(c1)
+	if err != nil || string(got) != "data" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+func TestConnLargeTransfer(t *testing.T) {
+	// Transfers larger than the internal buffer exercise flow control.
+	c1, c2 := NewConnPair(Endpoint{IP: 1, Port: 1}, Endpoint{IP: 2, Port: 2})
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		defer c2.Close()
+		_, _ = c2.Write(payload)
+	}()
+	got, err := io.ReadAll(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("transferred %d bytes, want %d", len(got), len(payload))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("corruption at byte %d", i)
+		}
+	}
+}
+
+func TestConnAddrs(t *testing.T) {
+	c1, _ := NewConnPair(Endpoint{IP: MustParseIPv4("1.1.1.1"), Port: 5}, Endpoint{IP: MustParseIPv4("2.2.2.2"), Port: 6})
+	if c1.LocalAddr().String() != "1.1.1.1:5" || c1.RemoteAddr().String() != "2.2.2.2:6" {
+		t.Fatalf("addrs %v %v", c1.LocalAddr(), c1.RemoteAddr())
+	}
+	if c1.LocalAddr().Network() != "tcp" {
+		t.Fatal("network name wrong")
+	}
+	ip, ok := RemoteIPv4(c1)
+	if !ok || ip != MustParseIPv4("2.2.2.2") {
+		t.Fatalf("RemoteIPv4 = %v, %v", ip, ok)
+	}
+}
+
+func TestSimClock(t *testing.T) {
+	c := NewSimClock(ExperimentStart)
+	c.Advance(-time.Hour) // ignored
+	if !c.Now().Equal(ExperimentStart) {
+		t.Fatal("negative advance moved clock")
+	}
+	c.Advance(time.Hour)
+	if !c.Now().Equal(ExperimentStart.Add(time.Hour)) {
+		t.Fatal("advance failed")
+	}
+	c.Set(ExperimentStart) // in the past; ignored
+	if !c.Now().Equal(ExperimentStart.Add(time.Hour)) {
+		t.Fatal("Set moved clock backwards")
+	}
+	c.Set(ExperimentStart.Add(2 * time.Hour))
+	if !c.Now().Equal(ExperimentStart.Add(2 * time.Hour)) {
+		t.Fatal("Set forward failed")
+	}
+}
+
+func TestConcurrentDials(t *testing.T) {
+	n := testNetwork()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := n.Dial(context.Background(), IPv4(i+1),
+				Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 7}, ProbeOptions{})
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			defer conn.Close()
+			if _, err := io.WriteString(conn, "x\n"); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			line, err := bufio.NewReader(conn).ReadString('\n')
+			if err != nil || line != "echo: x\n" {
+				t.Errorf("read %d: %q, %v", i, line, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := n.Stats().DialsOK.Load(); got != 50 {
+		t.Fatalf("DialsOK = %d", got)
+	}
+}
+
+func BenchmarkSynProbe(b *testing.B) {
+	n := testNetwork()
+	src := Endpoint{IP: 1, Port: 40000}
+	dst := Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.SynProbe(src, dst, ProbeOptions{})
+	}
+}
+
+func BenchmarkDialEcho(b *testing.B) {
+	n := testNetwork()
+	dst := Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		conn, err := n.Dial(context.Background(), 1, dst, ProbeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.WriteString(conn, "x\n")
+		_, _ = bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+	}
+}

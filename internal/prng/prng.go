@@ -1,0 +1,248 @@
+// Package prng provides a deterministic, splittable pseudo-random number
+// generator and sampling helpers used by every simulation substrate in this
+// repository.
+//
+// Reproducibility is a hard requirement: the simulated Internet population,
+// the attack month, and the telescope traffic must be byte-identical across
+// runs for a given seed so that experiments can be compared against the
+// paper's published tables. The generator is a SplitMix64 core (Steele et
+// al., "Fast Splittable Pseudorandom Number Generators") which passes BigCrush
+// for the bit widths we consume and — crucially — supports cheap derivation
+// of independent streams, letting us compute per-IP host configurations
+// lazily without materializing billions of hosts.
+package prng
+
+import "math"
+
+// golden is the 64-bit golden-ratio increment used by SplitMix64.
+const golden = 0x9e3779b97f4a7c15
+
+// Source is a deterministic SplitMix64 random source. The zero value is a
+// valid generator seeded with 0; use New or Derive for independent streams.
+type Source struct {
+	seed  uint64 // immutable: the root of Derive/Hash64 streams
+	state uint64 // advanced by Uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{seed: seed, state: seed}
+}
+
+// mix is the SplitMix64 output function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	return mix(s.state)
+}
+
+// Derive returns a new independent Source whose stream is a pure function of
+// the parent seed and the label values. Deriving with the same labels always
+// yields the same stream, regardless of how much of the parent stream has
+// been consumed. This is what makes lazy per-IP host generation possible.
+func (s *Source) Derive(labels ...uint64) *Source {
+	h := s.seed
+	for _, l := range labels {
+		h = mix(h ^ (l + golden))
+	}
+	return &Source{seed: h, state: h}
+}
+
+// Hash64 returns a stable 64-bit hash of the labels under this source's seed
+// without creating a new Source. It is the allocation-free sibling of Derive
+// for one-shot decisions (e.g. "does a host exist at this IP?").
+func (s *Source) Hash64(labels ...uint64) uint64 {
+	h := s.seed
+	for _, l := range labels {
+		h = mix(h ^ (l + golden))
+	}
+	return mix(h + golden)
+}
+
+// HashString folds a string label into a uint64 suitable for Derive/Hash64.
+func HashString(str string) uint64 {
+	// FNV-1a 64-bit; stable and stdlib-free of imports.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(str); i++ {
+		h ^= uint64(str[i])
+		h *= prime
+	}
+	return h
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uint32 returns 32 random bits.
+func (s *Source) Uint32() uint32 {
+	return uint32(s.Uint64() >> 32)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+// It is used for inter-arrival times in the attack scheduler.
+func (s *Source) Exp(mean float64) float64 {
+	u := s.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(u)
+}
+
+// Norm returns a normally distributed float64 (Box–Muller) with the given
+// mean and standard deviation.
+func (s *Source) Norm(mean, stddev float64) float64 {
+	u1 := s.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's algorithm for small means and a normal approximation above 30.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(s.Norm(mean, math.Sqrt(mean)) + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// WeightedChoice selects an index in [0, len(weights)) with probability
+// proportional to weights[i]. Zero or negative weights are never selected.
+// It panics if the total weight is not positive.
+func (s *Source) WeightedChoice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("prng: WeightedChoice with non-positive total weight")
+	}
+	target := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		target -= w
+		if target < 0 {
+			return i
+		}
+	}
+	// Floating-point slack: fall back to the last positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("prng: unreachable")
+}
+
+// Zipf samples from a Zipf distribution over [0, n) with exponent alpha > 0.
+// Rank 0 is the most probable outcome. It uses the inverse-CDF over the
+// precomputed table when called through a Zipfian, but this convenience
+// method recomputes the normalizer and is intended for small n.
+func (s *Source) Zipf(n int, alpha float64) int {
+	z := NewZipfian(n, alpha)
+	return z.Sample(s)
+}
+
+// Zipfian is a precomputed Zipf sampler over ranks [0, n).
+type Zipfian struct {
+	cdf []float64
+}
+
+// NewZipfian builds a Zipf sampler with n ranks and exponent alpha.
+func NewZipfian(n int, alpha float64) *Zipfian {
+	if n <= 0 {
+		panic("prng: NewZipfian with non-positive n")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipfian{cdf: cdf}
+}
+
+// Sample draws a rank from the distribution using src.
+func (z *Zipfian) Sample(src *Source) int {
+	u := src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,120 @@
+package amqp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"time"
+)
+
+// Probe performs the paper's AMQP banner grab over an established
+// connection: send the protocol header, read connection.start, and return
+// the server properties without completing authentication.
+func Probe(conn net.Conn, timeout time.Duration) (*ServerProperties, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(ProtocolHeader); err != nil {
+		return nil, err
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	return ParseStart(f)
+}
+
+// Session is an authenticated client session for attack actors.
+type Session struct {
+	conn  net.Conn
+	props *ServerProperties
+}
+
+// Connect performs the full preamble: header, start/start-ok with the given
+// mechanism and credentials, tune-ok and open. It reports whether the broker
+// admitted the session.
+func Connect(conn net.Conn, mechanism, user, pass string, timeout time.Duration) (*Session, bool, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(ProtocolHeader); err != nil {
+		return nil, false, err
+	}
+	start, err := readFrame(conn)
+	if err != nil {
+		return nil, false, err
+	}
+	props, err := ParseStart(start)
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := conn.Write(StartOKFrame(mechanism, user, pass).Marshal()); err != nil {
+		return nil, false, err
+	}
+	// Expect tune (admitted) or connection.close 403 (rejected).
+	f, err := readFrame(conn)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if f.Type == FrameMethod && len(f.Payload) >= 4 {
+		class := binary.BigEndian.Uint16(f.Payload[0:2])
+		method := binary.BigEndian.Uint16(f.Payload[2:4])
+		if class == ClassConnection && method == MethodClose {
+			return nil, false, nil
+		}
+		if class == ClassConnection && method == MethodTune {
+			// tune-ok then open
+			var tuneOK []byte
+			tuneOK = binary.BigEndian.AppendUint16(tuneOK, ClassConnection)
+			tuneOK = binary.BigEndian.AppendUint16(tuneOK, MethodTuneOK)
+			tuneOK = append(tuneOK, f.Payload[4:]...)
+			if _, err := conn.Write((&Frame{Type: FrameMethod, Payload: tuneOK}).Marshal()); err != nil {
+				return nil, false, err
+			}
+			var open []byte
+			open = binary.BigEndian.AppendUint16(open, ClassConnection)
+			open = binary.BigEndian.AppendUint16(open, MethodOpen)
+			open = append(open, 1, '/')
+			if _, err := conn.Write((&Frame{Type: FrameMethod, Payload: open}).Marshal()); err != nil {
+				return nil, false, err
+			}
+			if _, err := readFrame(conn); err != nil { // open-ok
+				return nil, false, err
+			}
+			return &Session{conn: conn, props: props}, true, nil
+		}
+	}
+	return nil, false, ErrMalformed
+}
+
+// Properties returns the server identity captured at connect.
+func (s *Session) Properties() *ServerProperties { return s.props }
+
+// Publish sends a basic.publish — the queue-poisoning primitive.
+func (s *Session) Publish(exchange, routingKey string, body []byte) error {
+	_ = s.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_, err := s.conn.Write(PublishFrame(exchange, routingKey, body).Marshal())
+	return err
+}
+
+// Close sends connection.close and closes the transport.
+func (s *Session) Close() error {
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, ClassConnection)
+	body = binary.BigEndian.AppendUint16(body, MethodClose)
+	body = binary.BigEndian.AppendUint16(body, 200)
+	_, _ = s.conn.Write((&Frame{Type: FrameMethod, Payload: body}).Marshal())
+	return s.conn.Close()
+}
+
+// IsAMQP reports whether a server greeting looks like an AMQP rejection
+// header (servers answer bad greetings with their supported header).
+func IsAMQP(greeting []byte) bool {
+	return bytes.HasPrefix(greeting, []byte("AMQP"))
+}

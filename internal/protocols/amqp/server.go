@@ -1,0 +1,281 @@
+package amqp
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// EventKind classifies broker-side observations.
+type EventKind uint8
+
+// Broker event kinds.
+const (
+	EventHandshake EventKind = iota
+	EventStartOK             // client answered connection.start (credentials seen)
+	EventPublish             // basic.publish (queue poisoning / flood)
+)
+
+// Event is one broker observation.
+type Event struct {
+	Time      time.Time
+	Kind      EventKind
+	Remote    netsim.IPv4
+	Mechanism string
+	Username  string
+	Exchange  string
+	Body      []byte
+}
+
+// ServerConfig configures the minimal AMQP broker.
+type ServerConfig struct {
+	Properties ServerProperties
+	// RequireAuth rejects ANONYMOUS/guest logins. Misconfigured brokers
+	// (Table 5: 2,731 devices) leave this unset.
+	RequireAuth bool
+	// Credentials maps username → password for PLAIN auth.
+	Credentials map[string]string
+	// OnEvent, when non-nil, receives observations.
+	OnEvent func(Event)
+	// MaxPublishes closes the session after this many publishes (0 = 1000);
+	// the flood guard mirrors the DoS behaviour seen on HosTaGe.
+	MaxPublishes int
+}
+
+// Server is a minimal AMQP 0-9-1 broker: header exchange, start/start-ok,
+// tune, open, then it accepts basic.publish frames.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer builds a Server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Properties.Product == "" {
+		cfg.Properties = ServerProperties{
+			Product: "RabbitMQ", Version: "3.8.9", Platform: "Erlang/OTP 23",
+			Mechanisms: []string{"PLAIN", "AMQPLAIN"},
+		}
+	}
+	if cfg.MaxPublishes == 0 {
+		cfg.MaxPublishes = 1000
+	}
+	return &Server{cfg: cfg}
+}
+
+func (s *Server) emit(ev Event) {
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(ev)
+	}
+}
+
+// Serve implements netsim.StreamHandler.
+func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	remote, _ := netsim.RemoteIPv4(conn)
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		return
+	}
+	if !bytes.Equal(hdr, ProtocolHeader) {
+		// Spec: answer a bad greeting with the supported header and close.
+		_, _ = conn.Write(ProtocolHeader)
+		return
+	}
+	s.emit(Event{Time: conn.DialTime, Kind: EventHandshake, Remote: remote})
+	if _, err := conn.Write(StartFrame(s.cfg.Properties).Marshal()); err != nil {
+		return
+	}
+
+	// Read connection.start-ok with the client's mechanism and response.
+	f, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	mech, user, pass := parseStartOK(f)
+	s.emit(Event{Time: conn.DialTime, Kind: EventStartOK, Remote: remote,
+		Mechanism: mech, Username: user})
+	if s.cfg.RequireAuth {
+		want, ok := s.cfg.Credentials[user]
+		if mech == "ANONYMOUS" || !ok || want != pass {
+			// connection.close with 403.
+			var body []byte
+			body = binary.BigEndian.AppendUint16(body, ClassConnection)
+			body = binary.BigEndian.AppendUint16(body, MethodClose)
+			body = binary.BigEndian.AppendUint16(body, 403)
+			_, _ = conn.Write((&Frame{Type: FrameMethod, Payload: body}).Marshal())
+			return
+		}
+	}
+
+	// tune → (tune-ok) → open-ok handshake, heavily simplified: we send
+	// tune and open-ok proactively and then consume whatever arrives.
+	var tune []byte
+	tune = binary.BigEndian.AppendUint16(tune, ClassConnection)
+	tune = binary.BigEndian.AppendUint16(tune, MethodTune)
+	tune = binary.BigEndian.AppendUint16(tune, 2047)   // channel-max
+	tune = binary.BigEndian.AppendUint32(tune, 131072) // frame-max
+	tune = binary.BigEndian.AppendUint16(tune, 60)     // heartbeat
+	if _, err := conn.Write((&Frame{Type: FrameMethod, Payload: tune}).Marshal()); err != nil {
+		return
+	}
+
+	publishes := 0
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if f.Type == FrameHeartbeat {
+			_, _ = conn.Write((&Frame{Type: FrameHeartbeat}).Marshal())
+			continue
+		}
+		if f.Type != FrameMethod || len(f.Payload) < 4 {
+			continue
+		}
+		class := binary.BigEndian.Uint16(f.Payload[0:2])
+		method := binary.BigEndian.Uint16(f.Payload[2:4])
+		switch {
+		case class == ClassConnection && method == MethodTuneOK:
+			// nothing to send
+		case class == ClassConnection && method == MethodOpen:
+			var ok []byte
+			ok = binary.BigEndian.AppendUint16(ok, ClassConnection)
+			ok = binary.BigEndian.AppendUint16(ok, MethodOpenOK)
+			ok = append(ok, 0) // reserved shortstr
+			if _, err := conn.Write((&Frame{Type: FrameMethod, Payload: ok}).Marshal()); err != nil {
+				return
+			}
+		case class == ClassConnection && method == MethodClose:
+			var ok []byte
+			ok = binary.BigEndian.AppendUint16(ok, ClassConnection)
+			ok = binary.BigEndian.AppendUint16(ok, MethodCloseOK)
+			_, _ = conn.Write((&Frame{Type: FrameMethod, Payload: ok}).Marshal())
+			return
+		case class == ClassBasic && method == MethodPublish:
+			publishes++
+			exchange, body := parsePublish(f)
+			s.emit(Event{Time: conn.DialTime, Kind: EventPublish, Remote: remote,
+				Exchange: exchange, Body: body})
+			if publishes >= s.cfg.MaxPublishes {
+				return
+			}
+		}
+	}
+}
+
+// readFrame reads one frame from the stream.
+func readFrame(conn io.Reader) (*Frame, error) {
+	hdr := make([]byte, 7)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[3:7])
+	if size > maxFrameSize {
+		return nil, ErrFrameTooBig
+	}
+	rest := make([]byte, size+1)
+	if _, err := io.ReadFull(conn, rest); err != nil {
+		return nil, err
+	}
+	if rest[size] != frameEnd {
+		return nil, ErrMalformed
+	}
+	return &Frame{Type: hdr[0], Channel: binary.BigEndian.Uint16(hdr[1:3]),
+		Payload: rest[:size]}, nil
+}
+
+// parseStartOK extracts mechanism and PLAIN credentials from start-ok.
+func parseStartOK(f *Frame) (mech, user, pass string) {
+	p := f.Payload
+	if len(p) < 4 {
+		return "", "", ""
+	}
+	p = p[4:] // class + method
+	// client-properties table
+	table, p, err := readLongBytes(p)
+	if err != nil {
+		return "", "", ""
+	}
+	_ = table
+	// mechanism shortstr
+	if len(p) < 1 || len(p) < 1+int(p[0]) {
+		return "", "", ""
+	}
+	mech = string(p[1 : 1+int(p[0])])
+	p = p[1+int(p[0]):]
+	// response longstr: PLAIN is \x00user\x00pass
+	resp, _, err := readLongBytes(p)
+	if err != nil {
+		return mech, "", ""
+	}
+	if mech == "PLAIN" {
+		parts := bytes.Split(resp, []byte{0})
+		if len(parts) == 3 {
+			user, pass = string(parts[1]), string(parts[2])
+		}
+	}
+	return mech, user, pass
+}
+
+// parsePublish extracts the exchange name; the body (if inlined by our
+// simplified client after the method payload) follows a zero marker.
+func parsePublish(f *Frame) (exchange string, body []byte) {
+	p := f.Payload
+	if len(p) < 6 {
+		return "", nil
+	}
+	p = p[6:] // class, method, reserved-1
+	if len(p) < 1 || len(p) < 1+int(p[0]) {
+		return "", nil
+	}
+	exchange = string(p[1 : 1+int(p[0])])
+	p = p[1+int(p[0]):]
+	// routing key shortstr
+	if len(p) >= 1 && len(p) >= 1+int(p[0]) {
+		p = p[1+int(p[0]):]
+	}
+	if len(p) > 1 {
+		body = p[1:] // skip flags octet
+	}
+	return exchange, body
+}
+
+// StartOKFrame builds a client start-ok answer with PLAIN credentials
+// (empty user+pass probes anonymous access).
+func StartOKFrame(mechanism, user, pass string) *Frame {
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, ClassConnection)
+	body = binary.BigEndian.AppendUint16(body, MethodStartOK)
+	body = binary.BigEndian.AppendUint32(body, 0) // empty client-properties
+	body = append(body, byte(len(mechanism)))
+	body = append(body, mechanism...)
+	resp := "\x00" + user + "\x00" + pass
+	if mechanism == "ANONYMOUS" {
+		resp = ""
+	}
+	body = binary.BigEndian.AppendUint32(body, uint32(len(resp)))
+	body = append(body, resp...)
+	body = append(body, 5)
+	body = append(body, "en_US"...)
+	return &Frame{Type: FrameMethod, Payload: body}
+}
+
+// PublishFrame builds a simplified basic.publish frame carrying body inline.
+func PublishFrame(exchange, routingKey string, body []byte) *Frame {
+	var p []byte
+	p = binary.BigEndian.AppendUint16(p, ClassBasic)
+	p = binary.BigEndian.AppendUint16(p, MethodPublish)
+	p = binary.BigEndian.AppendUint16(p, 0) // reserved-1
+	p = append(p, byte(len(exchange)))
+	p = append(p, exchange...)
+	p = append(p, byte(len(routingKey)))
+	p = append(p, routingKey...)
+	p = append(p, 0) // flags
+	p = append(p, body...)
+	return &Frame{Type: FrameMethod, Payload: p}
+}

@@ -1,0 +1,61 @@
+package coap
+
+import "openhire/internal/prng"
+
+// Client builds probe datagrams and interprets responses. CoAP is UDP, so
+// the client is stateless: callers pass datagrams through netsim.Query (or a
+// real net.PacketConn in the examples) themselves.
+type Client struct {
+	src    *prng.Source
+	nextID uint16
+}
+
+// NewClient returns a client whose message IDs derive from seed.
+func NewClient(seed uint64) *Client {
+	src := prng.New(seed)
+	return &Client{src: src, nextID: uint16(src.Uint64())}
+}
+
+// DiscoveryProbe builds the "/.well-known/core" GET the paper's scanner
+// sends (Section 3.1.1).
+func (c *Client) DiscoveryProbe() []byte {
+	c.nextID++
+	m := &Message{
+		Type:      Confirmable,
+		Code:      CodeGET,
+		MessageID: c.nextID,
+		Token:     []byte{byte(c.src.Uint64()), byte(c.src.Uint64())},
+	}
+	m.SetPath(WellKnownCore)
+	return m.Marshal()
+}
+
+// Get builds a GET for an arbitrary path.
+func (c *Client) Get(path string) []byte {
+	c.nextID++
+	m := &Message{Type: Confirmable, Code: CodeGET, MessageID: c.nextID}
+	m.SetPath(path)
+	return m.Marshal()
+}
+
+// Put builds a PUT carrying payload — the data-poisoning attack primitive
+// observed on the honeypots (Section 4.3.1).
+func (c *Client) Put(path string, payload []byte) []byte {
+	c.nextID++
+	m := &Message{Type: Confirmable, Code: CodePUT, MessageID: c.nextID, Payload: payload}
+	m.SetPath(path)
+	return m.Marshal()
+}
+
+// ParseDiscovery interprets a response to DiscoveryProbe. It returns the
+// link-format body and whether the endpoint disclosed resources.
+func ParseDiscovery(raw []byte) (body string, disclosed bool, err error) {
+	m, err := Unmarshal(raw)
+	if err != nil {
+		return "", false, err
+	}
+	if m.Code != CodeContent {
+		return "", false, nil
+	}
+	return string(m.Payload), len(m.Payload) > 0, nil
+}

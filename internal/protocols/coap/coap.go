@@ -1,0 +1,259 @@
+// Package coap implements the Constrained Application Protocol (RFC 7252)
+// message codec plus a resource server and probing client.
+//
+// CoAP runs over UDP on port 5683. The paper's probe queries
+// "/.well-known/core" (Section 3.1.1); misconfigured devices answer with
+// their full resource list ("Resource Disclosure", Table 3), and because an
+// unauthenticated CoAP responder answers any source address it can be
+// recruited as a DDoS reflector — the largest misconfiguration class in
+// Table 5 (543,341 devices) after UPnP.
+package coap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the CoAP message type.
+type Type uint8
+
+// CoAP message types (RFC 7252 §3).
+const (
+	Confirmable    Type = 0
+	NonConfirmable Type = 1
+	Acknowledgment Type = 2
+	Reset          Type = 3
+)
+
+// Code is the CoAP request method or response code, packed as class.detail.
+type Code uint8
+
+// Method and response codes.
+const (
+	CodeEmpty  Code = 0
+	CodeGET    Code = 1
+	CodePOST   Code = 2
+	CodePUT    Code = 3
+	CodeDELETE Code = 4
+
+	// Response codes: 0xVV where class = code >> 5.
+	CodeCreated      Code = 2<<5 | 1 // 2.01
+	CodeDeleted      Code = 2<<5 | 2 // 2.02
+	CodeValid        Code = 2<<5 | 3 // 2.03
+	CodeChanged      Code = 2<<5 | 4 // 2.04
+	CodeContent      Code = 2<<5 | 5 // 2.05
+	CodeBadRequest   Code = 4<<5 | 0 // 4.00
+	CodeUnauthorized Code = 4<<5 | 1 // 4.01
+	CodeForbidden    Code = 4<<5 | 3 // 4.03
+	CodeNotFound     Code = 4<<5 | 4 // 4.04
+	CodeNotAllowed   Code = 4<<5 | 5 // 4.05
+)
+
+// String renders the dotted class.detail form ("2.05").
+func (c Code) String() string {
+	if c == CodeEmpty {
+		return "0.00"
+	}
+	if c>>5 == 0 {
+		// Request methods.
+		switch c {
+		case CodeGET:
+			return "GET"
+		case CodePOST:
+			return "POST"
+		case CodePUT:
+			return "PUT"
+		case CodeDELETE:
+			return "DELETE"
+		}
+	}
+	return fmt.Sprintf("%d.%02d", c>>5, c&0x1f)
+}
+
+// Option numbers used by the study's probes and servers.
+const (
+	OptUriPath       = 11
+	OptContentFormat = 12
+	OptUriQuery      = 15
+)
+
+// Content formats.
+const (
+	FormatText     = 0
+	FormatLinkList = 40 // application/link-format (RFC 6690)
+)
+
+// Option is one CoAP option (number + value).
+type Option struct {
+	Number uint16
+	Value  []byte
+}
+
+// Message is a decoded CoAP message.
+type Message struct {
+	Type      Type
+	Code      Code
+	MessageID uint16
+	Token     []byte
+	Options   []Option
+	Payload   []byte
+}
+
+// ErrMalformed is returned when a datagram is not valid CoAP.
+var ErrMalformed = errors.New("coap: malformed message")
+
+const version = 1
+
+// Marshal serializes the message to its RFC 7252 wire form.
+func (m *Message) Marshal() []byte {
+	if len(m.Token) > 8 {
+		m.Token = m.Token[:8]
+	}
+	out := []byte{
+		version<<6 | byte(m.Type)<<4 | byte(len(m.Token)),
+		byte(m.Code),
+		byte(m.MessageID >> 8), byte(m.MessageID),
+	}
+	out = append(out, m.Token...)
+
+	// Options must be encoded in ascending number order with delta encoding.
+	opts := append([]Option(nil), m.Options...)
+	sort.SliceStable(opts, func(i, j int) bool { return opts[i].Number < opts[j].Number })
+	prev := uint16(0)
+	for _, o := range opts {
+		delta := o.Number - prev
+		prev = o.Number
+		out = appendOptionHeader(out, int(delta), len(o.Value))
+		out = append(out, o.Value...)
+	}
+	if len(m.Payload) > 0 {
+		out = append(out, 0xff)
+		out = append(out, m.Payload...)
+	}
+	return out
+}
+
+// appendOptionHeader writes the delta/length nibbles with extended forms.
+func appendOptionHeader(dst []byte, delta, length int) []byte {
+	dn, de := nibble(delta)
+	ln, le := nibble(length)
+	dst = append(dst, byte(dn)<<4|byte(ln))
+	dst = append(dst, de...)
+	return append(dst, le...)
+}
+
+func nibble(v int) (int, []byte) {
+	switch {
+	case v < 13:
+		return v, nil
+	case v < 269:
+		return 13, []byte{byte(v - 13)}
+	default:
+		return 14, []byte{byte((v - 269) >> 8), byte(v - 269)}
+	}
+}
+
+// Unmarshal parses a CoAP datagram.
+func Unmarshal(raw []byte) (*Message, error) {
+	if len(raw) < 4 {
+		return nil, ErrMalformed
+	}
+	if raw[0]>>6 != version {
+		return nil, ErrMalformed
+	}
+	tkl := int(raw[0] & 0x0f)
+	if tkl > 8 {
+		return nil, ErrMalformed
+	}
+	m := &Message{
+		Type:      Type(raw[0] >> 4 & 0x03),
+		Code:      Code(raw[1]),
+		MessageID: uint16(raw[2])<<8 | uint16(raw[3]),
+	}
+	p := raw[4:]
+	if len(p) < tkl {
+		return nil, ErrMalformed
+	}
+	m.Token = append([]byte(nil), p[:tkl]...)
+	p = p[tkl:]
+
+	num := uint16(0)
+	for len(p) > 0 {
+		if p[0] == 0xff {
+			if len(p) == 1 {
+				return nil, ErrMalformed // payload marker with no payload
+			}
+			m.Payload = append([]byte(nil), p[1:]...)
+			return m, nil
+		}
+		dn := int(p[0] >> 4)
+		ln := int(p[0] & 0x0f)
+		p = p[1:]
+		var delta, length int
+		var err error
+		if delta, p, err = extendNibble(dn, p); err != nil {
+			return nil, err
+		}
+		if length, p, err = extendNibble(ln, p); err != nil {
+			return nil, err
+		}
+		if len(p) < length {
+			return nil, ErrMalformed
+		}
+		num += uint16(delta)
+		m.Options = append(m.Options, Option{Number: num, Value: append([]byte(nil), p[:length]...)})
+		p = p[length:]
+	}
+	return m, nil
+}
+
+func extendNibble(n int, p []byte) (int, []byte, error) {
+	switch n {
+	case 13:
+		if len(p) < 1 {
+			return 0, nil, ErrMalformed
+		}
+		return int(p[0]) + 13, p[1:], nil
+	case 14:
+		if len(p) < 2 {
+			return 0, nil, ErrMalformed
+		}
+		return int(p[0])<<8 + int(p[1]) + 269, p[2:], nil
+	case 15:
+		return 0, nil, ErrMalformed // reserved
+	default:
+		return n, p, nil
+	}
+}
+
+// Path joins the Uri-Path options into "/a/b/c".
+func (m *Message) Path() string {
+	var segs []string
+	for _, o := range m.Options {
+		if o.Number == OptUriPath {
+			segs = append(segs, string(o.Value))
+		}
+	}
+	return "/" + strings.Join(segs, "/")
+}
+
+// SetPath replaces the Uri-Path options from a "/a/b/c" path.
+func (m *Message) SetPath(path string) {
+	kept := m.Options[:0]
+	for _, o := range m.Options {
+		if o.Number != OptUriPath {
+			kept = append(kept, o)
+		}
+	}
+	m.Options = kept
+	for _, seg := range strings.Split(strings.TrimPrefix(path, "/"), "/") {
+		if seg != "" {
+			m.Options = append(m.Options, Option{Number: OptUriPath, Value: []byte(seg)})
+		}
+	}
+}
+
+// WellKnownCore is the discovery path every probe in the study queries.
+const WellKnownCore = "/.well-known/core"

@@ -1,0 +1,301 @@
+// Package ftp implements the FTP control-channel conversation the Dionaea
+// honeypot profile needs: USER/PASS authentication (including anonymous),
+// directory listing, and STOR uploads so malware deployments are captured
+// (the paper's honeypots received Mozi and Lokibot binaries over FTP,
+// Section 5.1.5).
+//
+// Data transfers use a simplified inline mode: STOR is followed by a
+// length-prefixed upload on the control connection. The observable the
+// study depends on — the uploaded bytes, hashed and checked against the
+// threat database — is unchanged; separate PORT/PASV data channels add no
+// measurement value in the simulation.
+package ftp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// Port is the FTP control port.
+const Port uint16 = 21
+
+// Event logs one FTP session.
+type Event struct {
+	Time     time.Time
+	Remote   netsim.IPv4
+	Username string
+	Password string
+	LoginOK  bool
+	Uploads  []Upload
+	Commands []string
+}
+
+// Upload records one STOR transfer.
+type Upload struct {
+	Name string
+	Data []byte
+}
+
+// Config describes an FTP endpoint.
+type Config struct {
+	// Banner is the 220 greeting ("220 (vsFTPd 2.3.4)").
+	Banner string
+	// AllowAnonymous admits USER anonymous — the Springall et al. [74]
+	// misconfiguration this paper's methodology descends from.
+	AllowAnonymous bool
+	// Credentials maps username → password.
+	Credentials map[string]string
+	// AllowWrite admits STOR for authenticated users.
+	AllowWrite bool
+	// Files maps names to contents for LIST/RETR.
+	Files map[string][]byte
+	// OnEvent receives the session record at close.
+	OnEvent func(Event)
+	// MaxUploadBytes bounds one STOR (0 = 1 MiB).
+	MaxUploadBytes int
+}
+
+// Server implements netsim.StreamHandler.
+type Server struct {
+	cfg Config
+}
+
+// NewServer builds a Server.
+func NewServer(cfg Config) *Server {
+	if cfg.Banner == "" {
+		cfg.Banner = "220 (vsFTPd 3.0.3)"
+	}
+	if cfg.MaxUploadBytes == 0 {
+		cfg.MaxUploadBytes = 1 << 20
+	}
+	return &Server{cfg: cfg}
+}
+
+// Serve implements netsim.StreamHandler.
+func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	remote, _ := netsim.RemoteIPv4(conn)
+	ev := Event{Time: conn.DialTime, Remote: remote}
+	defer func() {
+		if s.cfg.OnEvent != nil {
+			s.cfg.OnEvent(ev)
+		}
+	}()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	w := bufio.NewWriter(conn)
+	r := bufio.NewReader(conn)
+	reply := func(line string) bool {
+		_, _ = w.WriteString(line + "\r\n")
+		return w.Flush() == nil
+	}
+	if !reply(s.cfg.Banner) {
+		return
+	}
+
+	authed := false
+	var pendingUser string
+	for len(ev.Commands) < 128 {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ev.Commands = append(ev.Commands, line)
+		verb, arg := splitCommand(line)
+		switch verb {
+		case "USER":
+			pendingUser = arg
+			if !reply("331 Please specify the password.") {
+				return
+			}
+		case "PASS":
+			ev.Username, ev.Password = pendingUser, arg
+			switch {
+			case strings.EqualFold(pendingUser, "anonymous") && s.cfg.AllowAnonymous:
+				authed = true
+			case s.cfg.Credentials[pendingUser] == arg && pendingUser != "":
+				if _, exists := s.cfg.Credentials[pendingUser]; exists {
+					authed = true
+				}
+			}
+			ev.LoginOK = authed
+			if authed {
+				if !reply("230 Login successful.") {
+					return
+				}
+			} else if !reply("530 Login incorrect.") {
+				return
+			}
+		case "SYST":
+			if !reply("215 UNIX Type: L8") {
+				return
+			}
+		case "PWD":
+			if !reply(`257 "/" is the current directory`) {
+				return
+			}
+		case "LIST", "NLST":
+			if !authed {
+				if !reply("530 Please login with USER and PASS.") {
+					return
+				}
+				continue
+			}
+			var names []string
+			for name := range s.cfg.Files {
+				names = append(names, name)
+			}
+			if !reply("150 Here comes the directory listing.") {
+				return
+			}
+			for _, n := range names {
+				if !reply(n) {
+					return
+				}
+			}
+			if !reply("226 Directory send OK.") {
+				return
+			}
+		case "STOR":
+			if !authed || !s.cfg.AllowWrite {
+				if !reply("550 Permission denied.") {
+					return
+				}
+				continue
+			}
+			if !reply("150 Ok to send data.") {
+				return
+			}
+			data, err := readInlineUpload(r, s.cfg.MaxUploadBytes)
+			if err != nil {
+				_ = reply("426 Connection closed; transfer aborted.")
+				return
+			}
+			ev.Uploads = append(ev.Uploads, Upload{Name: arg, Data: data})
+			if !reply("226 Transfer complete.") {
+				return
+			}
+		case "QUIT":
+			_ = reply("221 Goodbye.")
+			return
+		default:
+			if !reply("502 Command not implemented.") {
+				return
+			}
+		}
+	}
+}
+
+func splitCommand(line string) (verb, arg string) {
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return strings.ToUpper(line), ""
+	}
+	return strings.ToUpper(line[:sp]), strings.TrimSpace(line[sp+1:])
+}
+
+// readInlineUpload reads "<n>\n" then n raw bytes.
+func readInlineUpload(r *bufio.Reader, max int) ([]byte, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(line))
+	if err != nil || n < 0 || n > max {
+		return nil, fmt.Errorf("ftp: bad inline upload size %q", strings.TrimSpace(line))
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Client drives an FTP session for scan probes and attack actors.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// NewClient wraps an established control connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// ReadReply reads one server reply line.
+func (c *Client) ReadReply(timeout time.Duration) (string, error) {
+	_ = c.conn.SetReadDeadline(time.Now().Add(timeout))
+	line, err := c.r.ReadString('\n')
+	if err != nil && line == "" {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+func (c *Client) send(line string, timeout time.Duration) error {
+	_ = c.conn.SetWriteDeadline(time.Now().Add(timeout))
+	_, err := io.WriteString(c.conn, line+"\r\n")
+	return err
+}
+
+// Login performs USER/PASS and reports acceptance. Call after consuming the
+// 220 banner with ReadReply.
+func (c *Client) Login(user, pass string, timeout time.Duration) (bool, error) {
+	if err := c.send("USER "+user, timeout); err != nil {
+		return false, err
+	}
+	if _, err := c.ReadReply(timeout); err != nil {
+		return false, err
+	}
+	if err := c.send("PASS "+pass, timeout); err != nil {
+		return false, err
+	}
+	reply, err := c.ReadReply(timeout)
+	if err != nil {
+		return false, err
+	}
+	return strings.HasPrefix(reply, "230"), nil
+}
+
+// Store uploads data under name using the inline transfer mode.
+func (c *Client) Store(name string, data []byte, timeout time.Duration) (bool, error) {
+	if err := c.send("STOR "+name, timeout); err != nil {
+		return false, err
+	}
+	reply, err := c.ReadReply(timeout)
+	if err != nil {
+		return false, err
+	}
+	if !strings.HasPrefix(reply, "150") {
+		return false, nil
+	}
+	if err := c.send(strconv.Itoa(len(data)), timeout); err != nil {
+		return false, err
+	}
+	_ = c.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := c.conn.Write(data); err != nil {
+		return false, err
+	}
+	reply, err = c.ReadReply(timeout)
+	if err != nil {
+		return false, err
+	}
+	return strings.HasPrefix(reply, "226"), nil
+}
+
+// Quit ends the session.
+func (c *Client) Quit(timeout time.Duration) {
+	_ = c.send("QUIT", timeout)
+	_, _ = c.ReadReply(timeout)
+	_ = c.conn.Close()
+}

@@ -1,0 +1,105 @@
+package ftp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSystPwdList(t *testing.T) {
+	c, _ := startServer(t, Config{
+		AllowAnonymous: true,
+		Files:          map[string][]byte{"firmware.bin": []byte("x"), "config.txt": []byte("y")},
+	})
+	if _, err := c.ReadReply(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Login("anonymous", "", time.Second); !ok {
+		t.Fatal("login failed")
+	}
+	if err := c.send("SYST", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if reply, _ := c.ReadReply(time.Second); !strings.HasPrefix(reply, "215") {
+		t.Fatalf("SYST reply %q", reply)
+	}
+	if err := c.send("PWD", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if reply, _ := c.ReadReply(time.Second); !strings.HasPrefix(reply, "257") {
+		t.Fatalf("PWD reply %q", reply)
+	}
+	if err := c.send("LIST", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var sawFile, sawEnd bool
+	for i := 0; i < 6; i++ {
+		reply, err := c.ReadReply(time.Second)
+		if err != nil {
+			break
+		}
+		if strings.Contains(reply, "firmware.bin") {
+			sawFile = true
+		}
+		if strings.HasPrefix(reply, "226") {
+			sawEnd = true
+			break
+		}
+	}
+	if !sawFile || !sawEnd {
+		t.Fatalf("LIST incomplete: file=%v end=%v", sawFile, sawEnd)
+	}
+}
+
+func TestListRequiresLogin(t *testing.T) {
+	c, _ := startServer(t, Config{AllowAnonymous: true})
+	if _, err := c.ReadReply(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send("LIST", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if reply, _ := c.ReadReply(time.Second); !strings.HasPrefix(reply, "530") {
+		t.Fatalf("unauthenticated LIST reply %q", reply)
+	}
+}
+
+func TestUploadSizeLimit(t *testing.T) {
+	c, events := startServer(t, Config{
+		AllowAnonymous: true, AllowWrite: true, MaxUploadBytes: 64,
+	})
+	if _, err := c.ReadReply(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Login("anonymous", "", time.Second); !ok {
+		t.Fatal("login failed")
+	}
+	ok, err := c.Store("big.bin", make([]byte, 1024), time.Second)
+	if err == nil && ok {
+		t.Fatal("oversized upload accepted")
+	}
+	select {
+	case ev := <-events:
+		if len(ev.Uploads) != 0 {
+			t.Fatal("oversized upload recorded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("session did not end")
+	}
+}
+
+func TestQuitEvent(t *testing.T) {
+	c, events := startServer(t, Config{})
+	if _, err := c.ReadReply(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Quit(time.Second)
+	select {
+	case ev := <-events:
+		if len(ev.Commands) != 1 || ev.Commands[0] != "QUIT" {
+			t.Fatalf("commands %v", ev.Commands)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event")
+	}
+}

@@ -1,0 +1,147 @@
+package ftp
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+func startServer(t *testing.T, cfg Config) (*Client, <-chan Event) {
+	t.Helper()
+	events := make(chan Event, 1)
+	prev := cfg.OnEvent
+	cfg.OnEvent = func(ev Event) {
+		if prev != nil {
+			prev(ev)
+		}
+		events <- ev
+	}
+	client, server := netsim.NewServiceConnPair(
+		netsim.Endpoint{IP: netsim.MustParseIPv4("192.0.2.92"), Port: 46000},
+		netsim.Endpoint{IP: netsim.MustParseIPv4("10.0.0.7"), Port: 21},
+		time.Now(),
+	)
+	srv := NewServer(cfg)
+	go func() {
+		defer server.Close()
+		srv.Serve(context.Background(), server)
+	}()
+	t.Cleanup(func() { client.Close() })
+	return NewClient(client), events
+}
+
+func TestBannerAndAnonymousLogin(t *testing.T) {
+	c, _ := startServer(t, Config{Banner: "220 (vsFTPd 2.3.4)", AllowAnonymous: true})
+	banner, err := c.ReadReply(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banner != "220 (vsFTPd 2.3.4)" {
+		t.Fatalf("banner %q", banner)
+	}
+	ok, err := c.Login("anonymous", "probe@example.com", time.Second)
+	if err != nil || !ok {
+		t.Fatalf("anonymous login = %v, %v", ok, err)
+	}
+}
+
+func TestAnonymousRejectedWhenDisabled(t *testing.T) {
+	c, _ := startServer(t, Config{})
+	if _, err := c.ReadReply(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Login("anonymous", "x", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("anonymous accepted")
+	}
+}
+
+func TestCredentialLogin(t *testing.T) {
+	c, _ := startServer(t, Config{Credentials: map[string]string{"iot": "cam123"}})
+	if _, err := c.ReadReply(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Login("iot", "bad", time.Second); ok {
+		t.Fatal("bad password accepted")
+	}
+	if ok, _ := c.Login("iot", "cam123", time.Second); !ok {
+		t.Fatal("good password rejected")
+	}
+}
+
+func TestMalwareUploadCaptured(t *testing.T) {
+	c, events := startServer(t, Config{AllowAnonymous: true, AllowWrite: true})
+	if _, err := c.ReadReply(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Login("anonymous", "", time.Second); !ok {
+		t.Fatal("login failed")
+	}
+	payload := []byte("\x7fELF mozi-sample-bytes")
+	ok, err := c.Store("mozi.arm7", payload, time.Second)
+	if err != nil || !ok {
+		t.Fatalf("Store = %v, %v", ok, err)
+	}
+	c.Quit(time.Second)
+	select {
+	case ev := <-events:
+		if len(ev.Uploads) != 1 || ev.Uploads[0].Name != "mozi.arm7" ||
+			string(ev.Uploads[0].Data) != string(payload) {
+			t.Fatalf("uploads %+v", ev.Uploads)
+		}
+		if !ev.LoginOK {
+			t.Fatal("LoginOK false")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event")
+	}
+}
+
+func TestStoreDeniedWithoutWrite(t *testing.T) {
+	c, _ := startServer(t, Config{AllowAnonymous: true})
+	if _, err := c.ReadReply(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Login("anonymous", "", time.Second); !ok {
+		t.Fatal("login failed")
+	}
+	ok, err := c.Store("x.bin", []byte("data"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("write accepted without AllowWrite")
+	}
+}
+
+func TestCommandsLoggedAndUnknownCommand(t *testing.T) {
+	c, events := startServer(t, Config{AllowAnonymous: true})
+	if _, err := c.ReadReply(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send("HACK the planet", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.ReadReply(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, "502") {
+		t.Fatalf("reply %q", reply)
+	}
+	c.Quit(time.Second)
+	select {
+	case ev := <-events:
+		if len(ev.Commands) == 0 || !strings.HasPrefix(ev.Commands[0], "HACK") {
+			t.Fatalf("commands %v", ev.Commands)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event")
+	}
+}

@@ -1,0 +1,356 @@
+// Package http implements a minimal HTTP/1.1 server and client sufficient
+// for the study's honeypot front-ends: static device pages, login forms
+// (brute-force target), and flood observation.
+//
+// The stdlib net/http is built around real listeners; the simulation hands
+// us raw net.Conn streams, so a compact request/response codec is simpler
+// and keeps the honeypot event hooks at wire level. HTTP is simulated by
+// HosTaGe, Conpot and Dionaea in the paper (Section 5.1.6) and received
+// web-scraping, brute-force, DoS floods and crypto-mining injection.
+package http
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// Port is the default HTTP port.
+const Port uint16 = 80
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string
+	Body    []byte
+}
+
+// Response is an HTTP response under construction.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// maxBodySize bounds request bodies.
+const maxBodySize = 1 << 20
+
+// ReadRequest parses one request from r.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("http: malformed request line %q", strings.TrimSpace(line))
+	}
+	req := &Request{Method: fields[0], Path: fields[1], Proto: fields[2],
+		Headers: make(map[string]string)}
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		h = strings.TrimRight(h, "\r\n")
+		if h == "" {
+			break
+		}
+		colon := strings.IndexByte(h, ':')
+		if colon < 0 {
+			continue
+		}
+		req.Headers[strings.ToLower(strings.TrimSpace(h[:colon]))] = strings.TrimSpace(h[colon+1:])
+	}
+	if cl := req.Headers["content-length"]; cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 || n > maxBodySize {
+			return nil, fmt.Errorf("http: bad content-length %q", cl)
+		}
+		req.Body = make([]byte, n)
+		if _, err := io.ReadFull(r, req.Body); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// statusText maps the codes the honeypots emit.
+var statusText = map[int]string{
+	200: "OK", 301: "Moved Permanently", 302: "Found", 401: "Unauthorized",
+	403: "Forbidden", 404: "Not Found", 500: "Internal Server Error",
+	503: "Service Unavailable",
+}
+
+// Write serializes the response to w.
+func (resp *Response) Write(w io.Writer, serverHeader string) error {
+	text := statusText[resp.Status]
+	if text == "" {
+		text = "Unknown"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", resp.Status, text)
+	if serverHeader != "" {
+		fmt.Fprintf(&b, "Server: %s\r\n", serverHeader)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(resp.Body))
+	keys := make([]string, 0, len(resp.Headers))
+	for k := range resp.Headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, resp.Headers[k])
+	}
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	_, err := w.Write(resp.Body)
+	return err
+}
+
+// Handler produces a response for a request.
+type Handler func(req *Request) *Response
+
+// Event logs one HTTP request for the honeypot.
+type Event struct {
+	Time     time.Time
+	Remote   netsim.IPv4
+	Method   string
+	Path     string
+	Username string // extracted from login form posts
+	Password string
+	BodySize int
+}
+
+// ServerConfig configures the HTTP endpoint.
+type ServerConfig struct {
+	// ServerHeader is the Server: banner ("lighttpd/1.4.35", "GoAhead-Webs").
+	ServerHeader string
+	// Routes maps exact paths to handlers. "/" should always exist.
+	Routes map[string]Handler
+	// LoginPath receives form posts; credentials are parsed into events.
+	LoginPath string
+	// OnEvent receives per-request observations.
+	OnEvent func(Event)
+	// MaxRequestsPerConn bounds keep-alive sessions (0 = 100). Floods hit
+	// this and the connection drops, which the honeypot records upstream.
+	MaxRequestsPerConn int
+}
+
+// Server implements netsim.StreamHandler.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer builds a Server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxRequestsPerConn == 0 {
+		cfg.MaxRequestsPerConn = 100
+	}
+	return &Server{cfg: cfg}
+}
+
+// Serve implements netsim.StreamHandler.
+func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	remote, _ := netsim.RemoteIPv4(conn)
+	_ = conn.SetDeadline(time.Now().Add(15 * time.Second))
+	r := bufio.NewReader(conn)
+	for served := 0; served < s.cfg.MaxRequestsPerConn; served++ {
+		req, err := ReadRequest(r)
+		if err != nil {
+			return
+		}
+		ev := Event{Time: conn.DialTime, Remote: remote, Method: req.Method,
+			Path: req.Path, BodySize: len(req.Body)}
+		if s.cfg.LoginPath != "" && req.Path == s.cfg.LoginPath && req.Method == "POST" {
+			form := ParseForm(string(req.Body))
+			ev.Username = form["username"]
+			ev.Password = form["password"]
+		}
+		if s.cfg.OnEvent != nil {
+			s.cfg.OnEvent(ev)
+		}
+		resp := s.route(req)
+		if err := resp.Write(conn, s.cfg.ServerHeader); err != nil {
+			return
+		}
+		if strings.EqualFold(req.Headers["connection"], "close") {
+			return
+		}
+	}
+}
+
+func (s *Server) route(req *Request) *Response {
+	if h, ok := s.cfg.Routes[req.Path]; ok {
+		return h(req)
+	}
+	return &Response{Status: 404, Body: []byte("<html><body><h1>404 Not Found</h1></body></html>")}
+}
+
+// ParseForm decodes an application/x-www-form-urlencoded body (sufficient
+// subset: & separated key=value with %XX and + decoding).
+func ParseForm(body string) map[string]string {
+	out := make(map[string]string)
+	for _, pair := range strings.Split(body, "&") {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			continue
+		}
+		out[unescape(pair[:eq])] = unescape(pair[eq+1:])
+	}
+	return out
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '+':
+			b.WriteByte(' ')
+		case s[i] == '%' && i+2 < len(s):
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if ok1 && ok2 {
+				b.WriteByte(hi<<4 | lo)
+				i += 2
+			} else {
+				b.WriteByte(s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// Get performs a GET over an established connection and returns the response.
+func Get(conn net.Conn, path string, timeout time.Duration) (*Response, error) {
+	return Do(conn, "GET", path, nil, timeout)
+}
+
+// Post performs a POST with a form body.
+func Post(conn net.Conn, path string, form map[string]string, timeout time.Duration) (*Response, error) {
+	pairs := make([]string, 0, len(form))
+	keys := make([]string, 0, len(form))
+	for k := range form {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pairs = append(pairs, k+"="+form[k])
+	}
+	return Do(conn, "POST", path, []byte(strings.Join(pairs, "&")), timeout)
+}
+
+// Do performs one HTTP exchange.
+func Do(conn net.Conn, method, path string, body []byte, timeout time.Duration) (*Response, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: target\r\nContent-Length: %d\r\n\r\n", method, path, len(body))
+	if _, err := io.WriteString(conn, b.String()); err != nil {
+		return nil, err
+	}
+	if len(body) > 0 {
+		if _, err := conn.Write(body); err != nil {
+			return nil, err
+		}
+	}
+	return ReadResponse(bufio.NewReader(conn))
+}
+
+// ReadResponse parses one response.
+func ReadResponse(r *bufio.Reader) (*Response, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "HTTP/") {
+		return nil, fmt.Errorf("http: malformed status line %q", strings.TrimSpace(line))
+	}
+	status, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Status: status, Headers: make(map[string]string)}
+	length := 0
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		h = strings.TrimRight(h, "\r\n")
+		if h == "" {
+			break
+		}
+		colon := strings.IndexByte(h, ':')
+		if colon < 0 {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(h[:colon]))
+		val := strings.TrimSpace(h[colon+1:])
+		resp.Headers[key] = val
+		if key == "content-length" {
+			if length, err = strconv.Atoi(val); err != nil || length < 0 || length > maxBodySize {
+				return nil, fmt.Errorf("http: bad content-length %q", val)
+			}
+		}
+	}
+	resp.Body = make([]byte, length)
+	if _, err := io.ReadFull(r, resp.Body); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// StaticPage builds a handler serving fixed HTML.
+func StaticPage(html string) Handler {
+	return func(*Request) *Response {
+		return &Response{Status: 200,
+			Headers: map[string]string{"Content-Type": "text/html"},
+			Body:    []byte(html)}
+	}
+}
+
+// LoginPage builds a device login form handler plus its POST target, which
+// always rejects (honeypot behaviour) unless accept returns true.
+func LoginPage(title string, accept func(user, pass string) bool) (get Handler, post Handler) {
+	page := "<html><head><title>" + title + "</title></head><body>" +
+		`<form method="POST"><input name="username"/><input type="password" name="password"/></form></body></html>`
+	get = StaticPage(page)
+	post = func(req *Request) *Response {
+		form := ParseForm(string(req.Body))
+		if accept != nil && accept(form["username"], form["password"]) {
+			return &Response{Status: 302, Headers: map[string]string{"Location": "/index.html"}}
+		}
+		return &Response{Status: 401, Body: []byte("<html><body>Invalid credentials</body></html>")}
+	}
+	return get, post
+}

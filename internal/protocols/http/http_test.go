@@ -1,0 +1,179 @@
+package http
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+func TestParseForm(t *testing.T) {
+	form := ParseForm("username=admin&password=p%40ss+word&x")
+	if form["username"] != "admin" {
+		t.Fatalf("username %q", form["username"])
+	}
+	if form["password"] != "p@ss word" {
+		t.Fatalf("password %q", form["password"])
+	}
+	if _, ok := form["x"]; ok {
+		t.Fatal("valueless pair kept")
+	}
+}
+
+func TestParseFormFuzzNoPanic(t *testing.T) {
+	if err := quick.Check(func(s string) bool {
+		_ = ParseForm(s)
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	raw := "POST /login HTTP/1.1\r\nHost: cam\r\nContent-Length: 9\r\n\r\nuser=a&b=c"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "POST" || req.Path != "/login" || string(req.Body) != "user=a&b=" {
+		t.Fatalf("req %+v body=%q", req, req.Body)
+	}
+}
+
+func TestReadRequestErrors(t *testing.T) {
+	for _, raw := range []string{
+		"GARBAGE\r\n\r\n",
+		"GET /\r\n\r\n", // missing proto
+		"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+	} {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(raw))); err == nil {
+			t.Errorf("parsed %q", raw)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{Status: 200, Headers: map[string]string{"Content-Type": "text/html"},
+		Body: []byte("<html/>")}
+	var buf bytes.Buffer
+	if err := resp.Write(&buf, "GoAhead-Webs"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != 200 || string(got.Body) != "<html/>" {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Headers["server"] != "GoAhead-Webs" {
+		t.Fatalf("server header %q", got.Headers["server"])
+	}
+}
+
+func startServer(t *testing.T, cfg ServerConfig) *netsim.ServiceConn {
+	t.Helper()
+	client, server := netsim.NewServiceConnPair(
+		netsim.Endpoint{IP: netsim.MustParseIPv4("192.0.2.91"), Port: 45000},
+		netsim.Endpoint{IP: netsim.MustParseIPv4("10.0.0.6"), Port: 80},
+		time.Now(),
+	)
+	srv := NewServer(cfg)
+	go func() {
+		defer server.Close()
+		srv.Serve(context.Background(), server)
+	}()
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func deviceRoutes() map[string]Handler {
+	get, post := LoginPage("NETGEAR Router", func(u, p string) bool { return false })
+	return map[string]Handler{
+		"/":        StaticPage("<html><title>NETGEAR Router</title></html>"),
+		"/login":   get,
+		"/doLogin": post,
+	}
+}
+
+func TestServeStaticAndLogin(t *testing.T) {
+	var events []Event
+	client := startServer(t, ServerConfig{
+		ServerHeader: "mini_httpd/1.30",
+		Routes:       deviceRoutes(),
+		LoginPath:    "/doLogin",
+		OnEvent:      func(ev Event) { events = append(events, ev) },
+	})
+	resp, err := Get(client, "/", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "NETGEAR") {
+		t.Fatalf("resp %d %q", resp.Status, resp.Body)
+	}
+	resp, err = Post(client, "/doLogin", map[string]string{"username": "admin", "password": "admin"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 401 {
+		t.Fatalf("login status %d", resp.Status)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Username == "admin" && ev.Password == "admin" && ev.Path == "/doLogin" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("credential event missing: %+v", events)
+	}
+}
+
+func TestServe404(t *testing.T) {
+	client := startServer(t, ServerConfig{Routes: deviceRoutes()})
+	resp, err := Get(client, "/cgi-bin/../../etc/passwd", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Fatalf("status %d", resp.Status)
+	}
+}
+
+func TestServeKeepAliveMultipleRequests(t *testing.T) {
+	client := startServer(t, ServerConfig{Routes: deviceRoutes()})
+	for i := 0; i < 5; i++ {
+		resp, err := Get(client, "/", time.Second)
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("request %d: %v %v", i, resp, err)
+		}
+	}
+}
+
+func TestServeFloodGuard(t *testing.T) {
+	client := startServer(t, ServerConfig{Routes: deviceRoutes(), MaxRequestsPerConn: 3})
+	var failed bool
+	for i := 0; i < 10; i++ {
+		if _, err := Get(client, "/", 300*time.Millisecond); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("flood never hit the per-conn cap")
+	}
+}
+
+func TestLoginPageAccept(t *testing.T) {
+	_, post := LoginPage("X", func(u, p string) bool { return u == "admin" && p == "ok" })
+	resp := post(&Request{Method: "POST", Body: []byte("username=admin&password=ok")})
+	if resp.Status != 302 {
+		t.Fatalf("status %d", resp.Status)
+	}
+}

@@ -1,0 +1,292 @@
+// Package modbus implements Modbus/TCP (MBAP framing plus the function
+// codes the study observes). The Conpot honeypot profile exposes it as part
+// of its Siemens PLC persona; the paper reports poisoning attacks against
+// holding registers and notes that "only 10% of the Modbus traffic used
+// valid function codes" (Section 5.1.4).
+package modbus
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// Port is the Modbus/TCP port.
+const Port uint16 = 502
+
+// Function codes used by the study.
+const (
+	FuncReadHolding     = 0x03
+	FuncWriteSingle     = 0x06
+	FuncWriteMultiple   = 0x10
+	FuncReportServerID  = 0x11
+	FuncReadDeviceIdent = 0x2B
+)
+
+// Exception codes.
+const (
+	ExcIllegalFunction = 0x01
+	ExcIllegalAddress  = 0x02
+)
+
+// ErrMalformed reports an invalid ADU.
+var ErrMalformed = errors.New("modbus: malformed ADU")
+
+// Request is a decoded Modbus request.
+type Request struct {
+	TransactionID uint16
+	UnitID        byte
+	Function      byte
+	Data          []byte
+}
+
+// Event logs one request for the honeypot.
+type Event struct {
+	Time     time.Time
+	Remote   netsim.IPv4
+	Function byte
+	Valid    bool // was it one of the implemented function codes
+	Write    bool
+	Address  uint16
+	Value    uint16
+}
+
+// Config describes the Modbus endpoint.
+type Config struct {
+	// ServerID is returned by ReportServerID ("Siemens SIMATIC S7-200").
+	ServerID string
+	// Registers is the number of holding registers exposed (0 = 128).
+	Registers int
+	// OnEvent receives per-request observations.
+	OnEvent func(Event)
+}
+
+// Server implements netsim.StreamHandler with a live register file.
+type Server struct {
+	cfg Config
+
+	mu   sync.Mutex
+	regs []uint16
+}
+
+// NewServer builds a Server.
+func NewServer(cfg Config) *Server {
+	if cfg.Registers == 0 {
+		cfg.Registers = 128
+	}
+	if cfg.ServerID == "" {
+		cfg.ServerID = "Siemens SIMATIC S7-200"
+	}
+	return &Server{cfg: cfg, regs: make([]uint16, cfg.Registers)}
+}
+
+// Register returns the live value of holding register addr.
+func (s *Server) Register(addr int) (uint16, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if addr < 0 || addr >= len(s.regs) {
+		return 0, false
+	}
+	return s.regs[addr], true
+}
+
+// SetRegister seeds a register value (device state).
+func (s *Server) SetRegister(addr int, v uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if addr >= 0 && addr < len(s.regs) {
+		s.regs[addr] = v
+	}
+}
+
+// Serve implements netsim.StreamHandler.
+func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	remote, _ := netsim.RemoteIPv4(conn)
+	_ = conn.SetDeadline(time.Now().Add(20 * time.Second))
+	r := bufio.NewReader(conn)
+	for i := 0; i < 256; i++ {
+		req, err := ReadRequest(r)
+		if err != nil {
+			return
+		}
+		resp, ev := s.handle(req)
+		ev.Time = conn.DialTime
+		ev.Remote = remote
+		if s.cfg.OnEvent != nil {
+			s.cfg.OnEvent(ev)
+		}
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) ([]byte, Event) {
+	ev := Event{Function: req.Function}
+	switch req.Function {
+	case FuncReadHolding:
+		ev.Valid = true
+		if len(req.Data) < 4 {
+			return buildException(req, ExcIllegalAddress), ev
+		}
+		addr := binary.BigEndian.Uint16(req.Data[0:2])
+		count := binary.BigEndian.Uint16(req.Data[2:4])
+		ev.Address = addr
+		s.mu.Lock()
+		if int(addr)+int(count) > len(s.regs) || count == 0 || count > 125 {
+			s.mu.Unlock()
+			return buildException(req, ExcIllegalAddress), ev
+		}
+		data := make([]byte, 1+2*count)
+		data[0] = byte(2 * count)
+		for i := 0; i < int(count); i++ {
+			binary.BigEndian.PutUint16(data[1+2*i:], s.regs[int(addr)+i])
+		}
+		s.mu.Unlock()
+		return buildResponse(req, data), ev
+	case FuncWriteSingle:
+		ev.Valid = true
+		ev.Write = true
+		if len(req.Data) < 4 {
+			return buildException(req, ExcIllegalAddress), ev
+		}
+		addr := binary.BigEndian.Uint16(req.Data[0:2])
+		val := binary.BigEndian.Uint16(req.Data[2:4])
+		ev.Address, ev.Value = addr, val
+		s.mu.Lock()
+		if int(addr) >= len(s.regs) {
+			s.mu.Unlock()
+			return buildException(req, ExcIllegalAddress), ev
+		}
+		s.regs[addr] = val
+		s.mu.Unlock()
+		return buildResponse(req, req.Data[:4]), ev
+	case FuncReportServerID:
+		ev.Valid = true
+		id := []byte(s.cfg.ServerID)
+		data := append([]byte{byte(len(id) + 1)}, id...)
+		data = append(data, 0xFF) // run indicator: ON
+		return buildResponse(req, data), ev
+	case FuncReadDeviceIdent:
+		ev.Valid = true
+		return buildResponse(req, []byte{0x0E, 0x01, 0x01, 0x00, 0x00, 0x01,
+			byte(len(s.cfg.ServerID))}), ev
+	default:
+		return buildException(req, ExcIllegalFunction), ev
+	}
+}
+
+// ReadRequest reads one MBAP-framed request.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	hdr := make([]byte, 7)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[2:4]) != 0 { // protocol id must be 0
+		return nil, ErrMalformed
+	}
+	length := binary.BigEndian.Uint16(hdr[4:6])
+	if length < 2 || length > 256 {
+		return nil, ErrMalformed
+	}
+	body := make([]byte, length-1) // unit id already in hdr[6]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return &Request{
+		TransactionID: binary.BigEndian.Uint16(hdr[0:2]),
+		UnitID:        hdr[6],
+		Function:      body[0],
+		Data:          body[1:],
+	}, nil
+}
+
+func buildResponse(req *Request, data []byte) []byte {
+	return buildADU(req.TransactionID, req.UnitID, req.Function, data)
+}
+
+func buildException(req *Request, code byte) []byte {
+	return buildADU(req.TransactionID, req.UnitID, req.Function|0x80, []byte{code})
+}
+
+func buildADU(tid uint16, unit, function byte, data []byte) []byte {
+	out := make([]byte, 7, 8+len(data))
+	binary.BigEndian.PutUint16(out[0:2], tid)
+	binary.BigEndian.PutUint16(out[4:6], uint16(2+len(data)))
+	out[6] = unit
+	out = append(out, function)
+	return append(out, data...)
+}
+
+// BuildRequest renders a client request ADU.
+func BuildRequest(tid uint16, unit, function byte, data []byte) []byte {
+	return buildADU(tid, unit, function, data)
+}
+
+// ReadHolding issues a read of count registers at addr over conn.
+func ReadHolding(conn net.Conn, addr, count uint16, timeout time.Duration) ([]uint16, error) {
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint16(data[0:2], addr)
+	binary.BigEndian.PutUint16(data[2:4], count)
+	resp, err := roundTrip(conn, FuncReadHolding, data, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 || int(resp[0]) != len(resp)-1 {
+		return nil, ErrMalformed
+	}
+	vals := make([]uint16, count)
+	for i := range vals {
+		vals[i] = binary.BigEndian.Uint16(resp[1+2*i:])
+	}
+	return vals, nil
+}
+
+// WriteSingle writes one register — the poisoning primitive.
+func WriteSingle(conn net.Conn, addr, value uint16, timeout time.Duration) error {
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint16(data[0:2], addr)
+	binary.BigEndian.PutUint16(data[2:4], value)
+	_, err := roundTrip(conn, FuncWriteSingle, data, timeout)
+	return err
+}
+
+// ErrException is returned when the server answers with an exception.
+var ErrException = errors.New("modbus: exception response")
+
+func roundTrip(conn net.Conn, function byte, data []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(BuildRequest(1, 1, function, data)); err != nil {
+		return nil, err
+	}
+	r := bufio.NewReader(conn)
+	hdr := make([]byte, 7)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint16(hdr[4:6])
+	if length < 2 || length > 256 {
+		return nil, ErrMalformed
+	}
+	body := make([]byte, length-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if body[0] == function|0x80 {
+		return nil, ErrException
+	}
+	if body[0] != function {
+		return nil, ErrMalformed
+	}
+	return body[1:], nil
+}

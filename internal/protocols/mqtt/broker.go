@@ -1,0 +1,276 @@
+package mqtt
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// EventKind classifies broker-side observations used by honeypot logging.
+type EventKind uint8
+
+// Broker event kinds.
+const (
+	EventConnect EventKind = iota
+	EventSubscribe
+	EventPublish
+	EventSysAccess // subscription touching $SYS topics
+)
+
+// Event is one broker-side observation.
+type Event struct {
+	Time     time.Time
+	Kind     EventKind
+	Remote   netsim.IPv4
+	ClientID string
+	Username string
+	Password string
+	Code     ConnackCode
+	Topic    string
+	Payload  []byte
+}
+
+// BrokerConfig configures authentication and identity of a broker.
+type BrokerConfig struct {
+	// RequireAuth makes the broker reject CONNECT without credentials with
+	// return code 5, and wrong credentials with code 4. The paper's
+	// misconfigured brokers have this unset: CONNECT → code 0.
+	RequireAuth bool
+	// Credentials maps username → password when RequireAuth is set.
+	Credentials map[string]string
+	// Version is exposed at $SYS/broker/version.
+	Version string
+	// OnEvent, when non-nil, receives observations.
+	OnEvent func(Event)
+	// MaxPublishesPerConn guards against floods (0 = unlimited). Exceeding
+	// it closes the session; honeypot profiles keep it unlimited so DoS
+	// attacks are observable.
+	MaxPublishesPerConn int
+}
+
+// Broker is an in-memory MQTT 3.1.1 broker.
+type Broker struct {
+	cfg BrokerConfig
+
+	mu       sync.Mutex
+	retained map[string][]byte
+	subs     map[*session]map[string]bool
+}
+
+// NewBroker returns a broker with a $SYS tree prepopulated the way a
+// default Mosquitto-style install exposes it.
+func NewBroker(cfg BrokerConfig) *Broker {
+	if cfg.Version == "" {
+		cfg.Version = "mosquitto version 1.6.9"
+	}
+	b := &Broker{
+		cfg:      cfg,
+		retained: make(map[string][]byte),
+		subs:     make(map[*session]map[string]bool),
+	}
+	b.retained["$SYS/broker/version"] = []byte(cfg.Version)
+	b.retained["$SYS/broker/uptime"] = []byte("86400 seconds")
+	b.retained["$SYS/broker/clients/total"] = []byte("3")
+	return b
+}
+
+// Retain stores a retained message, pre-seeding device topics
+// ("homeassistant/light/...", "octoPrint/temperature/bed", Table 11).
+func (b *Broker) Retain(topic string, payload []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.retained[topic] = append([]byte(nil), payload...)
+}
+
+// RetainedValue returns the current retained payload for a topic.
+func (b *Broker) RetainedValue(topic string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.retained[topic]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Topics lists retained topic names, sorted.
+func (b *Broker) Topics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.retained))
+	for t := range b.retained {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// session is one connected client.
+type session struct {
+	conn   *netsim.ServiceConn
+	remote netsim.IPv4
+	wmu    sync.Mutex
+}
+
+func (s *session) send(p *Packet) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	_, err := s.conn.Write(p.Encode())
+	return err
+}
+
+func (b *Broker) emit(ev Event) {
+	if b.cfg.OnEvent != nil {
+		b.cfg.OnEvent(ev)
+	}
+}
+
+// Serve implements netsim.StreamHandler: one MQTT session per connection.
+func (b *Broker) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	remote, _ := netsim.RemoteIPv4(conn)
+	s := &session{conn: conn, remote: remote}
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	pkt, err := ReadPacket(conn)
+	if err != nil || pkt.Type != CONNECT {
+		return
+	}
+	code := b.authenticate(pkt)
+	b.emit(Event{
+		Time: conn.DialTime, Kind: EventConnect, Remote: remote,
+		ClientID: pkt.ClientID, Username: pkt.Username, Password: pkt.Password,
+		Code: code,
+	})
+	if err := s.send(&Packet{Type: CONNACK, ReturnCode: code}); err != nil {
+		return
+	}
+	if code != ConnAccepted {
+		return
+	}
+
+	b.mu.Lock()
+	b.subs[s] = make(map[string]bool)
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.subs, s)
+		b.mu.Unlock()
+	}()
+
+	publishes := 0
+	for {
+		pkt, err := ReadPacket(conn)
+		if err != nil {
+			return
+		}
+		switch pkt.Type {
+		case SUBSCRIBE:
+			b.handleSubscribe(s, pkt, conn.DialTime)
+		case UNSUBSCRIBE:
+			b.mu.Lock()
+			for _, f := range pkt.TopicFilter {
+				delete(b.subs[s], f)
+			}
+			b.mu.Unlock()
+			_ = s.send(&Packet{Type: UNSUBACK, PacketID: pkt.PacketID})
+		case PUBLISH:
+			publishes++
+			if b.cfg.MaxPublishesPerConn > 0 && publishes > b.cfg.MaxPublishesPerConn {
+				return
+			}
+			b.handlePublish(s, pkt, conn.DialTime)
+		case PINGREQ:
+			_ = s.send(&Packet{Type: PINGRESP})
+		case DISCONNECT:
+			return
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+func (b *Broker) authenticate(pkt *Packet) ConnackCode {
+	if !b.cfg.RequireAuth {
+		return ConnAccepted
+	}
+	if !pkt.HasAuth {
+		return ConnNotAuthorized
+	}
+	if want, ok := b.cfg.Credentials[pkt.Username]; ok && want == pkt.Password {
+		return ConnAccepted
+	}
+	return ConnBadCredentials
+}
+
+func (b *Broker) handleSubscribe(s *session, pkt *Packet, now time.Time) {
+	granted := make([]byte, len(pkt.TopicFilter))
+	var deliver []*Packet
+	b.mu.Lock()
+	for _, f := range pkt.TopicFilter {
+		b.subs[s][f] = true
+		for topic, payload := range b.retained {
+			if TopicMatches(f, topic) {
+				deliver = append(deliver, &Packet{
+					Type: PUBLISH, Topic: topic, Retain: true,
+					Payload: append([]byte(nil), payload...),
+				})
+			}
+		}
+	}
+	b.mu.Unlock()
+	sort.Slice(deliver, func(i, j int) bool { return deliver[i].Topic < deliver[j].Topic })
+
+	kind := EventSubscribe
+	for _, f := range pkt.TopicFilter {
+		if strings.HasPrefix(f, "$SYS") || f == "#" {
+			kind = EventSysAccess
+		}
+		b.emit(Event{Time: now, Kind: kind, Remote: s.remote, Topic: f})
+		kind = EventSubscribe
+	}
+	_ = s.send(&Packet{Type: SUBACK, PacketID: pkt.PacketID, GrantedQoS: granted})
+	for _, d := range deliver {
+		_ = s.send(d)
+	}
+}
+
+func (b *Broker) handlePublish(s *session, pkt *Packet, now time.Time) {
+	b.emit(Event{
+		Time: now, Kind: EventPublish, Remote: s.remote,
+		Topic: pkt.Topic, Payload: append([]byte(nil), pkt.Payload...),
+	})
+	if pkt.Retain {
+		b.mu.Lock()
+		if len(pkt.Payload) == 0 {
+			delete(b.retained, pkt.Topic)
+		} else {
+			b.retained[pkt.Topic] = append([]byte(nil), pkt.Payload...)
+		}
+		b.mu.Unlock()
+	}
+	if pkt.QoS > 0 {
+		_ = s.send(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
+	}
+	// Fan out to live subscribers.
+	b.mu.Lock()
+	var targets []*session
+	for sess, filters := range b.subs {
+		if sess == s {
+			continue
+		}
+		for f := range filters {
+			if TopicMatches(f, pkt.Topic) {
+				targets = append(targets, sess)
+				break
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, t := range targets {
+		_ = t.send(&Packet{Type: PUBLISH, Topic: pkt.Topic, Payload: pkt.Payload})
+	}
+}

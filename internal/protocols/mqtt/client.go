@@ -1,0 +1,135 @@
+package mqtt
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// Client is a minimal MQTT 3.1.1 client used by the scanner's probe (a bare
+// CONNECT to elicit the CONNACK return code), by attack actors (publishes,
+// subscriptions) and by tests.
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+	nextID  uint16
+}
+
+// NewClient wraps an established connection. timeout bounds each exchange.
+func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Client{conn: conn, timeout: timeout, nextID: 1}
+}
+
+// ErrRejected is returned by Connect when the broker refuses the session.
+var ErrRejected = errors.New("mqtt: connection rejected")
+
+// Connect performs the CONNECT/CONNACK handshake. Empty username means an
+// anonymous attempt — exactly the paper's probe. The returned code is the
+// broker's verdict even when err is ErrRejected.
+func (c *Client) Connect(clientID, username, password string) (ConnackCode, error) {
+	pkt := &Packet{Type: CONNECT, ClientID: clientID, KeepAlive: 60}
+	if username != "" || password != "" {
+		pkt.HasAuth = true
+		pkt.Username = username
+		pkt.Password = password
+	}
+	_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := c.conn.Write(pkt.Encode()); err != nil {
+		return 0, err
+	}
+	resp, err := ReadPacket(c.conn)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != CONNACK {
+		return 0, ErrMalformed
+	}
+	if resp.ReturnCode != ConnAccepted {
+		return resp.ReturnCode, ErrRejected
+	}
+	return resp.ReturnCode, nil
+}
+
+// Subscribe sends a SUBSCRIBE for the filters and waits for the SUBACK.
+func (c *Client) Subscribe(filters ...string) error {
+	id := c.nextID
+	c.nextID++
+	pkt := &Packet{Type: SUBSCRIBE, PacketID: id, TopicFilter: filters,
+		GrantedQoS: make([]byte, len(filters))}
+	_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := c.conn.Write(pkt.Encode()); err != nil {
+		return err
+	}
+	for {
+		resp, err := ReadPacket(c.conn)
+		if err != nil {
+			return err
+		}
+		if resp.Type == SUBACK && resp.PacketID == id {
+			return nil
+		}
+		// Retained publishes may arrive interleaved; skip them here.
+	}
+}
+
+// Publish sends a PUBLISH packet (QoS 0, optionally retained).
+func (c *Client) Publish(topic string, payload []byte, retain bool) error {
+	pkt := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, Retain: retain}
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	_, err := c.conn.Write(pkt.Encode())
+	return err
+}
+
+// CollectRetained subscribes to filter and gathers retained messages until
+// the window elapses or max messages arrive. The scanner uses this to list
+// topics on open brokers ("all the topics and channels on the target host
+// are listed", Section 3.1.3).
+func (c *Client) CollectRetained(filter string, window time.Duration, max int) (map[string][]byte, error) {
+	id := c.nextID
+	c.nextID++
+	pkt := &Packet{Type: SUBSCRIBE, PacketID: id, TopicFilter: []string{filter},
+		GrantedQoS: []byte{0}}
+	_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := c.conn.Write(pkt.Encode()); err != nil {
+		return nil, err
+	}
+	got := make(map[string][]byte)
+	deadline := time.Now().Add(window)
+	_ = c.conn.SetReadDeadline(deadline)
+	for len(got) < max {
+		resp, err := ReadPacket(c.conn)
+		if err != nil {
+			break // window elapsed or broker closed: return what we have
+		}
+		if resp.Type == PUBLISH {
+			got[resp.Topic] = resp.Payload
+		}
+	}
+	return got, nil
+}
+
+// Ping round-trips a PINGREQ.
+func (c *Client) Ping() error {
+	_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := c.conn.Write((&Packet{Type: PINGREQ}).Encode()); err != nil {
+		return err
+	}
+	for {
+		resp, err := ReadPacket(c.conn)
+		if err != nil {
+			return err
+		}
+		if resp.Type == PINGRESP {
+			return nil
+		}
+	}
+}
+
+// Disconnect sends DISCONNECT and closes the connection.
+func (c *Client) Disconnect() error {
+	_, _ = c.conn.Write((&Packet{Type: DISCONNECT}).Encode())
+	return c.conn.Close()
+}

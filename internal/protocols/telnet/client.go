@@ -1,0 +1,183 @@
+package telnet
+
+import (
+	"context"
+	"io"
+	"net"
+	"time"
+)
+
+// Banner is the result of a passive Telnet banner grab: the negotiation
+// bytes and the visible text the server volunteered before any input.
+type Banner struct {
+	// Raw is everything the server sent, negotiation included, exactly as
+	// it appeared on the wire. Honeypot fingerprints match against Raw.
+	Raw []byte
+	// Text is Raw with IAC sequences stripped: the human-visible banner.
+	Text string
+	// Commands are the parsed negotiation commands the server issued.
+	Commands []Command
+}
+
+// Grab performs the paper's Telnet probe over an established connection:
+// read whatever the server volunteers, passively refuse every negotiation,
+// and return the banner. It never authenticates (Section 2.1: "unlike
+// Markowsky et al. we do not try to connect to the devices after the
+// scanning process").
+func Grab(ctx context.Context, conn net.Conn, readWindow time.Duration) (Banner, error) {
+	if readWindow <= 0 {
+		readWindow = 2 * time.Second
+	}
+	deadline := time.Now().Add(readWindow)
+	_ = conn.SetReadDeadline(deadline)
+
+	// After the first bytes arrive, a short idle gap means the banner is
+	// complete — waiting out the full window would only slow the scan.
+	idle := readWindow / 6
+	if idle < 5*time.Millisecond {
+		idle = 5 * time.Millisecond
+	}
+
+	var raw []byte
+	buf := make([]byte, 4096)
+	for len(raw) < 64<<10 {
+		if ctx.Err() != nil {
+			break
+		}
+		n, err := conn.Read(buf)
+		if n > 0 {
+			raw = append(raw, buf[:n]...)
+			// Answer negotiation so chatty servers progress to their banner.
+			_, cmds := SplitStream(buf[:n])
+			if reply := RefuseAll(cmds); len(reply) > 0 {
+				_ = conn.SetWriteDeadline(deadline)
+				if _, werr := conn.Write(reply); werr != nil {
+					break
+				}
+			}
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+			continue
+		}
+		if err != nil {
+			break // deadline, EOF, or reset: the banner is whatever we got
+		}
+	}
+	data, cmds := SplitStream(raw)
+	b := Banner{Raw: raw, Text: string(data), Commands: cmds}
+	if len(raw) == 0 {
+		return b, io.ErrUnexpectedEOF
+	}
+	return b, nil
+}
+
+// Login drives a full authentication attempt: wait for a login prompt,
+// submit credentials, and report whether a shell prompt came back. Attack
+// actors (Mirai-style bruteforcers) use this; the scanner does not.
+func Login(ctx context.Context, conn net.Conn, username, password string, timeout time.Duration) (bool, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+
+	if err := awaitSubstring(ctx, conn, "login:", "Login:"); err != nil {
+		return false, err
+	}
+	if _, err := conn.Write(append(EscapeData([]byte(username)), '\r', '\n')); err != nil {
+		return false, err
+	}
+	if err := awaitSubstring(ctx, conn, "assword:"); err != nil {
+		return false, err
+	}
+	if _, err := conn.Write(append(EscapeData([]byte(password)), '\r', '\n')); err != nil {
+		return false, err
+	}
+	// Success is a shell prompt; failure is "Login incorrect" or EOF.
+	// Watching for the rejection text matters: without it a failed attempt
+	// blocks until the deadline instead of returning immediately.
+	matched, err := awaitAny(ctx, conn, "$", "#", ">", "incorrect", "denied")
+	if err != nil {
+		return false, nil //nolint:nilerr // auth failure is a result, not an error
+	}
+	return matched != "incorrect" && matched != "denied", nil
+}
+
+// Exec sends a shell command on an authenticated session and collects output
+// until the next prompt or timeout.
+func Exec(conn net.Conn, cmd string, timeout time.Duration) (string, error) {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(append(EscapeData([]byte(cmd)), '\r', '\n')); err != nil {
+		return "", err
+	}
+	var out []byte
+	buf := make([]byte, 1024)
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			data, _ := SplitStream(buf[:n])
+			out = append(out, data...)
+			if containsAny(string(out), "$ ", "# ", "> ") {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	return string(out), nil
+}
+
+// awaitSubstring reads until any needle appears in the decoded stream.
+func awaitSubstring(ctx context.Context, conn net.Conn, needles ...string) error {
+	_, err := awaitAny(ctx, conn, needles...)
+	return err
+}
+
+// awaitAny reads until one of the needles appears, returning which.
+func awaitAny(ctx context.Context, conn net.Conn, needles ...string) (string, error) {
+	var seen []byte
+	buf := make([]byte, 1024)
+	for {
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		n, err := conn.Read(buf)
+		if n > 0 {
+			data, cmds := SplitStream(buf[:n])
+			if reply := RefuseAll(cmds); len(reply) > 0 {
+				if _, werr := conn.Write(reply); werr != nil {
+					return "", werr
+				}
+			}
+			seen = append(seen, data...)
+			for _, needle := range needles {
+				if needle != "" && indexOf(string(seen), needle) >= 0 {
+					return needle, nil
+				}
+			}
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+func containsAny(s string, needles ...string) bool {
+	for _, n := range needles {
+		if n != "" && indexOf(s, n) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,249 @@
+package telnet
+
+import (
+	"bufio"
+	"context"
+	"strings"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// AuthMode describes how a Telnet endpoint gates access. The paper's
+// misconfiguration classes (Table 2) map directly onto these modes.
+type AuthMode uint8
+
+// Authentication modes.
+const (
+	// AuthNone drops the caller straight into a shell prompt — the
+	// "No auth, console access" misconfiguration.
+	AuthNone AuthMode = iota
+	// AuthNoneRoot drops the caller into a root shell — "No auth, root
+	// console access".
+	AuthNoneRoot
+	// AuthLogin requires username/password through a login: prompt.
+	AuthLogin
+)
+
+// Event reports one completed Telnet session to the owner of the server
+// (honeypots log these as attack events).
+type Event struct {
+	Time     time.Time
+	Remote   netsim.IPv4
+	Username string
+	Password string
+	LoginOK  bool
+	Commands []string // shell commands issued after login
+	RawBytes int
+}
+
+// Config describes a Telnet endpoint: a real IoT device profile or a
+// honeypot profile. The zero value is an unauthenticated BusyBox-ish shell.
+type Config struct {
+	// PreLoginBanner is sent immediately on connect, before any prompt.
+	// Device identity leaks here (Table 11: "Welcome to ViewStation", ...).
+	PreLoginBanner string
+	// LoginPrompt is sent when Auth is AuthLogin ("login: ", "192.0.0.64 login:").
+	LoginPrompt string
+	// PasswordPrompt is sent after a username is received.
+	PasswordPrompt string
+	// ShellPrompt is the post-auth prompt ("$ ", "root@device:~$ ", "# ").
+	ShellPrompt string
+	// Auth selects the authentication mode.
+	Auth AuthMode
+	// Credentials maps username → password for AuthLogin endpoints.
+	// An empty map rejects every attempt.
+	Credentials map[string]string
+	// AcceptAll admits any credential pair under AuthLogin — the Cowrie
+	// honeypot behaviour (log the attempt, fake success).
+	AcceptAll bool
+	// NegotiateOptions, when true, opens with IAC WILL ECHO / WILL SGA as
+	// BusyBox telnetd does. Honeypot fingerprints depend on these bytes
+	// (Table 6: Cowrie's "\xff\xfd\x1f...").
+	NegotiateOptions bool
+	// RawNegotiation, when non-nil, replaces the default negotiation bytes;
+	// honeypot profiles use it to reproduce their published banners exactly.
+	RawNegotiation []byte
+	// MaxLoginAttempts closes the session after this many failures (0 = 3).
+	MaxLoginAttempts int
+	// OnEvent, when non-nil, receives the session record at close.
+	OnEvent func(Event)
+	// Hostname is substituted for %h in prompts.
+	Hostname string
+	// CommandOutput maps a shell command to its canned output. Unknown
+	// commands produce a BusyBox-style "not found" line.
+	CommandOutput map[string]string
+}
+
+// Server serves Telnet sessions for a Config.
+type Server struct {
+	cfg Config
+}
+
+// NewServer returns a Server for cfg.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxLoginAttempts == 0 {
+		cfg.MaxLoginAttempts = 3
+	}
+	if cfg.LoginPrompt == "" {
+		cfg.LoginPrompt = "login: "
+	}
+	if cfg.PasswordPrompt == "" {
+		cfg.PasswordPrompt = "Password: "
+	}
+	if cfg.ShellPrompt == "" {
+		cfg.ShellPrompt = "$ "
+	}
+	return &Server{cfg: cfg}
+}
+
+// expand substitutes prompt placeholders.
+func (s *Server) expand(p string) string {
+	return strings.ReplaceAll(p, "%h", s.cfg.Hostname)
+}
+
+// Serve implements netsim.StreamHandler.
+func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	ev := Event{Time: conn.DialTime}
+	if ip, ok := netsim.RemoteIPv4(conn); ok {
+		ev.Remote = ip
+	}
+	defer func() {
+		if s.cfg.OnEvent != nil {
+			s.cfg.OnEvent(ev)
+		}
+	}()
+
+	w := bufio.NewWriter(conn)
+	r := bufio.NewReader(conn)
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// Option negotiation first: these raw bytes are exactly what ZGrab's
+	// banner capture records, and what honeypot fingerprinting matches on.
+	switch {
+	case s.cfg.RawNegotiation != nil:
+		_, _ = w.Write(s.cfg.RawNegotiation)
+	case s.cfg.NegotiateOptions:
+		_, _ = w.Write(Negotiate(WILL, OptEcho))
+		_, _ = w.Write(Negotiate(WILL, OptSuppressGoAhead))
+	}
+	if s.cfg.PreLoginBanner != "" {
+		_, _ = w.WriteString(s.expand(s.cfg.PreLoginBanner))
+	}
+
+	authed := false
+	switch s.cfg.Auth {
+	case AuthNone, AuthNoneRoot:
+		authed = true
+		ev.LoginOK = true
+	case AuthLogin:
+		for attempt := 0; attempt < s.cfg.MaxLoginAttempts; attempt++ {
+			_, _ = w.WriteString(s.expand(s.cfg.LoginPrompt))
+			if w.Flush() != nil {
+				return
+			}
+			user, err := readLine(r, &ev)
+			if err != nil {
+				return
+			}
+			_, _ = w.WriteString(s.expand(s.cfg.PasswordPrompt))
+			if w.Flush() != nil {
+				return
+			}
+			pass, err := readLine(r, &ev)
+			if err != nil {
+				return
+			}
+			ev.Username, ev.Password = user, pass
+			want, ok := s.cfg.Credentials[user]
+			if s.cfg.AcceptAll || (ok && want == pass) {
+				authed = true
+				ev.LoginOK = true
+				break
+			}
+			_, _ = w.WriteString("\r\nLogin incorrect\r\n")
+		}
+	}
+	if !authed {
+		_ = w.Flush()
+		return
+	}
+
+	// Shell loop: echo a prompt, consume a command, reply.
+	for {
+		_, _ = w.WriteString(s.expand(s.cfg.ShellPrompt))
+		if w.Flush() != nil {
+			return
+		}
+		line, err := readLine(r, &ev)
+		if err != nil {
+			return
+		}
+		cmd := strings.TrimSpace(line)
+		if cmd == "" {
+			continue
+		}
+		ev.Commands = append(ev.Commands, cmd)
+		switch cmd {
+		case "exit", "quit", "logout":
+			_ = w.Flush()
+			return
+		default:
+			if out, ok := s.cfg.CommandOutput[cmd]; ok {
+				_, _ = w.WriteString(out)
+				if !strings.HasSuffix(out, "\n") {
+					_, _ = w.WriteString("\r\n")
+				}
+			} else {
+				name := cmd
+				if sp := strings.IndexByte(name, ' '); sp > 0 {
+					name = name[:sp]
+				}
+				_, _ = w.WriteString("-sh: " + name + ": not found\r\n")
+			}
+		}
+		if len(ev.Commands) >= 64 { // bound runaway sessions
+			return
+		}
+	}
+}
+
+// readLine reads one CR/LF-terminated line, filtering IAC negotiation and
+// accounting raw bytes into the event.
+func readLine(r *bufio.Reader, ev *Event) (string, error) {
+	var line []byte
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		ev.RawBytes++
+		if b == IAC {
+			// Consume a client negotiation command (verb + option).
+			verb, err := r.ReadByte()
+			if err != nil {
+				return "", err
+			}
+			ev.RawBytes++
+			switch verb {
+			case DO, DONT, WILL, WONT:
+				if _, err := r.ReadByte(); err != nil {
+					return "", err
+				}
+				ev.RawBytes++
+			case IAC:
+				line = append(line, IAC)
+			}
+			continue
+		}
+		if b == '\n' {
+			return strings.TrimRight(string(line), "\r"), nil
+		}
+		if b != '\r' {
+			line = append(line, b)
+		}
+		if len(line) > 512 {
+			return string(line), nil
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package telnet implements the Telnet protocol (RFC 854) at the level the
+// study needs: real IAC option negotiation on the wire, a server with a
+// login state machine driving IoT device and honeypot profiles, and a
+// banner-grabbing client equivalent to the paper's ZMap/ZGrab Telnet probe.
+//
+// Telnet is the most attacked protocol in the study (Tables 4, 5, 8): Mirai
+// and its descendants brute-force Telnet with default credentials, and the
+// paper identifies misconfigured devices by prompt substrings such as "$",
+// "root@xxx:~$" and "admin@xxx:~$" in the unauthenticated banner.
+package telnet
+
+import "bytes"
+
+// Telnet command bytes (RFC 854).
+const (
+	IAC  = 255 // interpret as command
+	DONT = 254
+	DO   = 253
+	WONT = 252
+	WILL = 251
+	SB   = 250 // subnegotiation begin
+	SE   = 240 // subnegotiation end
+)
+
+// Telnet option codes used by real IoT devices and honeypots.
+const (
+	OptEcho            = 1
+	OptSuppressGoAhead = 3
+	OptTerminalType    = 24
+	OptNAWS            = 31 // window size
+	OptLinemode        = 34
+)
+
+// Ports scanned for Telnet. The paper probes both 23 and 2323 (Section 4.1.1),
+// which is one reason its host counts exceed Project Sonar's.
+var Ports = []uint16{23, 2323}
+
+// Command is a single parsed IAC negotiation command.
+type Command struct {
+	Verb   byte // DO, DONT, WILL, WONT
+	Option byte
+}
+
+// SplitStream separates raw Telnet bytes into negotiation commands and
+// plain application data. Subnegotiations are consumed and discarded; an
+// escaped IAC (IAC IAC) yields a literal 0xFF data byte. Incomplete trailing
+// sequences are dropped, which is acceptable for banner analysis.
+func SplitStream(raw []byte) (data []byte, cmds []Command) {
+	for i := 0; i < len(raw); {
+		if raw[i] != IAC {
+			data = append(data, raw[i])
+			i++
+			continue
+		}
+		if i+1 >= len(raw) {
+			break
+		}
+		switch raw[i+1] {
+		case IAC:
+			data = append(data, IAC)
+			i += 2
+		case DO, DONT, WILL, WONT:
+			if i+2 >= len(raw) {
+				return data, cmds
+			}
+			cmds = append(cmds, Command{Verb: raw[i+1], Option: raw[i+2]})
+			i += 3
+		case SB:
+			end := bytes.Index(raw[i+2:], []byte{IAC, SE})
+			if end < 0 {
+				return data, cmds
+			}
+			i += 2 + end + 2
+		default:
+			i += 2 // lone command (NOP, GA, ...)
+		}
+	}
+	return data, cmds
+}
+
+// Negotiate builds the IAC sequence for a verb/option pair.
+func Negotiate(verb, option byte) []byte {
+	return []byte{IAC, verb, option}
+}
+
+// RefuseAll produces the passive responses a banner-grabbing client sends to
+// negotiation commands: refuse everything the server asks for, acknowledge
+// nothing. DO → WONT, WILL → DONT; DONT/WONT need no reply.
+func RefuseAll(cmds []Command) []byte {
+	var out []byte
+	for _, c := range cmds {
+		switch c.Verb {
+		case DO:
+			out = append(out, IAC, WONT, c.Option)
+		case WILL:
+			out = append(out, IAC, DONT, c.Option)
+		}
+	}
+	return out
+}
+
+// EscapeData doubles IAC bytes so payload data transits a Telnet stream
+// unmodified.
+func EscapeData(p []byte) []byte {
+	if bytes.IndexByte(p, IAC) < 0 {
+		return p
+	}
+	out := make([]byte, 0, len(p)+4)
+	for _, b := range p {
+		if b == IAC {
+			out = append(out, IAC, IAC)
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package xmpp
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"time"
+)
+
+// ProbeBanner performs the paper's XMPP banner grab: open a stream, read the
+// server's stream header and features, and return the raw banner plus the
+// parsed features without authenticating.
+func ProbeBanner(conn net.Conn, domain string, timeout time.Duration) (string, Features, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte(StreamOpen(domain))); err != nil {
+		return "", Features{}, err
+	}
+	r := bufio.NewReader(conn)
+	banner, err := readElement(r, "</stream:features>")
+	if err != nil && banner == "" {
+		return "", Features{}, err
+	}
+	return banner, ParseFeatures(banner), nil
+}
+
+// Authenticate performs the SASL exchange after ProbeBanner on the same
+// connection. It reports whether the server accepted.
+func Authenticate(conn net.Conn, mechanism, user, pass string, timeout time.Duration) (bool, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte(AuthRequest(mechanism, user, pass))); err != nil {
+		return false, err
+	}
+	r := bufio.NewReader(conn)
+	resp, err := readElement(r, "/>")
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(resp, "<success"), nil
+}
+
+// SendStanza writes a stanza and collects a response if one arrives within
+// the window. Attack actors use this to poke at device state (the Hue
+// light-toggle attempts in Section 5.1.2).
+func SendStanza(conn net.Conn, stanza string, window time.Duration) (string, error) {
+	if window <= 0 {
+		window = time.Second
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(window))
+	if _, err := conn.Write([]byte(stanza)); err != nil {
+		return "", err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(window))
+	r := bufio.NewReader(conn)
+	resp, err := readElement(r, "/>", "</iq>", "</message>")
+	if err != nil && resp == "" {
+		return "", err
+	}
+	return resp, nil
+}

@@ -1,0 +1,161 @@
+package xmpp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// EventKind classifies server-side observations.
+type EventKind uint8
+
+// Server event kinds.
+const (
+	EventStreamOpen EventKind = iota
+	EventAuthAttempt
+	EventStanza // post-auth stanza (IQ/message/presence)
+)
+
+// Event is one server observation; ThingPot-style honeypots log these.
+type Event struct {
+	Time      time.Time
+	Kind      EventKind
+	Remote    netsim.IPv4
+	Mechanism string
+	Username  string
+	Password  string
+	Success   bool
+	Stanza    string
+}
+
+// ServerConfig configures the XMPP endpoint.
+type ServerConfig struct {
+	Features Features
+	// Credentials maps username → password for PLAIN.
+	Credentials map[string]string
+	// AllowAnonymous admits ANONYMOUS binds — the Table 5 misconfiguration.
+	AllowAnonymous bool
+	// OnEvent, when non-nil, receives observations.
+	OnEvent func(Event)
+	// StanzaHandler, when non-nil, produces responses to post-auth stanzas.
+	// The ThingPot Philips Hue profile implements light-state queries here.
+	StanzaHandler func(stanza string) string
+}
+
+// Server implements netsim.StreamHandler for an XMPP endpoint.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer builds a Server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Features.Domain == "" {
+		cfg.Features.Domain = "device.local"
+	}
+	if len(cfg.Features.Mechanisms) == 0 {
+		cfg.Features.Mechanisms = []string{"PLAIN"}
+	}
+	return &Server{cfg: cfg}
+}
+
+func (s *Server) emit(ev Event) {
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(ev)
+	}
+}
+
+// Serve implements netsim.StreamHandler.
+func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
+	remote, _ := netsim.RemoteIPv4(conn)
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	r := bufio.NewReader(conn)
+
+	// Wait for the client's stream header.
+	if _, err := readElement(r, ">"); err != nil {
+		return
+	}
+	s.emit(Event{Time: conn.DialTime, Kind: EventStreamOpen, Remote: remote})
+	streamID := fmt.Sprintf("%s-%08x", s.cfg.Features.Software, uint32(remote))
+	if _, err := conn.Write([]byte(StreamResponse(s.cfg.Features, streamID))); err != nil {
+		return
+	}
+
+	// SASL exchange.
+	authed := false
+	for !authed {
+		el, err := readElement(r, "</auth>", "/>")
+		if err != nil {
+			return
+		}
+		if !strings.Contains(el, "<auth") {
+			continue
+		}
+		mech, user, pass, err := ParseAuth(el)
+		if err != nil {
+			_, _ = conn.Write([]byte(SASLFailure))
+			continue
+		}
+		ok := false
+		switch strings.ToUpper(mech) {
+		case "ANONYMOUS":
+			ok = s.cfg.AllowAnonymous
+		case "PLAIN":
+			want, exists := s.cfg.Credentials[user]
+			ok = exists && want == pass
+		}
+		s.emit(Event{Time: conn.DialTime, Kind: EventAuthAttempt, Remote: remote,
+			Mechanism: mech, Username: user, Password: pass, Success: ok})
+		if ok {
+			_, _ = conn.Write([]byte(SASLSuccess))
+			authed = true
+		} else {
+			if _, err := conn.Write([]byte(SASLFailure)); err != nil {
+				return
+			}
+		}
+	}
+
+	// Post-auth stanza loop.
+	for i := 0; i < 64; i++ {
+		el, err := readElement(r, "/>", "</iq>", "</message>", "</presence>", "</stream:stream>")
+		if err != nil {
+			return
+		}
+		if strings.Contains(el, "</stream:stream>") {
+			_, _ = conn.Write([]byte("</stream:stream>"))
+			return
+		}
+		s.emit(Event{Time: conn.DialTime, Kind: EventStanza, Remote: remote, Stanza: el})
+		if s.cfg.StanzaHandler != nil {
+			if resp := s.cfg.StanzaHandler(el); resp != "" {
+				if _, err := conn.Write([]byte(resp)); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// readElement accumulates bytes until any terminator appears. XMPP is a
+// stream of XML fragments; exact parsing is unnecessary for the study.
+func readElement(r *bufio.Reader, terminators ...string) (string, error) {
+	var sb strings.Builder
+	for sb.Len() < 64<<10 {
+		b, err := r.ReadByte()
+		if err != nil {
+			return sb.String(), err
+		}
+		sb.WriteByte(b)
+		s := sb.String()
+		for _, term := range terminators {
+			if strings.HasSuffix(s, term) {
+				return s, nil
+			}
+		}
+	}
+	return sb.String(), fmt.Errorf("xmpp: element too large")
+}

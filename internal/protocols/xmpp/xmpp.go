@@ -1,0 +1,155 @@
+// Package xmpp implements the XMPP stream preamble (RFC 6120): stream open,
+// stream features with SASL mechanism advertisement, and enough of the SASL
+// exchange for anonymous and plain logins.
+//
+// The paper scans client port 5222 and server port 5269 and classifies
+// devices from the advertised mechanisms (Table 2): <mechanism>PLAIN</...>
+// without mandatory TLS means credentials transit in clear text ("No
+// encryption"), and <mechanism>ANONYMOUS</...> admits anyone ("No auth",
+// the largest XMPP class in Table 5 with 143,986 devices). ThingPot's
+// Philips Hue profile observed brute-force and anonymous state-change
+// attempts on this protocol (Section 5.1.2).
+package xmpp
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+)
+
+// Standard XMPP ports.
+const (
+	ClientPort uint16 = 5222
+	ServerPort uint16 = 5269
+)
+
+// Features is what a server advertises in <stream:features>.
+type Features struct {
+	// Mechanisms lists SASL mechanisms ("PLAIN", "ANONYMOUS", "SCRAM-SHA-1").
+	Mechanisms []string
+	// RequireTLS advertises <starttls><required/></starttls>: the secure
+	// configuration the misconfigured population lacks.
+	RequireTLS bool
+	// Domain is the server's JID domain.
+	Domain string
+	// Software identifies the implementation in the stream id prefix.
+	Software string
+}
+
+// StreamOpen renders the client's stream header for a domain.
+func StreamOpen(domain string) string {
+	return `<?xml version='1.0'?><stream:stream to='` + xmlEscape(domain) +
+		`' xmlns='jabber:client' xmlns:stream='http://etherx.jabber.org/streams' version='1.0'>`
+}
+
+// StreamResponse renders the server's stream header plus features element —
+// the banner the scanner's classifier parses.
+func StreamResponse(f Features, streamID string) string {
+	var b strings.Builder
+	b.WriteString(`<?xml version='1.0'?><stream:stream from='` + xmlEscape(f.Domain) +
+		`' id='` + xmlEscape(streamID) +
+		`' xmlns='jabber:client' xmlns:stream='http://etherx.jabber.org/streams' version='1.0'>`)
+	b.WriteString(`<stream:features>`)
+	if f.RequireTLS {
+		b.WriteString(`<starttls xmlns='urn:ietf:params:xml:ns:xmpp-tls'><required/></starttls>`)
+	}
+	b.WriteString(`<mechanisms xmlns='urn:ietf:params:xml:ns:xmpp-sasl'>`)
+	for _, m := range f.Mechanisms {
+		b.WriteString(`<mechanism>` + xmlEscape(m) + `</mechanism>`)
+	}
+	b.WriteString(`</mechanisms></stream:features>`)
+	return b.String()
+}
+
+// ParseFeatures extracts the advertised mechanisms and TLS requirement from
+// a server banner. It is a tolerant substring parser: scan banners are
+// frequently truncated and never schema-valid.
+func ParseFeatures(banner string) Features {
+	var f Features
+	f.RequireTLS = strings.Contains(banner, "<required/>") &&
+		strings.Contains(banner, "starttls")
+	rest := banner
+	for {
+		start := strings.Index(rest, "<mechanism>")
+		if start < 0 {
+			break
+		}
+		rest = rest[start+len("<mechanism>"):]
+		end := strings.Index(rest, "</mechanism>")
+		if end < 0 {
+			break
+		}
+		f.Mechanisms = append(f.Mechanisms, rest[:end])
+		rest = rest[end:]
+	}
+	if i := strings.Index(banner, "from='"); i >= 0 {
+		tail := banner[i+len("from='"):]
+		if j := strings.IndexByte(tail, '\''); j >= 0 {
+			f.Domain = tail[:j]
+		}
+	}
+	return f
+}
+
+// HasMechanism reports whether the features advertise mech.
+func (f Features) HasMechanism(mech string) bool {
+	for _, m := range f.Mechanisms {
+		if strings.EqualFold(m, mech) {
+			return true
+		}
+	}
+	return false
+}
+
+// AuthRequest renders a SASL <auth> element. PLAIN carries
+// base64(\x00user\x00pass); ANONYMOUS carries no initial response.
+func AuthRequest(mechanism, user, pass string) string {
+	switch strings.ToUpper(mechanism) {
+	case "PLAIN":
+		payload := base64.StdEncoding.EncodeToString([]byte("\x00" + user + "\x00" + pass))
+		return `<auth xmlns='urn:ietf:params:xml:ns:xmpp-sasl' mechanism='PLAIN'>` + payload + `</auth>`
+	case "ANONYMOUS":
+		return `<auth xmlns='urn:ietf:params:xml:ns:xmpp-sasl' mechanism='ANONYMOUS'/>`
+	default:
+		return `<auth xmlns='urn:ietf:params:xml:ns:xmpp-sasl' mechanism='` + xmlEscape(mechanism) + `'/>`
+	}
+}
+
+// ParseAuth extracts mechanism and PLAIN credentials from an <auth> element.
+func ParseAuth(element string) (mechanism, user, pass string, err error) {
+	i := strings.Index(element, "mechanism='")
+	if i < 0 {
+		return "", "", "", fmt.Errorf("xmpp: no mechanism attribute")
+	}
+	tail := element[i+len("mechanism='"):]
+	j := strings.IndexByte(tail, '\'')
+	if j < 0 {
+		return "", "", "", fmt.Errorf("xmpp: unterminated mechanism attribute")
+	}
+	mechanism = tail[:j]
+	if strings.EqualFold(mechanism, "PLAIN") {
+		open := strings.IndexByte(element, '>')
+		close := strings.Index(element, "</auth>")
+		if open >= 0 && close > open {
+			raw, decErr := base64.StdEncoding.DecodeString(element[open+1 : close])
+			if decErr == nil {
+				parts := strings.Split(string(raw), "\x00")
+				if len(parts) == 3 {
+					user, pass = parts[1], parts[2]
+				}
+			}
+		}
+	}
+	return mechanism, user, pass, nil
+}
+
+// Success and failure elements.
+const (
+	SASLSuccess = `<success xmlns='urn:ietf:params:xml:ns:xmpp-sasl'/>`
+	SASLFailure = `<failure xmlns='urn:ietf:params:xml:ns:xmpp-sasl'><not-authorized/></failure>`
+)
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "'", "&apos;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,223 @@
+// Package telescope implements the /8 network-telescope substrate: a
+// darknet observer that captures unsolicited traffic as FlowTuple records
+// (the CAIDA STARDUST format the paper parses, Section 3.4), with binary and
+// CSV codecs, per-minute file rotation and the aggregation queries behind
+// Table 8.
+package telescope
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// FlowTuple is one aggregated flow record. Fields mirror the CAIDA
+// FlowTuple v4 schema the paper lists: source/destination, ports, protocol,
+// TTL, TCP flags, packet sizes and counts, geolocation and the is_spoofed /
+// is_masscan annotations.
+type FlowTuple struct {
+	Time      time.Time
+	SrcIP     netsim.IPv4
+	DstIP     netsim.IPv4
+	SrcPort   uint16
+	DstPort   uint16
+	Protocol  uint8 // IP protocol number: 6 TCP, 17 UDP
+	TTL       uint8
+	TCPFlags  uint8
+	IPLen     uint16
+	SynLen    uint16
+	SynWinLen uint16
+	PacketCnt uint32
+	CountryCC string // ISO-ish country label
+	ASN       uint32
+	IsSpoofed bool
+	IsMasscan bool
+}
+
+// IP protocol numbers.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagACK = 1 << 4
+)
+
+// magic identifies the binary record format.
+var magic = [4]byte{'F', 'T', '0', '4'}
+
+// ErrBadRecord reports a corrupt binary record.
+var ErrBadRecord = errors.New("telescope: bad flowtuple record")
+
+// WriteBinary appends the record's binary encoding to w.
+func (ft *FlowTuple) WriteBinary(w io.Writer) error {
+	cc := ft.CountryCC
+	if len(cc) > 255 {
+		cc = cc[:255]
+	}
+	buf := make([]byte, 0, 48+len(cc))
+	buf = append(buf, magic[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(ft.Time.UnixNano()))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(ft.SrcIP))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(ft.DstIP))
+	buf = binary.BigEndian.AppendUint16(buf, ft.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, ft.DstPort)
+	buf = append(buf, ft.Protocol, ft.TTL, ft.TCPFlags, boolByte(ft.IsSpoofed), boolByte(ft.IsMasscan))
+	buf = binary.BigEndian.AppendUint16(buf, ft.IPLen)
+	buf = binary.BigEndian.AppendUint16(buf, ft.SynLen)
+	buf = binary.BigEndian.AppendUint16(buf, ft.SynWinLen)
+	buf = binary.BigEndian.AppendUint32(buf, ft.PacketCnt)
+	buf = binary.BigEndian.AppendUint32(buf, ft.ASN)
+	buf = append(buf, byte(len(cc)))
+	buf = append(buf, cc...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ReadBinary decodes one record from r. It returns io.EOF cleanly at end of
+// stream.
+func ReadBinary(r io.Reader) (*FlowTuple, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF at stream end
+	}
+	if hdr != magic {
+		return nil, ErrBadRecord
+	}
+	fixed := make([]byte, 39)
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		return nil, ErrBadRecord
+	}
+	ft := &FlowTuple{
+		Time:      time.Unix(0, int64(binary.BigEndian.Uint64(fixed[0:8]))).UTC(),
+		SrcIP:     netsim.IPv4(binary.BigEndian.Uint32(fixed[8:12])),
+		DstIP:     netsim.IPv4(binary.BigEndian.Uint32(fixed[12:16])),
+		SrcPort:   binary.BigEndian.Uint16(fixed[16:18]),
+		DstPort:   binary.BigEndian.Uint16(fixed[18:20]),
+		Protocol:  fixed[20],
+		TTL:       fixed[21],
+		TCPFlags:  fixed[22],
+		IsSpoofed: fixed[23] == 1,
+		IsMasscan: fixed[24] == 1,
+		IPLen:     binary.BigEndian.Uint16(fixed[25:27]),
+		SynLen:    binary.BigEndian.Uint16(fixed[27:29]),
+		SynWinLen: binary.BigEndian.Uint16(fixed[29:31]),
+		PacketCnt: binary.BigEndian.Uint32(fixed[31:35]),
+		ASN:       binary.BigEndian.Uint32(fixed[35:39]),
+	}
+	var cclen [1]byte
+	if _, err := io.ReadFull(r, cclen[:]); err != nil {
+		return nil, ErrBadRecord
+	}
+	if cclen[0] > 0 {
+		cc := make([]byte, cclen[0])
+		if _, err := io.ReadFull(r, cc); err != nil {
+			return nil, ErrBadRecord
+		}
+		ft.CountryCC = string(cc)
+	}
+	return ft, nil
+}
+
+// csvHeader is the CSV column list.
+const csvHeader = "time,src_ip,dst_ip,src_port,dst_port,protocol,ttl,tcp_flags,ip_len,syn_len,syn_win_len,packet_cnt,country,asn,is_spoofed,is_masscan"
+
+// WriteCSVHeader writes the header line.
+func WriteCSVHeader(w io.Writer) error {
+	_, err := io.WriteString(w, csvHeader+"\n")
+	return err
+}
+
+// WriteCSV appends the record as a CSV line.
+func (ft *FlowTuple) WriteCSV(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%t,%t\n",
+		ft.Time.UnixNano(), ft.SrcIP, ft.DstIP, ft.SrcPort, ft.DstPort,
+		ft.Protocol, ft.TTL, ft.TCPFlags, ft.IPLen, ft.SynLen, ft.SynWinLen,
+		ft.PacketCnt, csvEscape(ft.CountryCC), ft.ASN, ft.IsSpoofed, ft.IsMasscan)
+	return err
+}
+
+func csvEscape(s string) string {
+	return strings.ReplaceAll(s, ",", ";")
+}
+
+// ParseCSV decodes one CSV line (header lines are rejected).
+func ParseCSV(line string) (*FlowTuple, error) {
+	fields := strings.Split(strings.TrimSpace(line), ",")
+	if len(fields) != 16 {
+		return nil, fmt.Errorf("telescope: want 16 CSV fields, got %d", len(fields))
+	}
+	if fields[0] == "time" {
+		return nil, errors.New("telescope: header line")
+	}
+	nanos, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	src, err := netsim.ParseIPv4(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	dst, err := netsim.ParseIPv4(fields[2])
+	if err != nil {
+		return nil, err
+	}
+	u := func(i int, bits int) uint64 {
+		v, convErr := strconv.ParseUint(fields[i], 10, bits)
+		if convErr != nil {
+			err = convErr
+		}
+		return v
+	}
+	ft := &FlowTuple{
+		Time: time.Unix(0, nanos).UTC(), SrcIP: src, DstIP: dst,
+		SrcPort: uint16(u(3, 16)), DstPort: uint16(u(4, 16)),
+		Protocol: uint8(u(5, 8)), TTL: uint8(u(6, 8)), TCPFlags: uint8(u(7, 8)),
+		IPLen: uint16(u(8, 16)), SynLen: uint16(u(9, 16)), SynWinLen: uint16(u(10, 16)),
+		PacketCnt: uint32(u(11, 32)), CountryCC: fields[12], ASN: uint32(u(13, 32)),
+	}
+	if err != nil {
+		return nil, err
+	}
+	ft.IsSpoofed = fields[14] == "true"
+	ft.IsMasscan = fields[15] == "true"
+	return ft, nil
+}
+
+// ReadCSV parses all records from r, skipping the header if present.
+func ReadCSV(r io.Reader) ([]*FlowTuple, error) {
+	var out []*FlowTuple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "time,") {
+			continue
+		}
+		ft, err := ParseCSV(line)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ft)
+	}
+	return out, sc.Err()
+}

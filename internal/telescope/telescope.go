@@ -1,0 +1,229 @@
+package telescope
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"openhire/internal/geo"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+// Telescope observes a routed-but-dark prefix, aggregating unsolicited
+// traffic into FlowTuple records. It implements netsim.Observer, so wiring
+// it into the fabric with Network.AddObserver captures every probe the
+// simulated adversaries send at its prefix — the same passive capture model
+// as the UCSD /8 darknet.
+type Telescope struct {
+	prefix netsim.Prefix
+	geodb  *geo.DB
+
+	mu    sync.Mutex
+	flows map[flowKey]*FlowTuple
+	order []flowKey // insertion order for deterministic dumps
+}
+
+// flowKey aggregates packets of one flow within the capture window.
+type flowKey struct {
+	src, dst     netsim.IPv4
+	sport, dport uint16
+	proto        uint8
+}
+
+// New builds a telescope over prefix using geodb for source annotation.
+func New(prefix netsim.Prefix, geodb *geo.DB) *Telescope {
+	return &Telescope{
+		prefix: prefix,
+		geodb:  geodb,
+		flows:  make(map[flowKey]*FlowTuple),
+	}
+}
+
+// Prefix returns the observed range.
+func (t *Telescope) Prefix() netsim.Prefix { return t.prefix }
+
+// Observe implements netsim.Observer.
+func (t *Telescope) Observe(ev netsim.ProbeEvent) {
+	if !t.prefix.Contains(ev.Dst.IP) {
+		return
+	}
+	var proto uint8 = ProtoTCP
+	var flags uint8
+	ipLen := uint16(40)
+	var synLen, synWin uint16
+	switch ev.Transport {
+	case netsim.UDP:
+		proto = ProtoUDP
+		ipLen = uint16(28 + ev.Size)
+	default:
+		if ev.Kind == netsim.ProbeSYN {
+			flags = FlagSYN
+			synLen = 44
+			synWin = 65535
+		}
+	}
+	key := flowKey{src: ev.Src.IP, dst: ev.Dst.IP, sport: ev.Src.Port,
+		dport: ev.Dst.Port, proto: proto}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ft, ok := t.flows[key]; ok {
+		ft.PacketCnt++
+		return
+	}
+	ft := &FlowTuple{
+		Time: ev.Time, SrcIP: ev.Src.IP, DstIP: ev.Dst.IP,
+		SrcPort: ev.Src.Port, DstPort: ev.Dst.Port,
+		Protocol: proto, TTL: ev.TTL, TCPFlags: flags,
+		IPLen: ipLen, SynLen: synLen, SynWinLen: synWin, PacketCnt: 1,
+		IsSpoofed: ev.Spoofed, IsMasscan: ev.Masscan,
+	}
+	if t.geodb != nil {
+		ft.CountryCC = string(t.geodb.Country(ev.Src.IP))
+		ft.ASN = t.geodb.ASN(ev.Src.IP)
+	}
+	t.flows[key] = ft
+	t.order = append(t.order, key)
+}
+
+// Record ingests a pre-built FlowTuple directly. The statistical traffic
+// generator uses this path for volumes that would be wasteful to route
+// through the packet fabric.
+func (t *Telescope) Record(ft *FlowTuple) {
+	key := flowKey{src: ft.SrcIP, dst: ft.DstIP, sport: ft.SrcPort,
+		dport: ft.DstPort, proto: ft.Protocol}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if prev, ok := t.flows[key]; ok {
+		prev.PacketCnt += ft.PacketCnt
+		return
+	}
+	cp := *ft
+	t.flows[key] = &cp
+	t.order = append(t.order, key)
+}
+
+// Flows returns the captured records in insertion order.
+func (t *Telescope) Flows() []*FlowTuple {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*FlowTuple, 0, len(t.order))
+	for _, k := range t.order {
+		cp := *t.flows[k]
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// Drain returns captured records and clears the buffer — the per-minute
+// file rotation the CAIDA pipeline performs (1,440 files per day).
+func (t *Telescope) Drain() []*FlowTuple {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*FlowTuple, 0, len(t.order))
+	for _, k := range t.order {
+		out = append(out, t.flows[k])
+	}
+	t.flows = make(map[flowKey]*FlowTuple)
+	t.order = nil
+	return out
+}
+
+// Len returns the number of aggregated flows currently held.
+func (t *Telescope) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.flows)
+}
+
+// ProtocolOfPort maps a destination port to the study's protocol buckets.
+func ProtocolOfPort(port uint16) (iot.Protocol, bool) {
+	switch port {
+	case 23, 2323:
+		return iot.ProtoTelnet, true
+	case 1883:
+		return iot.ProtoMQTT, true
+	case 5683:
+		return iot.ProtoCoAP, true
+	case 5672:
+		return iot.ProtoAMQP, true
+	case 5222, 5269:
+		return iot.ProtoXMPP, true
+	case 1900:
+		return iot.ProtoUPnP, true
+	default:
+		return "", false
+	}
+}
+
+// ProtocolStats is one Table 8 row: per-protocol telescope traffic.
+type ProtocolStats struct {
+	Protocol  iot.Protocol
+	Packets   uint64
+	Flows     int
+	UniqueIPs int
+}
+
+// AggregateByProtocol buckets flows into the study's six protocols,
+// sorted by descending packet count (Table 8 ordering).
+func AggregateByProtocol(flows []*FlowTuple) []ProtocolStats {
+	type agg struct {
+		packets uint64
+		flows   int
+		ips     map[netsim.IPv4]struct{}
+	}
+	byProto := make(map[iot.Protocol]*agg)
+	for _, ft := range flows {
+		proto, ok := ProtocolOfPort(ft.DstPort)
+		if !ok {
+			continue
+		}
+		a := byProto[proto]
+		if a == nil {
+			a = &agg{ips: make(map[netsim.IPv4]struct{})}
+			byProto[proto] = a
+		}
+		a.packets += uint64(ft.PacketCnt)
+		a.flows++
+		a.ips[ft.SrcIP] = struct{}{}
+	}
+	out := make([]ProtocolStats, 0, len(byProto))
+	for p, a := range byProto {
+		out = append(out, ProtocolStats{Protocol: p, Packets: a.packets,
+			Flows: a.flows, UniqueIPs: len(a.ips)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Protocol < out[j].Protocol
+	})
+	return out
+}
+
+// UniqueSources returns the distinct source addresses across flows.
+func UniqueSources(flows []*FlowTuple) []netsim.IPv4 {
+	seen := make(map[netsim.IPv4]struct{})
+	var out []netsim.IPv4
+	for _, ft := range flows {
+		if _, ok := seen[ft.SrcIP]; !ok {
+			seen[ft.SrcIP] = struct{}{}
+			out = append(out, ft.SrcIP)
+		}
+	}
+	return out
+}
+
+// HourlyBuckets splits flows into hour buckets from start, for the daily
+// series behind Figure 8's telescope counterpart.
+func HourlyBuckets(flows []*FlowTuple, start time.Time, hours int) []uint64 {
+	out := make([]uint64, hours)
+	for _, ft := range flows {
+		h := int(ft.Time.Sub(start) / time.Hour)
+		if h >= 0 && h < hours {
+			out[h] += uint64(ft.PacketCnt)
+		}
+	}
+	return out
+}

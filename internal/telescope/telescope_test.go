@@ -1,0 +1,265 @@
+package telescope
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"openhire/internal/geo"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+func sampleFlow() *FlowTuple {
+	return &FlowTuple{
+		Time:    time.Date(2021, 4, 3, 12, 30, 0, 0, time.UTC),
+		SrcIP:   netsim.MustParseIPv4("203.0.113.7"),
+		DstIP:   netsim.MustParseIPv4("44.1.2.3"),
+		SrcPort: 40000, DstPort: 23,
+		Protocol: ProtoTCP, TTL: 52, TCPFlags: FlagSYN,
+		IPLen: 40, SynLen: 44, SynWinLen: 65535, PacketCnt: 3,
+		CountryCC: "China", ASN: 4134, IsSpoofed: false, IsMasscan: true,
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := sampleFlow()
+	if err := want.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(src, dst uint32, sp, dp uint16, ttl uint8, cnt uint32, spoofed bool) bool {
+		ft := &FlowTuple{
+			Time:  time.Unix(0, 1617000000000000000).UTC(),
+			SrcIP: netsim.IPv4(src), DstIP: netsim.IPv4(dst),
+			SrcPort: sp, DstPort: dp, Protocol: ProtoUDP, TTL: ttl,
+			PacketCnt: cnt, CountryCC: "USA", IsSpoofed: spoofed,
+		}
+		var buf bytes.Buffer
+		if err := ft.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		return err == nil && *got == *ft
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsCorrupt(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXXgarbage-here-too"))); err != ErrBadRecord {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBinaryStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		ft := sampleFlow()
+		ft.SrcPort = uint16(1000 + i)
+		if err := ft.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for {
+		_, err := ReadBinary(&buf)
+		if err != nil {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("read %d records", n)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSVHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := sampleFlow()
+	if err := want.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || *records[0] != *want {
+		t.Fatalf("records %+v", records)
+	}
+}
+
+func TestCSVRejectsBadLines(t *testing.T) {
+	for _, line := range []string{"a,b,c", "not,enough,fields,at,all"} {
+		if _, err := ParseCSV(line); err == nil {
+			t.Errorf("parsed %q", line)
+		}
+	}
+}
+
+func TestObserveAggregatesFlows(t *testing.T) {
+	prefix := netsim.MustParsePrefix("44.0.0.0/8")
+	tel := New(prefix, geo.NewDB(1, nil))
+	ev := netsim.ProbeEvent{
+		Time:      netsim.ExperimentStart,
+		Src:       netsim.Endpoint{IP: netsim.MustParseIPv4("9.8.7.6"), Port: 40000},
+		Dst:       netsim.Endpoint{IP: netsim.MustParseIPv4("44.1.1.1"), Port: 23},
+		Transport: netsim.TCP, Kind: netsim.ProbeSYN, TTL: 52,
+	}
+	for i := 0; i < 3; i++ {
+		tel.Observe(ev)
+	}
+	flows := tel.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("flows %d", len(flows))
+	}
+	if flows[0].PacketCnt != 3 || flows[0].TCPFlags != FlagSYN || flows[0].CountryCC == "" {
+		t.Fatalf("flow %+v", flows[0])
+	}
+}
+
+func TestObserveIgnoresOutsidePrefix(t *testing.T) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+	tel.Observe(netsim.ProbeEvent{
+		Dst: netsim.Endpoint{IP: netsim.MustParseIPv4("45.0.0.1"), Port: 23},
+	})
+	if tel.Len() != 0 {
+		t.Fatal("captured traffic outside prefix")
+	}
+}
+
+func TestObserveUDPSizes(t *testing.T) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+	tel.Observe(netsim.ProbeEvent{
+		Time: netsim.ExperimentStart,
+		Src:  netsim.Endpoint{IP: 1, Port: 9}, Dst: netsim.Endpoint{IP: netsim.MustParseIPv4("44.2.2.2"), Port: 5683},
+		Transport: netsim.UDP, Kind: netsim.ProbeUDP, Size: 21, TTL: 64, Masscan: true,
+	})
+	flows := tel.Flows()
+	if flows[0].Protocol != ProtoUDP || flows[0].IPLen != 49 || !flows[0].IsMasscan {
+		t.Fatalf("flow %+v", flows[0])
+	}
+}
+
+func TestDrainClears(t *testing.T) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+	tel.Record(sampleFlow())
+	if got := tel.Drain(); len(got) != 1 {
+		t.Fatalf("drained %d", len(got))
+	}
+	if tel.Len() != 0 {
+		t.Fatal("drain did not clear")
+	}
+}
+
+func TestRecordMergesDuplicates(t *testing.T) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+	tel.Record(sampleFlow())
+	tel.Record(sampleFlow())
+	flows := tel.Flows()
+	if len(flows) != 1 || flows[0].PacketCnt != 6 {
+		t.Fatalf("flows %+v", flows)
+	}
+}
+
+func TestProtocolOfPort(t *testing.T) {
+	cases := map[uint16]iot.Protocol{
+		23: iot.ProtoTelnet, 2323: iot.ProtoTelnet, 1883: iot.ProtoMQTT,
+		5683: iot.ProtoCoAP, 5672: iot.ProtoAMQP, 5222: iot.ProtoXMPP,
+		5269: iot.ProtoXMPP, 1900: iot.ProtoUPnP,
+	}
+	for port, want := range cases {
+		got, ok := ProtocolOfPort(port)
+		if !ok || got != want {
+			t.Errorf("port %d: %v, %v", port, got, ok)
+		}
+	}
+	if _, ok := ProtocolOfPort(80); ok {
+		t.Fatal("port 80 bucketed")
+	}
+}
+
+func TestAggregateByProtocolOrdering(t *testing.T) {
+	mk := func(port uint16, src uint32, packets uint32) *FlowTuple {
+		return &FlowTuple{SrcIP: netsim.IPv4(src), DstIP: netsim.MustParseIPv4("44.1.2.3"),
+			SrcPort: 4000, DstPort: port, Protocol: ProtoTCP, PacketCnt: packets}
+	}
+	flows := []*FlowTuple{
+		mk(23, 1, 100), mk(23, 2, 100), mk(1883, 3, 30),
+		mk(5683, 4, 10), mk(80, 5, 999), // port 80 ignored
+	}
+	stats := AggregateByProtocol(flows)
+	if len(stats) != 3 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats[0].Protocol != iot.ProtoTelnet || stats[0].Packets != 200 || stats[0].UniqueIPs != 2 {
+		t.Fatalf("telnet row %+v", stats[0])
+	}
+	if stats[1].Protocol != iot.ProtoMQTT || stats[2].Protocol != iot.ProtoCoAP {
+		t.Fatalf("ordering %+v", stats)
+	}
+}
+
+func TestUniqueSources(t *testing.T) {
+	flows := []*FlowTuple{
+		{SrcIP: 1}, {SrcIP: 2}, {SrcIP: 1},
+	}
+	if got := UniqueSources(flows); len(got) != 2 {
+		t.Fatalf("unique %v", got)
+	}
+}
+
+func TestHourlyBuckets(t *testing.T) {
+	start := netsim.ExperimentStart
+	flows := []*FlowTuple{
+		{Time: start.Add(30 * time.Minute), PacketCnt: 5},
+		{Time: start.Add(90 * time.Minute), PacketCnt: 7},
+		{Time: start.Add(-time.Hour), PacketCnt: 100},      // before window
+		{Time: start.Add(100 * time.Hour), PacketCnt: 100}, // after window
+	}
+	buckets := HourlyBuckets(flows, start, 3)
+	if buckets[0] != 5 || buckets[1] != 7 || buckets[2] != 0 {
+		t.Fatalf("buckets %v", buckets)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), geo.NewDB(1, nil))
+	ev := netsim.ProbeEvent{
+		Time:      netsim.ExperimentStart,
+		Src:       netsim.Endpoint{IP: 123456, Port: 40000},
+		Dst:       netsim.Endpoint{IP: netsim.MustParseIPv4("44.1.1.1"), Port: 23},
+		Transport: netsim.TCP, Kind: netsim.ProbeSYN, TTL: 52,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Src.IP = netsim.IPv4(i % 100000)
+		tel.Observe(ev)
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	ft := sampleFlow()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := ft.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
