@@ -1,0 +1,20 @@
+# Developer entry points. `make check` is the gate every PR must pass.
+
+.PHONY: check build test race bench-scan
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/netsim/... ./internal/core/scan/...
+
+# bench-scan reproduces the hot-path numbers recorded in BENCH_scan.json.
+bench-scan:
+	go test -run '^$$' -bench 'BenchmarkProbeThroughput|BenchmarkRunAll' -benchtime 3x ./internal/core/scan/
+	go test -run '^$$' -bench 'BenchmarkLookupHost|BenchmarkEmitNoObserver' ./internal/netsim/

@@ -98,7 +98,7 @@ func main() {
 		fmt.Printf("scanning %s (%s addresses, boost %.0fx, scale 1/%.0f)\n",
 			prefix, report.Comma(int(prefix.Size())), *boost, universe.ScaleFactor())
 		var stats map[iot.Protocol]scan.Stats
-		results, stats = scanner.RunAll(context.Background(), modules)
+		results, stats = scanner.RunAllParallel(context.Background(), modules)
 
 		// Table 4 style exposure summary.
 		expo := report.NewTable("\nExposed systems by protocol", "Protocol", "Probed", "Responded", "Elapsed")
@@ -112,8 +112,15 @@ func main() {
 
 	if *out != "" {
 		db := store.New()
-		for _, rs := range results {
-			for _, r := range rs {
+		// Insert in sorted protocol order: the store saves insertion order,
+		// and map iteration would make the output file order vary run to run.
+		protos := make([]iot.Protocol, 0, len(results))
+		for p := range results {
+			protos = append(protos, p)
+		}
+		sort.Slice(protos, func(i, j int) bool { return protos[i] < protos[j] })
+		for _, p := range protos {
+			for _, r := range results[p] {
 				db.Insert(r)
 			}
 		}

@@ -1,0 +1,99 @@
+package scan
+
+import (
+	"context"
+	"testing"
+
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+)
+
+// BenchmarkProbeThroughput measures the end-to-end scan hot path: a full
+// Telnet sweep of a /16 universe (2 ports per address, ~131k probes per
+// iteration). The per-probe cost is the number that bounds Internet-wide
+// sweep time, reported as ns/probe.
+func BenchmarkProbeThroughput(b *testing.B) {
+	n, _, prefix := buildTestWorld(b, 50)
+	s := NewScanner(Config{
+		Network: n,
+		Source:  netsim.MustParseIPv4("130.226.0.1"),
+		Prefix:  prefix,
+		Seed:    5,
+		Workers: 64,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var probed uint64
+	for i := 0; i < b.N; i++ {
+		st := s.Run(context.Background(), TelnetModule{}, nil)
+		probed += st.Probed
+	}
+	b.StopTimer()
+	if probed == 0 {
+		b.Fatal("no probes issued")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(probed), "ns/probe")
+}
+
+// BenchmarkProbeThroughputUDP is the same sweep over a connectionless
+// module (CoAP), isolating the Query path from the Dial goroutine cost.
+func BenchmarkProbeThroughputUDP(b *testing.B) {
+	n, _, prefix := buildTestWorld(b, 50)
+	s := NewScanner(Config{
+		Network: n,
+		Source:  netsim.MustParseIPv4("130.226.0.1"),
+		Prefix:  prefix,
+		Seed:    5,
+		Workers: 64,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var probed uint64
+	for i := 0; i < b.N; i++ {
+		st := s.Run(context.Background(), CoAPModule{}, nil)
+		probed += st.Probed
+	}
+	b.StopTimer()
+	if probed == 0 {
+		b.Fatal("no probes issued")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(probed), "ns/probe")
+}
+
+// BenchmarkRunAllSequential is the six-protocol sweep of a /17 slice with
+// modules run one after another — the pre-parallel pipeline shape.
+func BenchmarkRunAllSequential(b *testing.B) {
+	n, _, _ := buildTestWorld(b, 50)
+	s := NewScanner(Config{
+		Network: n,
+		Source:  netsim.MustParseIPv4("130.226.0.1"),
+		Prefix:  netsim.MustParsePrefix("50.0.0.0/17"),
+		Seed:    5,
+		Workers: 96,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink, _ = s.RunAll(context.Background(), AllModules())
+	}
+}
+
+// BenchmarkRunAllParallel is the same sweep with all six modules scanning
+// concurrently under the same total worker budget.
+func BenchmarkRunAllParallel(b *testing.B) {
+	n, _, _ := buildTestWorld(b, 50)
+	s := NewScanner(Config{
+		Network: n,
+		Source:  netsim.MustParseIPv4("130.226.0.1"),
+		Prefix:  netsim.MustParsePrefix("50.0.0.0/17"),
+		Seed:    5,
+		Workers: 96,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink, _ = s.RunAllParallel(context.Background(), AllModules())
+	}
+}
+
+var benchSink map[iot.Protocol][]*Result

@@ -1,0 +1,217 @@
+package scan
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// TestShardUnionEqualsUnsharded asserts the ZMap sharding invariant on the
+// batched feed: the union of Shard=0..N-1 scans over a prefix equals the
+// unsharded scan's result set, with no duplicates.
+func TestShardUnionEqualsUnsharded(t *testing.T) {
+	n, _, _ := buildTestWorld(t, 300)
+	prefix := netsim.MustParsePrefix("50.0.0.0/20")
+	const shards = 3
+
+	collect := func(shard, shardCount int) map[addrKey]bool {
+		s := NewScanner(Config{
+			Network: n, Source: 1, Prefix: prefix, Seed: 11, Workers: 16,
+			Shard: shard, Shards: shardCount,
+		})
+		rs, _ := s.runCollect(context.Background(), TelnetModule{})
+		set := make(map[addrKey]bool, len(rs))
+		for _, r := range rs {
+			set[addrKey{ip: r.IP, port: r.Port}] = true
+		}
+		if len(set) != len(rs) {
+			t.Fatalf("shard %d/%d: %d results but %d distinct (ip, port)",
+				shard, shardCount, len(rs), len(set))
+		}
+		return set
+	}
+
+	full := collect(0, 1)
+	union := make(map[addrKey]bool)
+	for s := 0; s < shards; s++ {
+		for key := range collect(s, shards) {
+			if union[key] {
+				t.Fatalf("(ip %v, port %d) found by two shards", key.ip, key.port)
+			}
+			union[key] = true
+		}
+	}
+	if len(union) != len(full) {
+		t.Fatalf("shard union has %d hosts, unsharded scan %d", len(union), len(full))
+	}
+	for key := range full {
+		if !union[key] {
+			t.Fatalf("(ip %v, port %d) missing from shard union", key.ip, key.port)
+		}
+	}
+}
+
+// TestRunAllParallelMatchesRunAll asserts determinism: for a fixed seed the
+// parallel six-protocol scan must produce byte-identical per-protocol
+// result sets to the sequential one.
+func TestRunAllParallelMatchesRunAll(t *testing.T) {
+	n, _, _ := buildTestWorld(t, 300)
+	prefix := netsim.MustParsePrefix("50.0.0.0/20")
+	cfg := Config{Network: n, Source: 1, Prefix: prefix, Seed: 12, Workers: 48}
+
+	seq, seqStats := NewScanner(cfg).RunAll(context.Background(), AllModules())
+	par, parStats := NewScanner(cfg).RunAllParallel(context.Background(), AllModules())
+
+	if len(seq) != len(par) {
+		t.Fatalf("protocol count: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for proto, srs := range seq {
+		prs := par[proto]
+		if len(srs) != len(prs) {
+			t.Fatalf("%s: sequential %d results, parallel %d", proto, len(srs), len(prs))
+		}
+		for i := range srs {
+			a, b := srs[i], prs[i]
+			if a.IP != b.IP || a.Port != b.Port || a.Transport != b.Transport ||
+				!bytes.Equal(a.Banner, b.Banner) || !bytes.Equal(a.Response, b.Response) {
+				t.Fatalf("%s result %d differs:\nseq %+v\npar %+v", proto, i, a, b)
+			}
+			if len(a.Meta) != len(b.Meta) {
+				t.Fatalf("%s result %d meta size differs", proto, i)
+			}
+			for k, v := range a.Meta {
+				if b.Meta[k] != v {
+					t.Fatalf("%s result %d meta[%q]: %q vs %q", proto, i, k, v, b.Meta[k])
+				}
+			}
+		}
+		if seqStats[proto].Probed != parStats[proto].Probed {
+			t.Fatalf("%s probed: sequential %d, parallel %d",
+				proto, seqStats[proto].Probed, parStats[proto].Probed)
+		}
+	}
+}
+
+// TestRunAllParallelWorkerBudget checks the total budget splits across
+// modules without dropping below one worker per module.
+func TestRunAllParallelWorkerBudget(t *testing.T) {
+	n, _, _ := buildTestWorld(t, 100)
+	prefix := netsim.MustParsePrefix("50.0.0.0/22")
+	// Fewer workers than modules: every module must still scan.
+	s := NewScanner(Config{Network: n, Source: 1, Prefix: prefix, Seed: 13, Workers: 2})
+	_, stats := s.RunAllParallel(context.Background(), AllModules())
+	if len(stats) != 6 {
+		t.Fatalf("stats for %d protocols, want 6", len(stats))
+	}
+	for proto, st := range stats {
+		if st.Probed == 0 {
+			t.Fatalf("%s probed 0 targets", proto)
+		}
+	}
+}
+
+// TestRateLimiterValidation covers the period-zero pitfall: perSec beyond
+// 1e9 used to truncate the period to zero, silently disabling throttling.
+func TestRateLimiterValidation(t *testing.T) {
+	if r := newRateLimiter(2_000_000_000); r.period <= 0 {
+		t.Fatalf("perSec > 1e9: period = %v, throttling disabled", r.period)
+	}
+	if r := newRateLimiter(0); r.period != time.Second {
+		t.Fatalf("perSec 0: period = %v, want 1s", r.period)
+	}
+	if r := newRateLimiter(-5); r.period != time.Second {
+		t.Fatalf("negative perSec: period = %v, want 1s", r.period)
+	}
+	if r := newRateLimiter(1000); r.period != time.Millisecond {
+		t.Fatalf("perSec 1000: period = %v, want 1ms", r.period)
+	}
+}
+
+// TestRateLimiterSteadyStateAfterIdle asserts an idle gap does not bank
+// tokens: the schedule restarts at the current time, so a burst after idle
+// is bounded by the grant horizon rather than the gap length.
+func TestRateLimiterSteadyStateAfterIdle(t *testing.T) {
+	r := newRateLimiter(1000) // 1ms per token
+	r.next = time.Now().Add(-time.Hour)
+
+	granted := r.reserve(1 << 20)
+	if max := int(maxGrantHorizon/r.period) + 1; granted > max {
+		t.Fatalf("granted %d tokens after idle gap, want ≤ %d", granted, max)
+	}
+	if lag := time.Until(r.next); lag < -50*time.Millisecond {
+		t.Fatalf("schedule still %v in the past after reserve", -lag)
+	}
+}
+
+// TestRateLimiterBatchedGrant checks reserve grants at most the requested
+// count and never more than the horizon allows.
+func TestRateLimiterBatchedGrant(t *testing.T) {
+	r := newRateLimiter(100_000) // 10µs per token
+	if n := r.reserve(4); n < 1 || n > 4 {
+		t.Fatalf("reserve(4) granted %d", n)
+	}
+	// A huge request is clamped by the grant horizon.
+	if n := r.reserve(1 << 30); n > int(maxGrantHorizon/r.period) {
+		t.Fatalf("reserve granted %d tokens, beyond the horizon", n)
+	}
+}
+
+// TestScanThrottled asserts the batched limiter still enforces the rate
+// end to end: a throttled sweep cannot finish faster than tokens allow.
+func TestScanThrottled(t *testing.T) {
+	n, _, _ := buildTestWorld(t, 1)
+	prefix := netsim.MustParsePrefix("50.0.0.0/26") // 64 addresses, 128 probes
+	s := NewScanner(Config{
+		Network: n, Source: 1, Prefix: prefix, Seed: 14,
+		Workers: 8, RatePerSec: 1000,
+	})
+	start := time.Now()
+	st := s.Run(context.Background(), TelnetModule{}, nil)
+	elapsed := time.Since(start)
+	if st.Probed != 128 {
+		t.Fatalf("probed %d, want 128", st.Probed)
+	}
+	// 128 probes at 1000/s need ≥ ~128ms minus the horizon's head start.
+	if minimum := 128*time.Millisecond - maxGrantHorizon; elapsed < minimum {
+		t.Fatalf("throttled scan finished in %v, want ≥ %v", elapsed, minimum)
+	}
+}
+
+// TestBlocklistDisjointFastPath ensures dropping the blocklist for
+// disjoint prefixes does not change coverage, and that overlapping
+// blocklists still exclude.
+func TestBlocklistDisjointFastPath(t *testing.T) {
+	prefix := netsim.MustParsePrefix("50.0.0.0/24")
+	bl := netsim.NewPrefixSet(netsim.MustParsePrefix("192.168.0.0/16"))
+	it := NewAddressIterator(prefix, 3, bl, 0, 1)
+	count := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 256 {
+		t.Fatalf("disjoint blocklist: visited %d addresses, want 256", count)
+	}
+
+	bl.Add(netsim.MustParsePrefix("50.0.0.128/25"))
+	it = NewAddressIterator(prefix, 3, bl, 0, 1)
+	count = 0
+	for {
+		ip, ok := it.Next()
+		if !ok {
+			break
+		}
+		if uint32(ip)&0x80 == 0x80 && uint32(ip)>>8 == uint32(netsim.MustParseIPv4("50.0.0.0"))>>8 {
+			t.Fatalf("blocklisted address %v visited", ip)
+		}
+		count++
+	}
+	if count != 128 {
+		t.Fatalf("overlapping blocklist: visited %d addresses, want 128", count)
+	}
+}

@@ -3,6 +3,7 @@ package scan
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -18,10 +19,13 @@ import (
 
 // grabWindow bounds how long a banner grab listens. The in-memory fabric
 // answers in microseconds; the window only matters for stalled handlers.
-// 150ms gives headroom against CPU contention when the whole test suite
-// runs in parallel; the Telnet grab exits early on idle, so the common case
-// never waits this long.
-const grabWindow = 150 * time.Millisecond
+// Every probe returns as soon as its conversation completes (the Telnet
+// grab additionally exits on a prompt or on idle), so the window is pure
+// headroom: it must be generous enough that handler goroutines starved by
+// CPU contention still answer inside it, and its size does not affect scan
+// throughput. 2s covers the worst observed case — six modules' workers
+// contending on one core under the race detector's ~10x slowdown.
+const grabWindow = 2 * time.Second
 
 // AllModules returns probe modules for the paper's six protocols in Table 4
 // order.
@@ -101,11 +105,14 @@ func (MQTTModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4,
 	if code == mqtt.ConnAccepted {
 		// On open brokers the probe lists topics, as the paper does
 		// ("all the topics and channels on the target host are listed").
-		topics, _ := client.CollectRetained("#", grabWindow, 32)
+		topics, _ := client.RetainedSnapshot("#", grabWindow, 32)
 		names := make([]string, 0, len(topics))
 		for t := range topics {
 			names = append(names, t)
 		}
+		// RetainedSnapshot returns a map; sort so the recorded result is
+		// deterministic for a fixed seed.
+		sort.Strings(names)
 		res.Meta["mqtt.topics"] = strings.Join(names, ",")
 	}
 	return res, true

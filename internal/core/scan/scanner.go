@@ -2,6 +2,7 @@ package scan
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -87,110 +88,255 @@ func NewScanner(cfg Config) *Scanner {
 	return &Scanner{cfg: cfg}
 }
 
+// targetBatchSize is how many (ip, port) pairs ride one channel send. The
+// feed goroutine and the workers meet at the channel once per batch instead
+// of once per probe, so channel synchronization disappears from the
+// per-probe cost.
+const targetBatchSize = 256
+
+// target is one (address, port) probe assignment.
+type target struct {
+	ip   netsim.IPv4
+	port uint16
+}
+
+// workerStats is one worker's private counters, merged into the run total
+// after the feed closes. Padded to a cache line so adjacent shards never
+// false-share.
+type workerStats struct {
+	probed    uint64
+	responded uint64
+	_         [48]byte
+}
+
 // Run scans the prefix with one probe module, streaming results to emit.
 // It returns scan statistics.
+//
+// The hot path is contention-free: targets arrive in batches, each worker
+// counts into its own cache-line-padded shard, and the rate limiter (when
+// enabled) grants tokens in batches. The only cross-worker synchronization
+// left per batch is one channel receive.
 func (s *Scanner) Run(ctx context.Context, module ProbeModule, emit func(*Result)) Stats {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	start := time.Now()
-	var stats Stats
-	var mu sync.Mutex // guards stats counters updated by workers
 
-	type target struct {
-		ip   netsim.IPv4
-		port uint16
-	}
-	targets := make(chan target, 4*s.cfg.Workers)
+	batches := make(chan []target, 2*s.cfg.Workers)
 
 	var limiter *rateLimiter
 	if s.cfg.RatePerSec > 0 {
 		limiter = newRateLimiter(s.cfg.RatePerSec)
 	}
 
+	shards := make([]workerStats, s.cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < s.cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(shard *workerStats) {
 			defer wg.Done()
-			for t := range targets {
-				if limiter != nil {
-					limiter.wait()
-				}
-				res, ok := module.Probe(ctx, s.cfg.Network, s.cfg.Source,
-					netsim.Endpoint{IP: t.ip, Port: t.port})
-				mu.Lock()
-				stats.Probed++
-				if ok {
-					stats.Responded++
-				}
-				mu.Unlock()
-				if ok && emit != nil {
-					emit(res)
+			for batch := range batches {
+				for i := 0; i < len(batch); {
+					n := len(batch) - i
+					if limiter != nil {
+						n = limiter.reserve(n)
+					}
+					for _, t := range batch[i : i+n] {
+						res, ok := module.Probe(ctx, s.cfg.Network, s.cfg.Source,
+							netsim.Endpoint{IP: t.ip, Port: t.port})
+						shard.probed++
+						if ok {
+							shard.responded++
+							if emit != nil {
+								emit(res)
+							}
+						}
+					}
+					i += n
 				}
 			}
-		}()
+		}(&shards[w])
 	}
 
 	it := NewAddressIterator(s.cfg.Prefix, s.cfg.Seed, s.cfg.Blocklist, s.cfg.Shard, s.cfg.Shards)
+	ports := module.Ports()
+	batch := make([]target, 0, targetBatchSize)
 feed:
 	for {
 		ip, ok := it.Next()
 		if !ok {
 			break
 		}
-		for _, port := range module.Ports() {
-			select {
-			case targets <- target{ip: ip, port: port}:
-			case <-ctx.Done():
-				break feed
+		for _, port := range ports {
+			batch = append(batch, target{ip: ip, port: port})
+			if len(batch) == targetBatchSize {
+				select {
+				case batches <- batch:
+					batch = make([]target, 0, targetBatchSize)
+				case <-ctx.Done():
+					break feed
+				}
 			}
 		}
 	}
-	close(targets)
+	if len(batch) > 0 {
+		select {
+		case batches <- batch:
+		case <-ctx.Done():
+		}
+	}
+	close(batches)
 	wg.Wait()
+
+	var stats Stats
+	for i := range shards {
+		stats.Probed += shards[i].probed
+		stats.Responded += shards[i].responded
+	}
 	stats.Elapsed = time.Since(start)
 	return stats
 }
 
-// RunAll scans with every module, returning all results keyed by protocol.
+// runCollect runs one module and returns its results sorted by (IP, Port),
+// so result sets are deterministic for a fixed seed regardless of worker
+// interleaving.
+func (s *Scanner) runCollect(ctx context.Context, m ProbeModule) ([]*Result, Stats) {
+	var (
+		mu  sync.Mutex
+		out []*Result
+	)
+	st := s.Run(ctx, m, func(r *Result) {
+		mu.Lock()
+		out = append(out, r)
+		mu.Unlock()
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IP != out[j].IP {
+			return out[i].IP < out[j].IP
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out, st
+}
+
+// RunAll scans with every module sequentially, returning all results keyed
+// by protocol. Per-protocol result slices are sorted by (IP, Port), so the
+// output for a fixed seed is deterministic.
 func (s *Scanner) RunAll(ctx context.Context, modules []ProbeModule) (map[iot.Protocol][]*Result, map[iot.Protocol]Stats) {
-	results := make(map[iot.Protocol][]*Result)
-	stats := make(map[iot.Protocol]Stats)
-	var mu sync.Mutex
+	results := make(map[iot.Protocol][]*Result, len(modules))
+	stats := make(map[iot.Protocol]Stats, len(modules))
 	for _, m := range modules {
-		m := m
-		st := s.Run(ctx, m, func(r *Result) {
-			mu.Lock()
-			results[m.Protocol()] = append(results[m.Protocol()], r)
-			mu.Unlock()
-		})
+		rs, st := s.runCollect(ctx, m)
+		results[m.Protocol()] = rs
 		stats[m.Protocol()] = st
 	}
 	return results, stats
 }
 
-// rateLimiter is a simple token bucket over wall time.
+// RunAllParallel scans with every module concurrently. Modules are
+// stateless, and each module walks its own address permutation, so running
+// them in parallel divides wall-clock by up to the module count while
+// producing the same per-protocol result sets as sequential RunAll
+// (slices sorted by (IP, Port), deterministic for a fixed seed).
+//
+// The scanner's Workers budget is the total across all modules: each module
+// gets Workers/len(modules) probe workers (at least 1).
+func (s *Scanner) RunAllParallel(ctx context.Context, modules []ProbeModule) (map[iot.Protocol][]*Result, map[iot.Protocol]Stats) {
+	if len(modules) == 0 {
+		return map[iot.Protocol][]*Result{}, map[iot.Protocol]Stats{}
+	}
+	perModule := s.cfg.Workers / len(modules)
+	if perModule < 1 {
+		perModule = 1
+	}
+	subCfg := s.cfg
+	subCfg.Workers = perModule
+
+	results := make(map[iot.Protocol][]*Result, len(modules))
+	stats := make(map[iot.Protocol]Stats, len(modules))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, m := range modules {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, st := NewScanner(subCfg).runCollect(ctx, m)
+			mu.Lock()
+			results[m.Protocol()] = rs
+			stats[m.Protocol()] = st
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return results, stats
+}
+
+// rateLimiter is a token bucket over wall time. Tokens are granted in
+// batches (reserve) so throttled workers pay one mutex round-trip per
+// grant, not per probe.
 type rateLimiter struct {
 	mu     sync.Mutex
-	next   time.Time
+	next   time.Time // scheduled time of the next ungranted token
 	period time.Duration
 }
 
+// maxGrantHorizon bounds how far ahead of wall time one reserve call may
+// schedule tokens. It caps the burst after a grant to horizon/period
+// probes and keeps per-grant sleeps short even at low rates.
+const maxGrantHorizon = 100 * time.Millisecond
+
+// newRateLimiter builds a limiter emitting perSec tokens per second.
+// perSec < 1 is clamped to 1; perSec > 1e9 is clamped to the fastest
+// enforceable rate (one token per nanosecond) instead of silently
+// disabling throttling via a zero period.
 func newRateLimiter(perSec int) *rateLimiter {
-	return &rateLimiter{period: time.Second / time.Duration(perSec), next: time.Now()}
+	if perSec < 1 {
+		perSec = 1
+	}
+	period := time.Second / time.Duration(perSec)
+	if period <= 0 {
+		period = 1
+	}
+	return &rateLimiter{period: period, next: time.Now()}
 }
 
-func (r *rateLimiter) wait() {
+// reserve grants between 1 and max tokens in a single lock round-trip,
+// sleeping until the first granted token's scheduled slot. It returns the
+// number granted; the caller may perform that many probes without touching
+// the limiter again.
+//
+// After an idle gap the schedule restarts at the current time (steady
+// state) rather than granting the backlog as a burst.
+func (r *rateLimiter) reserve(max int) int {
+	if max < 1 {
+		max = 1
+	}
 	r.mu.Lock()
 	now := time.Now()
 	if r.next.Before(now) {
-		r.next = now
+		r.next = now // idle gap: resume at steady state, no accumulated burst
 	}
 	sleep := r.next.Sub(now)
-	r.next = r.next.Add(r.period)
+	n := 1
+	if budget := maxGrantHorizon - sleep; budget > r.period {
+		if k := int(budget / r.period); k < max {
+			n = k
+		} else {
+			n = max
+		}
+	}
+	r.next = r.next.Add(time.Duration(n) * r.period)
 	r.mu.Unlock()
 	if sleep > 0 {
 		time.Sleep(sleep)
 	}
+	return n
+}
+
+// wait blocks until one token is available (reserve of exactly one).
+func (r *rateLimiter) wait() {
+	r.reserve(1)
 }

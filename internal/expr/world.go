@@ -6,6 +6,7 @@ package expr
 
 import (
 	"context"
+	"sort"
 	"sync"
 
 	"openhire/internal/attack"
@@ -163,7 +164,7 @@ func (w *World) RunScan() (map[iot.Protocol][]*scan.Result, map[iot.Protocol]sca
 			Seed:    w.Cfg.Seed,
 			Workers: w.Cfg.Workers,
 		})
-		w.scanResults, w.scanStats = s.RunAll(context.Background(), scan.AllModules())
+		w.scanResults, w.scanStats = s.RunAllParallel(context.Background(), scan.AllModules())
 	})
 	return w.scanResults, w.scanStats
 }
@@ -173,8 +174,16 @@ func (w *World) FilterHoneypots() (map[iot.Protocol][]*scan.Result, []fingerprin
 	w.filterOnce.Do(func() {
 		results, _ := w.RunScan()
 		w.genuine = make(map[iot.Protocol][]*scan.Result, len(results))
-		for proto, rs := range results {
-			gen, dets := fingerprint.Filter(rs)
+		// Filter in sorted protocol order so the detections slice (and
+		// everything derived from it) is deterministic; map iteration
+		// order would shuffle it run to run.
+		protos := make([]iot.Protocol, 0, len(results))
+		for proto := range results {
+			protos = append(protos, proto)
+		}
+		sort.Slice(protos, func(i, j int) bool { return protos[i] < protos[j] })
+		for _, proto := range protos {
+			gen, dets := fingerprint.Filter(results[proto])
 			w.genuine[proto] = gen
 			w.honeypots = append(w.honeypots, dets...)
 		}

@@ -75,11 +75,13 @@ func (u *Universe) ExtensionSpec(ip netsim.IPv4, p Protocol) (DeviceSpec, bool) 
 	if !known {
 		return DeviceSpec{}, false
 	}
-	density *= u.cfg.DensityBoost
-	if density > 1 {
-		density = 1
-	}
-	ph := prng.HashString("ext-" + string(p))
+	return u.extSpecFrom(ip, p, prng.HashString("ext-"+string(p)), clampDensity(density*u.cfg.DensityBoost))
+}
+
+// extSpecFrom is ExtensionSpec with the protocol hash and boost-applied
+// density already known (the Host fast path reads them from the exposure
+// table).
+func (u *Universe) extSpecFrom(ip netsim.IPv4, p Protocol, ph uint64, density float64) (DeviceSpec, bool) {
 	h := u.src.Hash64(labelExposed, uint64(ip), ph)
 	if float64(h>>11)/(1<<53) >= density {
 		return DeviceSpec{}, false

@@ -78,6 +78,21 @@ type Universe struct {
 	// weights per protocol for model choice, precomputed.
 	modelWeights map[Protocol][]float64
 	models       map[Protocol][]DeviceModel
+
+	// exposure caches, per probe-able protocol, the label hash and the
+	// boost-applied density. Host consults this table instead of hashing
+	// protocol name strings and probing density maps on every lookup —
+	// the scanner resolves Host for every probed address, almost all of
+	// which are dark.
+	exposure []exposureEntry
+}
+
+// exposureEntry is one protocol's precomputed exposure-decision inputs.
+type exposureEntry struct {
+	proto   Protocol
+	ph      uint64  // prng.HashString of the protocol's label
+	density float64 // exposureDensity × DensityBoost, clamped to 1
+	ext     bool    // extension (future-work) protocol
 }
 
 // NewUniverse builds a Universe.
@@ -103,7 +118,27 @@ func NewUniverse(cfg UniverseConfig) *Universe {
 		u.models[p] = models
 		u.modelWeights[p] = weights
 	}
+	for _, p := range ScannedProtocols {
+		u.exposure = append(u.exposure, exposureEntry{
+			proto: p, ph: prng.HashString(string(p)),
+			density: clampDensity(exposureDensity[p] * cfg.DensityBoost),
+		})
+	}
+	for _, p := range ExtensionProtocols {
+		u.exposure = append(u.exposure, exposureEntry{
+			proto: p, ph: prng.HashString("ext-" + string(p)),
+			density: clampDensity(extensionDensity[p] * cfg.DensityBoost),
+			ext:     true,
+		})
+	}
 	return u
+}
+
+func clampDensity(d float64) float64 {
+	if d > 1 {
+		return 1
+	}
+	return d
 }
 
 // Config returns the universe parameters.
@@ -134,11 +169,12 @@ func (u *Universe) Spec(ip netsim.IPv4, p Protocol) (DeviceSpec, bool) {
 	if !known {
 		return DeviceSpec{}, false
 	}
-	density *= u.cfg.DensityBoost
-	if density > 1 {
-		density = 1
-	}
-	ph := prng.HashString(string(p))
+	return u.specFrom(ip, p, prng.HashString(string(p)), clampDensity(density*u.cfg.DensityBoost))
+}
+
+// specFrom is Spec with the protocol hash and boost-applied density already
+// known (the Host fast path reads them from the exposure table).
+func (u *Universe) specFrom(ip netsim.IPv4, p Protocol, ph uint64, density float64) (DeviceSpec, bool) {
 	// Exposure decision.
 	h := u.src.Hash64(labelExposed, uint64(ip), ph)
 	if float64(h>>11)/(1<<53) >= density {
@@ -200,17 +236,31 @@ func (u *Universe) TelnetPort(ip netsim.IPv4) uint16 {
 // specs of every protocol the address exposes. Returns nil for dark
 // addresses. Wild honeypots shadow devices at their address.
 func (u *Universe) Host(ip netsim.IPv4) netsim.Host {
+	if !u.cfg.Prefix.Contains(ip) {
+		return nil
+	}
 	if family, ok := u.WildHoneypot(ip); ok {
 		return wildHoneypotHost{family: family}
 	}
+	// Fast path for the overwhelmingly common dark address: one cheap
+	// integer hash per protocol against the precomputed exposure table;
+	// full spec derivation only runs for exposed (ip, protocol) pairs.
 	var specs []DeviceSpec
-	for _, p := range ScannedProtocols {
-		if spec, ok := u.Spec(ip, p); ok {
-			specs = append(specs, spec)
+	for _, e := range u.exposure {
+		h := u.src.Hash64(labelExposed, uint64(ip), e.ph)
+		if float64(h>>11)/(1<<53) >= e.density {
+			continue
 		}
-	}
-	for _, p := range ExtensionProtocols {
-		if spec, ok := u.ExtensionSpec(ip, p); ok {
+		var (
+			spec DeviceSpec
+			ok   bool
+		)
+		if e.ext {
+			spec, ok = u.extSpecFrom(ip, e.proto, e.ph, e.density)
+		} else {
+			spec, ok = u.specFrom(ip, e.proto, e.ph, e.density)
+		}
+		if ok {
 			specs = append(specs, spec)
 		}
 	}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,11 +132,15 @@ type Stats struct {
 // Network is the simulated Internet fabric. Hosts come from registered
 // providers (checked most-specific first); traffic generates events for
 // observers whose prefix covers the destination.
+//
+// The probe hot path (lookupHost, emit) is lock-free: registrations live in
+// an immutable snapshot behind an atomic pointer, rebuilt copy-on-write by
+// AddProvider/AddObserver. Readers pay one atomic load per probe and never
+// contend with each other or with writers.
 type Network struct {
-	mu        sync.RWMutex
-	providers []providerEntry
-	observers []observerEntry
-	clock     Clock
+	writeMu sync.Mutex // serializes copy-on-write snapshot rebuilds
+	state   atomic.Pointer[netState]
+	clock   Clock
 
 	// DefaultTTL is the IP TTL attached to generated probe events when the
 	// sender does not specify one.
@@ -144,8 +149,25 @@ type Network struct {
 	stats Stats
 }
 
+// netState is one immutable snapshot of the network's registrations.
+type netState struct {
+	// providers is sorted most-specific (longest prefix) first; within
+	// equal lengths, later registrations sort first. lookupHost takes the
+	// first entry that yields a host, which reproduces the documented
+	// precedence (most-specific wins, ties to the later registration,
+	// nil hosts fall through to less-specific providers).
+	providers []providerEntry
+	observers []observerEntry
+	// obsOctets marks, per destination top octet, whether any observer
+	// prefix can cover an address with that octet. One load + mask decides
+	// "no observer covers dst" without touching the observer list — the
+	// overwhelming case when scanning outside the telescope range.
+	obsOctets [4]uint64
+}
+
 type providerEntry struct {
 	prefix   Prefix
+	seq      int // registration order, for the equal-length tie-break
 	provider HostProvider
 }
 
@@ -159,7 +181,9 @@ func NewNetwork(clock Clock) *Network {
 	if clock == nil {
 		clock = WallClock{}
 	}
-	return &Network{clock: clock, DefaultTTL: 64}
+	n := &Network{clock: clock, DefaultTTL: 64}
+	n.state.Store(&netState{})
+	return n
 }
 
 // Clock returns the network's time source.
@@ -169,45 +193,82 @@ func (n *Network) Clock() Clock { return n.clock }
 func (n *Network) Stats() *Stats { return &n.stats }
 
 // AddProvider registers a host provider for a prefix. When prefixes overlap,
-// the most specific (longest) prefix wins; ties go to the later registration.
+// the most specific (longest) prefix wins; ties go to the later
+// registration. A provider returning a nil host does not shadow
+// less-specific providers — lookup falls through.
 func (n *Network) AddProvider(prefix Prefix, p HostProvider) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.providers = append(n.providers, providerEntry{prefix: prefix, provider: p})
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
+	cur := n.state.Load()
+	next := &netState{
+		providers: make([]providerEntry, len(cur.providers), len(cur.providers)+1),
+		observers: cur.observers,
+		obsOctets: cur.obsOctets,
+	}
+	copy(next.providers, cur.providers)
+	next.providers = append(next.providers, providerEntry{prefix: prefix, seq: len(cur.providers), provider: p})
+	sort.SliceStable(next.providers, func(i, j int) bool {
+		a, b := next.providers[i], next.providers[j]
+		if a.prefix.Bits != b.prefix.Bits {
+			return a.prefix.Bits > b.prefix.Bits // most specific first
+		}
+		return a.seq > b.seq // later registration first
+	})
+	n.state.Store(next)
 }
 
 // AddObserver registers an observer for traffic destined to a prefix.
 func (n *Network) AddObserver(prefix Prefix, o Observer) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.observers = append(n.observers, observerEntry{prefix: prefix, observer: o})
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
+	cur := n.state.Load()
+	next := &netState{
+		providers: cur.providers,
+		observers: make([]observerEntry, len(cur.observers), len(cur.observers)+1),
+		obsOctets: cur.obsOctets,
+	}
+	copy(next.observers, cur.observers)
+	next.observers = append(next.observers, observerEntry{prefix: prefix, observer: o})
+	markOctets(&next.obsOctets, prefix)
+	n.state.Store(next)
+}
+
+// markOctets sets the top-octet bits reachable through prefix.
+func markOctets(bm *[4]uint64, p Prefix) {
+	lo := uint32(p.First()) >> 24
+	hi := uint32(p.Last()) >> 24
+	for o := lo; o <= hi; o++ {
+		bm[o>>6] |= 1 << (o & 63)
+	}
 }
 
 // lookupHost resolves ip through the registered providers.
 func (n *Network) lookupHost(ip IPv4) Host {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	var (
-		best     Host
-		bestBits = -1
-	)
-	for _, e := range n.providers {
-		if e.prefix.Bits >= bestBits && e.prefix.Contains(ip) {
+	st := n.state.Load()
+	if st == nil {
+		return nil
+	}
+	for _, e := range st.providers {
+		if e.prefix.Contains(ip) {
 			if h := e.provider.Host(ip); h != nil {
-				best = h
-				bestBits = e.prefix.Bits
+				return h
 			}
 		}
 	}
-	return best
+	return nil
 }
 
 // emit delivers an event to every observer covering the destination.
 func (n *Network) emit(ev ProbeEvent) {
-	n.mu.RLock()
-	obs := n.observers
-	n.mu.RUnlock()
-	for _, e := range obs {
+	st := n.state.Load()
+	if st == nil {
+		return
+	}
+	o := uint32(ev.Dst.IP) >> 24
+	if st.obsOctets[o>>6]&(1<<(o&63)) == 0 {
+		return // no observer can cover dst: free on a dark Internet
+	}
+	for _, e := range st.observers {
 		if e.prefix.Contains(ev.Dst.IP) {
 			e.observer.Observe(ev)
 		}

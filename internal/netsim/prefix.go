@@ -138,6 +138,22 @@ func (s *PrefixSet) Contains(ip IPv4) bool {
 	return false
 }
 
+// Overlaps reports whether any prefix in the set shares at least one
+// address with p. Scan iterators use it to drop per-address blocklist
+// checks entirely when the scanned range and the blocklist are disjoint.
+func (s *PrefixSet) Overlaps(p Prefix) bool {
+	for q := range s.byPrefix {
+		if q.Bits >= p.Bits {
+			if p.Contains(q.IP) {
+				return true
+			}
+		} else if q.Contains(p.IP) {
+			return true
+		}
+	}
+	return false
+}
+
 // Len returns the number of prefixes in the set.
 func (s *PrefixSet) Len() int { return len(s.byPrefix) }
 

@@ -84,10 +84,25 @@ func (c *Client) Publish(topic string, payload []byte, retain bool) error {
 }
 
 // CollectRetained subscribes to filter and gathers retained messages until
-// the window elapses or max messages arrive. The scanner uses this to list
-// topics on open brokers ("all the topics and channels on the target host
-// are listed", Section 3.1.3).
+// the window elapses or max messages arrive. Live publishes fanned out
+// during the window are captured too.
 func (c *Client) CollectRetained(filter string, window time.Duration, max int) (map[string][]byte, error) {
+	return c.collect(filter, window, max, false)
+}
+
+// RetainedSnapshot subscribes to filter and returns only the broker's
+// retained messages. It pipelines a PINGREQ behind the SUBSCRIBE: brokers
+// answer a connection's packets in order, so the PINGRESP arrives after the
+// last retained message and delimits the set — the call returns as soon as
+// delivery completes instead of sitting out the window on a quiet broker.
+// The scanner uses this to list topics on open brokers ("all the topics and
+// channels on the target host are listed", Section 3.1.3); excluding
+// publishes that race the snapshot keeps scan results deterministic.
+func (c *Client) RetainedSnapshot(filter string, window time.Duration, max int) (map[string][]byte, error) {
+	return c.collect(filter, window, max, true)
+}
+
+func (c *Client) collect(filter string, window time.Duration, max int, sentinel bool) (map[string][]byte, error) {
 	id := c.nextID
 	c.nextID++
 	pkt := &Packet{Type: SUBSCRIBE, PacketID: id, TopicFilter: []string{filter},
@@ -96,6 +111,11 @@ func (c *Client) CollectRetained(filter string, window time.Duration, max int) (
 	if _, err := c.conn.Write(pkt.Encode()); err != nil {
 		return nil, err
 	}
+	if sentinel {
+		if _, err := c.conn.Write((&Packet{Type: PINGREQ}).Encode()); err != nil {
+			return nil, err
+		}
+	}
 	got := make(map[string][]byte)
 	deadline := time.Now().Add(window)
 	_ = c.conn.SetReadDeadline(deadline)
@@ -103,6 +123,9 @@ func (c *Client) CollectRetained(filter string, window time.Duration, max int) (
 		resp, err := ReadPacket(c.conn)
 		if err != nil {
 			break // window elapsed or broker closed: return what we have
+		}
+		if sentinel && resp.Type == PINGRESP {
+			break // retained delivery complete
 		}
 		if resp.Type == PUBLISH {
 			got[resp.Topic] = resp.Payload

@@ -55,6 +55,13 @@ func Grab(ctx context.Context, conn net.Conn, readWindow time.Duration) (Banner,
 					break
 				}
 			}
+			// A banner ending in a login or shell prompt means the server is
+			// waiting for input: the grab is complete, no need to sit out the
+			// idle window. This is the dominant case across the device
+			// population and is what keeps a sweep's per-host cost flat.
+			if data, _ := SplitStream(raw); bannerComplete(data) {
+				break
+			}
 			_ = conn.SetReadDeadline(time.Now().Add(idle))
 			continue
 		}
@@ -68,6 +75,23 @@ func Grab(ctx context.Context, conn net.Conn, readWindow time.Duration) (Banner,
 		return b, io.ErrUnexpectedEOF
 	}
 	return b, nil
+}
+
+// bannerPrompts are the terminal strings after which a Telnet service waits
+// for input. A grab that sees one can return immediately instead of waiting
+// for the idle gap; banners without a recognizable prompt still complete
+// via the idle timeout, so detection is an optimization, never a filter.
+var bannerPrompts = []string{"ogin: ", "ogin:", "assword: ", "assword:", "$ ", "# ", "> "}
+
+// bannerComplete reports whether the decoded banner ends in a prompt.
+func bannerComplete(data []byte) bool {
+	s := string(data)
+	for _, p := range bannerPrompts {
+		if len(s) >= len(p) && s[len(s)-len(p):] == p {
+			return true
+		}
+	}
+	return false
 }
 
 // Login drives a full authentication attempt: wait for a login prompt,

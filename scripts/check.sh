@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# check.sh — the full verification gate for this repo, used by `make check`.
+#
+#   1. go vet over everything
+#   2. full build
+#   3. race detector over the scan hot-path packages (lock-free snapshot
+#      lookup, sharded stats, batched rate limiter)
+#   4. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race (hot-path packages)"
+go test -race ./internal/netsim/... ./internal/core/scan/...
+
+echo "==> go test ./... (tier-1 gate)"
+go test ./...
+
+echo "OK"
