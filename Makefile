@@ -1,6 +1,6 @@
 # Developer entry points. `make check` is the gate every PR must pass.
 
-.PHONY: check build test race bench-scan
+.PHONY: check build test race bench-scan bench-telescope
 
 check:
 	./scripts/check.sh
@@ -12,9 +12,15 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/netsim/... ./internal/core/scan/...
+	go test -race ./internal/netsim/... ./internal/core/scan/... \
+		./internal/telescope/... ./internal/attack/... ./internal/honeypot/...
 
 # bench-scan reproduces the hot-path numbers recorded in BENCH_scan.json.
 bench-scan:
 	go test -run '^$$' -bench 'BenchmarkProbeThroughput|BenchmarkRunAll' -benchtime 3x ./internal/core/scan/
 	go test -run '^$$' -bench 'BenchmarkLookupHost|BenchmarkEmitNoObserver' ./internal/netsim/
+
+# bench-telescope reproduces the leg-3 numbers recorded in BENCH_telescope.json.
+bench-telescope:
+	go test -run '^$$' -bench 'BenchmarkDarknetDay|BenchmarkCampaignReplay' -benchtime 20x ./internal/attack/
+	go test -run '^$$' -bench 'BenchmarkTelescopeObserve|BenchmarkTelescopeRecord' ./internal/telescope/

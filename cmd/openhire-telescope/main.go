@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	openhire-telescope [-seed N] [-scale F] [-days N] [-out FILE] [-format csv|bin]
+//	openhire-telescope [-seed N] [-scale F] [-days N] [-workers N] [-out FILE] [-format csv|bin]
+//	openhire-telescope -rotate [-days N] [-out FILE]
 //	openhire-telescope -parse FILE
+//
+// With -rotate the capture is cut per day, the way the CAIDA pipeline rotates
+// files: each day is generated with RunDay, drained with Telescope.Drain (the
+// buffer is handed over and cleared, no copy), and written to FILE.dayNN.
 package main
 
 import (
@@ -24,12 +29,14 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 2021, "simulation seed")
-		scale  = flag.Float64("scale", 1.0/8192, "fraction of the paper's telescope volume")
-		days   = flag.Int("days", 1, "days of traffic to generate")
-		out    = flag.String("out", "", "write FlowTuple records to this file")
-		format = flag.String("format", "csv", "output format: csv or bin")
-		parse  = flag.String("parse", "", "parse a FlowTuple CSV file instead of generating")
+		seed    = flag.Uint64("seed", 2021, "simulation seed")
+		scale   = flag.Float64("scale", 1.0/8192, "fraction of the paper's telescope volume")
+		days    = flag.Int("days", 1, "days of traffic to generate")
+		workers = flag.Int("workers", 0, "generation workers (0 = all CPUs)")
+		out     = flag.String("out", "", "write FlowTuple records to this file")
+		format  = flag.String("format", "csv", "output format: csv or bin")
+		parse   = flag.String("parse", "", "parse a FlowTuple CSV file instead of generating")
+		rotate  = flag.Bool("rotate", false, "cut the capture per day (drain + per-day files)")
 	)
 	flag.Parse()
 
@@ -47,8 +54,15 @@ func main() {
 		GeoDB:     geodb,
 		Scale:     *scale,
 		Days:      *days,
+		Workers:   *workers,
 	})
 	fmt.Printf("generating %d day(s) of telescope traffic at scale %.2g ...\n", *days, *scale)
+
+	if *rotate {
+		runRotated(gen, tel, *days, *out, *format)
+		return
+	}
+
 	flows := gen.Run()
 	fmt.Printf("captured %s aggregated flows\n", report.Comma(flows))
 
@@ -66,6 +80,36 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s records to %s (%s)\n", report.Comma(len(all)), *out, *format)
 	}
+}
+
+// runRotated generates one day at a time, draining the telescope between
+// days so each capture file holds exactly one day and the flow table never
+// grows past a single day's footprint. Drain hands over the live records —
+// the rotation contract — so nothing is copied on the way to disk.
+func runRotated(gen *attack.DarknetGenerator, tel *telescope.Telescope, days int, out, format string) {
+	total := 0
+	var allStats []*telescope.FlowTuple
+	for day := 0; day < days; day++ {
+		gen.RunDay(day)
+		flows := tel.Drain()
+		total += len(flows)
+		fmt.Printf("day %02d: %s aggregated flows\n", day, report.Comma(len(flows)))
+		if out != "" {
+			path := fmt.Sprintf("%s.day%02d", out, day)
+			if err := writeFile(path, format, flows); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s records to %s (%s)\n", report.Comma(len(flows)), path, format)
+		}
+		allStats = append(allStats, flows...)
+	}
+	fmt.Printf("captured %s aggregated flows across %d day(s)\n", report.Comma(total), days)
+	t8 := report.NewTable("\nTelescope traffic by protocol", "Protocol", "Packets", "Flows", "Unique IPs")
+	for _, s := range telescope.AggregateByProtocol(allStats) {
+		t8.AddRow(string(s.Protocol), s.Packets, s.Flows, s.UniqueIPs)
+	}
+	_ = t8.Render(os.Stdout)
 }
 
 func writeFile(path, format string, flows []*telescope.FlowTuple) error {

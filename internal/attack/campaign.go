@@ -2,7 +2,9 @@ package attack
 
 import (
 	"context"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openhire/internal/attack/malware"
@@ -94,9 +96,20 @@ func NewCampaign(cfg CampaignConfig) *Campaign {
 		}
 	}
 
-	// Pool sizes follow Table 7's unique-source columns, scaled.
+	// Pool sizes follow Table 7's unique-source columns, scaled. The pool
+	// builds consume one shared PRNG stream, so honeypots must be visited in
+	// a fixed order: ranging over the map here handed each honeypot a
+	// different slice of the stream every run (map iteration order is
+	// randomized), making the replay's source assignment — and every log
+	// derived from it — differ run to run.
+	names := make([]string, 0, len(PaperSourcePools))
+	for name := range PaperSourcePools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	idx := 0
-	for name, targets := range PaperSourcePools {
+	for _, name := range names {
+		targets := PaperSourcePools[name]
 		if _, deployed := c.byName[name]; !deployed {
 			continue
 		}
@@ -148,27 +161,42 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 		dst   netsim.IPv4
 		seed  uint64
 	}
-	jobs := make(chan job, 4*c.cfg.Workers)
+	// Each worker owns a FIFO queue and jobs are routed by (source, protocol
+	// shard) — the honeypot flood heuristic's counter key — so all events of
+	// one key execute on one worker, in schedule order. The logs' *content*
+	// (including which events the heuristic upgrades to DoS) is therefore a
+	// pure function of the plan, independent of worker count; only arrival
+	// order varies, which honeypot.SortEventsCanonical factors out.
+	workers := c.cfg.Workers
+	queues := make([]chan job, workers)
 	var wg sync.WaitGroup
 	// dayWG drains in-flight jobs at day boundaries so every event is
 	// stamped with the day it was scheduled for — Figure 8's daily series
 	// and the multistage stage ordering depend on it.
 	var dayWG sync.WaitGroup
-	var runCount int64
-	var mu sync.Mutex
-	for w := 0; w < c.cfg.Workers; w++ {
+	var runCount atomic.Int64
+	for w := 0; w < workers; w++ {
+		queues[w] = make(chan job, 64)
 		wg.Add(1)
-		go func() {
+		go func(q chan job) {
 			defer wg.Done()
-			for j := range jobs {
-				gen := prng.New(j.seed)
+			gen := prng.New(0) // reseeded per job; one allocation per worker
+			for j := range q {
+				gen.Reseed(j.seed)
 				_ = c.exec.Execute(ctx, j.typ, j.proto, j.src, j.dst, gen)
-				mu.Lock()
-				runCount++
-				mu.Unlock()
+				runCount.Add(1)
 				dayWG.Done()
 			}
-		}()
+		}(queues[w])
+	}
+	dispatch := func(j job) {
+		dayWG.Add(1)
+		h := (uint64(j.src)<<8 | uint64(protocolShard[j.proto])) * 0x9e3779b97f4a7c15
+		select {
+		case queues[(h^h>>32)%uint64(workers)] <- j:
+		case <-ctx.Done():
+			dayWG.Done()
+		}
 	}
 
 	multistage := c.planMultistage()
@@ -205,13 +233,8 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 				}
 				src := c.pickSource(pools, target.Protocol, typ)
 				stats.EventsPlanned++
-				dayWG.Add(1)
-				select {
-				case jobs <- job{typ: typ, proto: target.Protocol, src: src, dst: hp.IP,
-					seed: c.src.Uint64()}:
-				case <-ctx.Done():
-					dayWG.Done()
-				}
+				dispatch(job{typ: typ, proto: target.Protocol, src: src, dst: hp.IP,
+					seed: c.src.Uint64()})
 			}
 		}
 		// Multistage actors run one stage per day: the paper notes follow-up
@@ -228,24 +251,25 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 				continue
 			}
 			stats.EventsPlanned++
-			dayWG.Add(1)
-			select {
-			case jobs <- job{typ: step.typ, proto: step.proto, src: m.src, dst: hp.IP,
-				seed: c.src.Uint64()}:
-			case <-ctx.Done():
-				dayWG.Done()
-			}
+			dispatch(job{typ: step.typ, proto: step.proto, src: m.src, dst: hp.IP,
+				seed: c.src.Uint64()})
 		}
-		// Drain before the clock moves to the next day.
+		// Drain before the clock moves to the next day: first the job queues
+		// (clients returned), then the fabric's server handlers — a returned
+		// client does not mean the honeypot finished logging the
+		// conversation, and a handler outliving the day boundary would stamp
+		// its tail events into the wrong Figure 8 bucket.
 		dayWG.Wait()
+		c.cfg.Network.Quiesce()
 	}
-	close(jobs)
+	for _, q := range queues {
+		close(q)
+	}
 	wg.Wait()
+	c.cfg.Network.Quiesce() // the log is complete once Run returns
 	// Leave the clock at the end of the month.
 	c.cfg.Clock.Set(DayStart(ExperimentDays))
-	mu.Lock()
-	stats.EventsRun = int(runCount)
-	mu.Unlock()
+	stats.EventsRun = int(runCount.Load())
 	stats.Elapsed = time.Since(start)
 	return stats
 }
@@ -410,7 +434,16 @@ func (c *Campaign) RegisterIntel() {
 			}
 		}
 	}
-	for ip, p := range worst {
+	// Iterate in address order: map range order is randomized, and the
+	// flag draws below consume a shared stream, so an unsorted walk would
+	// flag a different subset of sources every run.
+	ips := make([]netsim.IPv4, 0, len(worst))
+	for ip := range worst {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, ip := range ips {
+		p := worst[ip]
 		if gen.Bool(p) {
 			c.cfg.VirusTotal.FlagIP(ip, 1+gen.Zipf(20, 1.3))
 		}

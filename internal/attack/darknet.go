@@ -1,6 +1,9 @@
 package attack
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"openhire/internal/geo"
@@ -46,6 +49,11 @@ type DarknetConfig struct {
 	Days int
 	// Start is the first day's timestamp (default ExperimentStart).
 	Start time.Time
+	// Workers bounds generation concurrency (0 = GOMAXPROCS). Each
+	// (protocol, day) unit owns a derived PRNG stream and a disjoint
+	// telescope ordinal range, so the captured flows are byte-identical for
+	// any worker count.
+	Workers int
 }
 
 // DarknetGenerator produces Table 8-calibrated FlowTuple traffic. Volumes at
@@ -53,9 +61,49 @@ type DarknetConfig struct {
 // simulation, so flows are synthesized directly into the telescope with
 // per-source packet counts; the *sources* are shared with the packet-level
 // attack campaign, so cross-dataset correlation (Section 5.3) is faithful.
+//
+// Generation fans out over (protocol, day) units: unit (p, d) seeds its flow
+// stream with Derive("darknet", protocol, day) and writes telescope ordinals
+// carved from range (p*Days+d+1)<<40, so scheduling never leaks into the
+// output — 1 worker and GOMAXPROCS workers produce identical dumps.
 type DarknetGenerator struct {
 	cfg DarknetConfig
 	src *prng.Source
+
+	setup  sync.Once
+	states []*protoState
+}
+
+// recordBatchSize is how many flows a unit accumulates per RecordBatch call
+// (one lock acquisition per touched telescope shard).
+const recordBatchSize = 256
+
+// flowChunkSize bounds the zeroed slab a unit carves record batches from
+// when its volume estimate overshoots this many flows.
+const flowChunkSize = 65536
+
+// unitSeqShift sizes each unit's ordinal range: 2^40 flows per unit-day is
+// five orders of magnitude above full paper volume.
+const unitSeqShift = 40
+
+// protoState is the per-protocol input shared by that protocol's day units.
+// It is built once, before generation starts, and read-only afterwards.
+type protoState struct {
+	cal          TelescopeCalibration
+	sources      []netsim.IPv4
+	alias        *prng.Alias // Zipf(1.1) over sources, O(1) per sample
+	dailyPackets uint64
+	port         uint16
+	transport    uint8
+}
+
+// geoAnn memoizes one source's geo annotation within a generation unit. The
+// Zipf skew concentrates draws on a few head sources, so the hit rate is
+// ~99% and the geo database drops out of the per-flow cost.
+type geoAnn struct {
+	cc  string
+	asn uint32
+	ok  bool
 }
 
 // NewDarknetGenerator validates cfg.
@@ -69,43 +117,49 @@ func NewDarknetGenerator(cfg DarknetConfig) *DarknetGenerator {
 	if cfg.Start.IsZero() {
 		cfg.Start = netsim.ExperimentStart
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	return &DarknetGenerator{cfg: cfg, src: prng.New(cfg.Seed)}
 }
 
-// Run generates the configured days of traffic. It returns the number of
-// flows recorded.
-func (g *DarknetGenerator) Run() int {
-	flows := 0
-	prefix := g.cfg.Telescope.Prefix()
-	// Infected devices that target the telescope participate as Telnet
-	// scanners (Mirai-style worms dominate Table 8's Telnet volume).
-	var infected []netsim.IPv4
-	if g.cfg.Sources != nil {
-		for _, ip := range g.cfg.Sources.DeriveInfected() {
-			if t, _ := g.cfg.Sources.InfectedTargetsFor(ip); t.Telescope {
-				infected = append(infected, ip)
+// init derives the infected-device pool and per-protocol source pools once.
+func (g *DarknetGenerator) init() {
+	g.setup.Do(func() {
+		prefix := g.cfg.Telescope.Prefix()
+		// Infected devices that target the telescope participate as Telnet
+		// scanners (Mirai-style worms dominate Table 8's Telnet volume).
+		var infected []netsim.IPv4
+		if g.cfg.Sources != nil {
+			for _, ip := range g.cfg.Sources.DeriveInfected() {
+				if t, _ := g.cfg.Sources.InfectedTargetsFor(ip); t.Telescope {
+					infected = append(infected, ip)
+				}
 			}
 		}
-	}
-	for _, cal := range PaperTelescope {
-		flows += g.generateProtocol(cal, prefix, infected)
-	}
-	return flows
+		for _, cal := range PaperTelescope {
+			g.states = append(g.states, g.buildState(cal, prefix, infected))
+		}
+	})
 }
 
-func (g *DarknetGenerator) generateProtocol(cal TelescopeCalibration,
-	prefix netsim.Prefix, infected []netsim.IPv4) int {
+// buildState provisions one protocol's source pool and samplers. The pool is
+// seeded from Derive("darknet", protocol) — independent of day count and
+// worker count.
+func (g *DarknetGenerator) buildState(cal TelescopeCalibration,
+	prefix netsim.Prefix, infected []netsim.IPv4) *protoState {
 	gen := g.src.Derive(prng.HashString("darknet"), prng.HashString(string(cal.Protocol)))
 
 	nSources := scaleCount(cal.UniqueIPs, g.cfg.Scale)
 	nScanSvc := scaleCount(cal.ScanSvcIPs, g.cfg.Scale)
-	dailyPackets := uint64(float64(cal.DailyCount) * g.cfg.Scale)
 
 	// Source pool: scanning services first, then infected devices (Telnet
-	// only), then random suspicious hosts.
+	// only), then random suspicious hosts. Scanning-service addresses come
+	// sorted: ranging over the service map here made the pool — and every
+	// dump derived from it — differ run to run.
 	sources := make([]netsim.IPv4, 0, nSources)
 	if g.cfg.Sources != nil {
-		for ip := range g.cfg.Sources.ScanningServiceIPs() {
+		for _, ip := range g.cfg.Sources.ScanningServiceAddrs() {
 			if len(sources) >= nScanSvc {
 				break
 			}
@@ -129,56 +183,172 @@ func (g *DarknetGenerator) generateProtocol(cal TelescopeCalibration,
 		sources = append(sources, ip)
 	}
 
-	// Packet volume per source is heavily skewed: a few infected hosts
-	// scan constantly, most sources send a handful of probes.
-	zipf := prng.NewZipfian(len(sources), 1.1)
-	port := cal.Protocol.DefaultPort()
-	transport := uint8(telescope.ProtoTCP)
-	if cal.Protocol.Transport() == netsim.UDP {
-		transport = telescope.ProtoUDP
+	st := &protoState{
+		cal:     cal,
+		sources: sources,
+		// Packet volume per source is heavily skewed: a few infected hosts
+		// scan constantly, most sources send a handful of probes.
+		alias:        prng.NewZipfAlias(len(sources), 1.1),
+		dailyPackets: uint64(float64(cal.DailyCount) * g.cfg.Scale),
+		port:         cal.Protocol.DefaultPort(),
+		transport:    telescope.ProtoTCP,
 	}
+	if cal.Protocol.Transport() == netsim.UDP {
+		st.transport = telescope.ProtoUDP
+	}
+	return st
+}
 
-	flowCount := 0
-	for day := 0; day < g.cfg.Days; day++ {
-		dayStart := g.cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
-		remaining := dailyPackets
-		// Each iteration emits one flow (source × dark destination) whose
-		// PacketCnt share of the day's volume follows the skew.
-		for remaining > 0 {
-			srcIP := sources[zipf.Sample(gen)]
-			pkts := uint64(1 + gen.Intn(64))
-			if pkts > remaining {
-				pkts = remaining
-			}
-			remaining -= pkts
-			dst := prefix.Nth(gen.Uint64() % prefix.Size())
-			ft := &telescope.FlowTuple{
-				Time:      dayStart.Add(time.Duration(gen.Intn(24*3600)) * time.Second),
-				SrcIP:     srcIP,
-				DstIP:     dst,
-				SrcPort:   uint16(32768 + gen.Intn(28232)),
-				DstPort:   port,
-				Protocol:  transport,
-				TTL:       uint8(32 + gen.Intn(96)),
-				PacketCnt: uint32(pkts),
-				IsSpoofed: gen.Bool(0.03),
-				IsMasscan: gen.Bool(0.08),
-			}
-			if transport == telescope.ProtoTCP {
-				ft.TCPFlags = telescope.FlagSYN
-				ft.SynLen = 44
-				ft.SynWinLen = uint16(8192 + gen.Intn(57343))
-				ft.IPLen = 40
-			} else {
-				ft.IPLen = uint16(28 + gen.Intn(64))
-			}
-			if g.cfg.GeoDB != nil {
-				ft.CountryCC = string(g.cfg.GeoDB.Country(srcIP))
-				ft.ASN = g.cfg.GeoDB.ASN(srcIP)
-			}
-			g.cfg.Telescope.Record(ft)
-			flowCount++
+// Run generates the configured days of traffic across all protocols,
+// fanning (protocol, day) units out over cfg.Workers goroutines. It returns
+// the number of flows recorded.
+func (g *DarknetGenerator) Run() int {
+	g.init()
+	units := make([]int, 0, len(g.states)*g.cfg.Days)
+	for p := range g.states {
+		for d := 0; d < g.cfg.Days; d++ {
+			units = append(units, p*g.cfg.Days+d)
 		}
 	}
-	return flowCount
+	return g.runUnits(units)
+}
+
+// RunDay generates one day's traffic for every protocol — the rotation path:
+// callers interleave RunDay with Telescope.Drain to cut per-day capture
+// files. day must be in [0, cfg.Days); unit streams and ordinals match the
+// ones Run would use, so RunDay(0..Days-1) emits exactly Run's flow set.
+func (g *DarknetGenerator) RunDay(day int) int {
+	if day < 0 || day >= g.cfg.Days {
+		panic(fmt.Sprintf("attack: RunDay(%d) outside configured %d days", day, g.cfg.Days))
+	}
+	g.init()
+	units := make([]int, 0, len(g.states))
+	for p := range g.states {
+		units = append(units, p*g.cfg.Days+day)
+	}
+	return g.runUnits(units)
+}
+
+// runUnits executes the given (protocol, day) units on the worker pool.
+func (g *DarknetGenerator) runUnits(units []int) int {
+	workers := g.cfg.Workers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	counts := make([]int, len(units))
+	var wg sync.WaitGroup
+	next := make(chan int, len(units))
+	for i := range units {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				unit := units[i]
+				p, d := unit/g.cfg.Days, unit%g.cfg.Days
+				counts[i] = g.generateUnit(g.states[p], d, unit)
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// generateUnit emits one protocol-day of flows. All randomness comes from
+// the unit's derived stream; several fields are packed into each 64-bit draw
+// (disjoint bit ranges; moduli either exact powers of two or large enough
+// that the bias is far below measurement noise), which roughly halves the
+// PRNG cost per flow.
+func (g *DarknetGenerator) generateUnit(st *protoState, day, unit int) int {
+	gen := g.src.Derive(prng.HashString("darknet"),
+		prng.HashString(string(st.cal.Protocol)), uint64(day))
+	base := (uint64(unit) + 1) << unitSeqShift
+	prefix := g.cfg.Telescope.Prefix()
+	prefixSize := prefix.Size()
+	dayStart := g.cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+
+	ann := make([]geoAnn, len(st.sources))
+	// Record batches are carved from larger zeroed chunks: RecordBatch indexes
+	// the committed region in place, so as long as committed records are never
+	// rewritten the chunk can keep absorbing flows. The first chunk is sized
+	// from the day's expected flow count (mean PacketCnt 32.5, /28 leaves 16%
+	// slack) so most units allocate exactly once.
+	est := int(st.dailyPackets/28) + 16
+	if est > flowChunkSize {
+		est = flowChunkSize
+	}
+	chunk := make([]telescope.FlowTuple, est)
+	idx, flushed := 0, 0 // write cursor and first uncommitted index in chunk
+	n := 0
+	flush := func() {
+		if idx > flushed {
+			g.cfg.Telescope.RecordBatch(base+uint64(n-(idx-flushed)), chunk[flushed:idx])
+			flushed = idx
+		}
+	}
+
+	remaining := st.dailyPackets
+	isTCP := st.transport == telescope.ProtoTCP
+	// Each iteration emits one flow (source × dark destination) whose
+	// PacketCnt share of the day's volume follows the skew.
+	for remaining > 0 {
+		srcIdx := st.alias.Sample(gen)
+		srcIP := st.sources[srcIdx]
+		u2 := gen.Uint64() // dst offset | source port | SYN window / datagram len
+		u3 := gen.Uint64() // time-of-day | TTL | packets | spoofed | masscan
+
+		pkts := 1 + (u3>>39)&63
+		if pkts > remaining {
+			pkts = remaining
+		}
+		remaining -= pkts
+
+		ft := &chunk[idx]
+		idx++
+		ft.Time = dayStart.Add(time.Duration((u3&0xffffffff)%86400) * time.Second)
+		ft.SrcIP = srcIP
+		ft.DstIP = prefix.Nth((u2 & 0xffffffff) % prefixSize)
+		ft.SrcPort = uint16(32768 + (u2>>32&0xffff)%28232)
+		ft.DstPort = st.port
+		ft.Protocol = st.transport
+		ft.TTL = uint8(32 + (u3>>32&0x7f)%96)
+		ft.PacketCnt = uint32(pkts)
+		ft.IsSpoofed = (u3>>45)&1023 < 31 // ≈3%
+		ft.IsMasscan = (u3>>55)&511 < 41  // ≈8%
+		if isTCP {
+			ft.TCPFlags = telescope.FlagSYN
+			ft.SynLen = 44
+			ft.SynWinLen = uint16(8192 + (u2>>48)%57343)
+			ft.IPLen = 40
+		} else {
+			ft.IPLen = uint16(28 + (u2>>48)&63)
+		}
+		if g.cfg.GeoDB != nil {
+			a := &ann[srcIdx]
+			if !a.ok {
+				a.cc = string(g.cfg.GeoDB.Country(srcIP))
+				a.asn = g.cfg.GeoDB.ASN(srcIP)
+				a.ok = true
+			}
+			ft.CountryCC = a.cc
+			ft.ASN = a.asn
+		}
+		n++
+		if idx-flushed == recordBatchSize || idx == len(chunk) {
+			flush()
+			if idx == len(chunk) && remaining > 0 {
+				chunk = make([]telescope.FlowTuple, flowChunkSize)
+				idx, flushed = 0, 0
+			}
+		}
+	}
+	flush()
+	return n
 }

@@ -294,11 +294,25 @@ func (s *Sources) ServiceOf(ip netsim.IPv4) (string, bool) {
 }
 
 // ScanningServiceIPs returns all provisioned scanning-service addresses.
+// Map iteration order is randomized by the runtime; deterministic consumers
+// (the darknet source pool) must use ScanningServiceAddrs instead.
 func (s *Sources) ScanningServiceIPs() map[netsim.IPv4]string {
 	out := make(map[netsim.IPv4]string, len(s.services))
 	for ip, svc := range s.services {
 		out[ip] = svc
 	}
+	return out
+}
+
+// ScanningServiceAddrs returns the provisioned scanning-service addresses in
+// ascending order, so pools carved from a prefix of the list are identical
+// run to run.
+func (s *Sources) ScanningServiceAddrs() []netsim.IPv4 {
+	out := make([]netsim.IPv4, 0, len(s.services))
+	for ip := range s.services {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

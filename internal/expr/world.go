@@ -237,6 +237,7 @@ func (w *World) RunTelescope() int {
 			GeoDB:     w.GeoDB,
 			Scale:     w.Cfg.TelescopeScale,
 			Days:      w.Cfg.TelescopeDays,
+			Workers:   w.Cfg.Workers,
 		})
 		w.darknetLen = gen.Run()
 	})

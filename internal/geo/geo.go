@@ -56,7 +56,15 @@ type DB struct {
 	src       *prng.Source
 	countries []Country
 	weights   []float64
+	total     float64 // sum of positive weights, fixed at construction
 }
+
+// Label hashes are constants of the lookup scheme; folding them per call put
+// FNV in the darknet generator's profile.
+var (
+	geoCountryLabel = prng.HashString("geo-country")
+	geoASNLabel     = prng.HashString("geo-asn")
+)
 
 // NewDB builds a database using the given seed and country weights.
 // If weights is nil, PaperCountryWeights is used.
@@ -68,6 +76,9 @@ func NewDB(seed uint64, weights []CountryWeight) *DB {
 	for _, w := range weights {
 		db.countries = append(db.countries, w.Country)
 		db.weights = append(db.weights, w.Weight)
+		if w.Weight > 0 {
+			db.total += w.Weight
+		}
 	}
 	return db
 }
@@ -81,17 +92,33 @@ func (db *DB) block(ip netsim.IPv4) uint64 {
 	return uint64(ip >> (32 - geoGranularityBits))
 }
 
-// Country returns the country assigned to ip's block.
+// Country returns the country assigned to ip's block. The draw and the
+// subtractive scan reproduce Source.WeightedChoice exactly (same arithmetic,
+// same order), with the weight total hoisted to construction time.
 func (db *DB) Country(ip netsim.IPv4) Country {
-	h := db.src.Hash64(prng.HashString("geo-country"), db.block(ip))
-	pick := prng.New(h)
-	return db.countries[pick.WeightedChoice(db.weights)]
+	h := db.src.Hash64(geoCountryLabel, db.block(ip))
+	target := prng.New(h).Float64() * db.total
+	for i, w := range db.weights {
+		if w <= 0 {
+			continue
+		}
+		target -= w
+		if target < 0 {
+			return db.countries[i]
+		}
+	}
+	for i := len(db.weights) - 1; i >= 0; i-- {
+		if db.weights[i] > 0 {
+			return db.countries[i]
+		}
+	}
+	panic("geo: DB with no positive country weight")
 }
 
 // ASN returns the autonomous-system number for ip's block. ASNs are stable
 // per block and drawn from the 16-bit public range.
 func (db *DB) ASN(ip netsim.IPv4) uint32 {
-	h := db.src.Hash64(prng.HashString("geo-asn"), db.block(ip))
+	h := db.src.Hash64(geoASNLabel, db.block(ip))
 	return uint32(1 + h%64495) // public 16-bit ASN range 1..64495
 }
 

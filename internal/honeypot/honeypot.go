@@ -7,7 +7,10 @@
 package honeypot
 
 import (
+	"bytes"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openhire/internal/iot"
@@ -46,31 +49,106 @@ type Event struct {
 	Detail string
 }
 
-// Log is the shared, thread-safe event store.
+// Log is the shared, thread-safe event store. Appends land on one of
+// logShards lock-striped slices chosen round-robin by a global sequence
+// counter, so concurrent attack workers never serialize on a single mutex;
+// Events merges the shards back into (Time, sequence) order. The zero value
+// is ready to use.
 type Log struct {
-	mu     sync.RWMutex
-	events []Event
+	seq    atomic.Uint64
+	shards [logShards]logShard
+}
+
+// logShards is the append stripe count — comfortably above the replay's
+// worker parallelism on any host this runs on.
+const logShards = 32
+
+// logShard is one append stripe, padded so adjacent shard headers do not
+// share a cache line under concurrent append.
+type logShard struct {
+	mu     sync.Mutex
+	events []seqEvent
+	_      [64]byte
+}
+
+// seqEvent pairs an event with its global arrival sequence number.
+type seqEvent struct {
+	seq uint64
+	ev  Event
 }
 
 // Append records an event.
 func (l *Log) Append(ev Event) {
-	l.mu.Lock()
-	l.events = append(l.events, ev)
-	l.mu.Unlock()
+	s := l.seq.Add(1)
+	sh := &l.shards[s&(logShards-1)]
+	sh.mu.Lock()
+	sh.events = append(sh.events, seqEvent{seq: s, ev: ev})
+	sh.mu.Unlock()
 }
 
-// Events returns a snapshot of all events.
+// Events returns a snapshot of all events ordered by (Time, arrival
+// sequence). For a single sequential appender this is exactly append order —
+// the contract the pre-sharding log kept; concurrent appenders get a stable
+// chronological linearization.
 func (l *Log) Events() []Event {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return append([]Event(nil), l.events...)
+	all := make([]seqEvent, 0, l.Len())
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.events...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].ev.Time.Equal(all[j].ev.Time) {
+			return all[i].ev.Time.Before(all[j].ev.Time)
+		}
+		return all[i].seq < all[j].seq
+	})
+	out := make([]Event, len(all))
+	for i := range all {
+		out[i] = all[i].ev
+	}
+	return out
 }
 
 // Len returns the event count.
 func (l *Log) Len() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.events)
+	return int(l.seq.Load())
+}
+
+// SortEventsCanonical orders events by content alone — every field, ties
+// broken field by field — removing scheduling artifacts. Two replays of the
+// same plan under different worker counts produce logs whose canonical
+// sorts are element-wise identical; the equivalence tests rely on this.
+func SortEventsCanonical(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Honeypot != b.Honeypot {
+			return a.Honeypot < b.Honeypot
+		}
+		if a.Protocol != b.Protocol {
+			return a.Protocol < b.Protocol
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.Username != b.Username {
+			return a.Username < b.Username
+		}
+		if a.Password != b.Password {
+			return a.Password < b.Password
+		}
+		if a.Detail != b.Detail {
+			return a.Detail < b.Detail
+		}
+		return bytes.Compare(a.Payload, b.Payload) < 0
+	})
 }
 
 // Service is one listening port on a honeypot.
@@ -94,8 +172,7 @@ type Honeypot struct {
 	mu       sync.RWMutex
 	services map[uint16]Service
 
-	floodMu sync.Mutex
-	floods  map[floodKey]int
+	floods [floodShards]floodShard
 }
 
 // floodKey tracks per-source daily request counts for DoS detection.
@@ -103,6 +180,18 @@ type floodKey struct {
 	proto iot.Protocol
 	src   netsim.IPv4
 	day   int64
+}
+
+// floodShards stripes the flood counters by source address so concurrent
+// workers hammering one honeypot from different sources do not serialize on
+// one counter lock.
+const floodShards = 16
+
+// floodShard is one stripe of the flood-counter map, cache-line padded.
+type floodShard struct {
+	mu     sync.Mutex
+	counts map[floodKey]int
+	_      [64]byte
 }
 
 // floodThreshold is the per-day per-source event count beyond which further
@@ -113,16 +202,19 @@ type floodKey struct {
 const floodThreshold = 3
 
 // floodUpgrade re-labels ev as DoS when its source exceeded the daily rate
-// threshold on the protocol. It must be called before Record.
+// threshold on the protocol. It must be called before Record. Counters are
+// striped by source low bits; one (protocol, source, day) key always lands on
+// one stripe, so the upgrade decision sequence per key is unaffected.
 func (h *Honeypot) floodUpgrade(ev *Event) {
 	key := floodKey{proto: ev.Protocol, src: ev.Src, day: ev.Time.Unix() / 86400}
-	h.floodMu.Lock()
-	if h.floods == nil {
-		h.floods = make(map[floodKey]int)
+	sh := &h.floods[uint32(ev.Src)&(floodShards-1)]
+	sh.mu.Lock()
+	if sh.counts == nil {
+		sh.counts = make(map[floodKey]int)
 	}
-	h.floods[key]++
-	count := h.floods[key]
-	h.floodMu.Unlock()
+	sh.counts[key]++
+	count := sh.counts[key]
+	sh.mu.Unlock()
 	if count > floodThreshold {
 		ev.Type = AttackDoS
 		if ev.Detail == "" {

@@ -146,6 +146,10 @@ type Network struct {
 	// sender does not specify one.
 	DefaultTTL uint8
 
+	// handlers tracks in-flight connection-handler goroutines so Quiesce
+	// can wait for the server side of every conversation to finish.
+	handlers sync.WaitGroup
+
 	stats Stats
 }
 
@@ -333,11 +337,23 @@ func (n *Network) Dial(ctx context.Context, src IPv4, dst Endpoint, opts ProbeOp
 	clientNC, serverNC := NewConnPair(srcEP, dst)
 	client := &ServiceConn{conn: clientNC.(*conn), DialTime: now}
 	server := &ServiceConn{conn: serverNC.(*conn), DialTime: now}
+	n.handlers.Add(1)
 	go func() {
+		defer n.handlers.Done()
 		defer server.Close()
 		handler.Serve(ctx, server)
 	}()
 	return client, nil
+}
+
+// Quiesce blocks until every in-flight connection handler has returned.
+// Closing the client side of a conversation does not mean the server has
+// finished processing (and logging) it; callers that read observation logs —
+// or advance the simulation clock past a time boundary the logs are bucketed
+// by — must quiesce first or the tail of the conversation lands late. The
+// caller must ensure no new Dials race with the wait.
+func (n *Network) Quiesce() {
+	n.handlers.Wait()
 }
 
 // Query sends a UDP datagram from src to dst and returns the response, or

@@ -1,0 +1,190 @@
+package telescope
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// TestFlowsMutationIsolation pins the Flows contract: every returned record
+// is a deep copy, so callers (the report pipelines rewrite rows in place) can
+// mutate freely without corrupting the capture.
+func TestFlowsMutationIsolation(t *testing.T) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+	tel.Record(sampleFlow())
+
+	first := tel.Flows()
+	if len(first) != 1 {
+		t.Fatalf("flows %d, want 1", len(first))
+	}
+	first[0].PacketCnt = 9999
+	first[0].CountryCC = "XX"
+	first[0].SrcIP = 0
+
+	second := tel.Flows()
+	if second[0].PacketCnt == 9999 || second[0].CountryCC == "XX" || second[0].SrcIP == 0 {
+		t.Fatalf("mutating a Flows() result leaked into the capture: %+v", second[0])
+	}
+}
+
+// TestDrainHandsOverAndClears pins the Drain contract: the live records are
+// handed over (no copy) and the capture starts empty.
+func TestDrainHandsOverAndClears(t *testing.T) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+	tel.Record(sampleFlow())
+	drained := tel.Drain()
+	if len(drained) != 1 {
+		t.Fatalf("drained %d, want 1", len(drained))
+	}
+	if tel.Len() != 0 || len(tel.Flows()) != 0 {
+		t.Fatal("telescope not empty after Drain")
+	}
+	// The next window accumulates independently.
+	tel.Record(sampleFlow())
+	if tel.Len() != 1 {
+		t.Fatalf("post-drain capture has %d flows, want 1", tel.Len())
+	}
+}
+
+// TestRecordBatchOrdinalOrder verifies that batches committed out of ordinal
+// order still read back in ordinal order, and that a key colliding across
+// batches merges as if ingested sequentially: the smaller ordinal's record
+// survives and absorbs the other's packet count.
+func TestRecordBatchOrdinalOrder(t *testing.T) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+
+	mk := func(src uint32, pkts uint32, ttl uint8) FlowTuple {
+		return FlowTuple{
+			Time: time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC), SrcIP: netsim.IPv4(src),
+			DstIP: netsim.MustParseIPv4("44.1.1.1"), SrcPort: 40000, DstPort: 23,
+			Protocol: ProtoTCP, TTL: ttl, PacketCnt: pkts,
+		}
+	}
+	// Commit the higher ordinal range first: scheduling must not matter.
+	tel.RecordBatch(2000, []FlowTuple{mk(5, 7, 64), mk(6, 1, 64)})
+	tel.RecordBatch(1000, []FlowTuple{mk(1, 2, 32), mk(5, 3, 32)}) // src 5 collides
+
+	flows := tel.Flows()
+	if len(flows) != 3 {
+		t.Fatalf("flows %d, want 3 (one merged)", len(flows))
+	}
+	wantSrc := []netsim.IPv4{1, 5, 6} // ordinal order: 1000, 1001(merged wins over 2000), 2001
+	for i, want := range wantSrc {
+		if flows[i].SrcIP != want {
+			t.Fatalf("flow %d src %d, want %d", i, flows[i].SrcIP, want)
+		}
+	}
+	merged := flows[1]
+	if merged.PacketCnt != 10 {
+		t.Fatalf("merged packet count %d, want 10", merged.PacketCnt)
+	}
+	if merged.TTL != 32 {
+		t.Fatalf("merged record kept TTL %d; the smaller ordinal (TTL 32) must win", merged.TTL)
+	}
+}
+
+// TestConcurrentObserveMatchesSequential feeds the same probe stream to two
+// telescopes — one from a single goroutine, one from eight — and requires the
+// aggregated flow sets to be identical.
+func TestConcurrentObserveMatchesSequential(t *testing.T) {
+	prefix := netsim.MustParsePrefix("44.0.0.0/8")
+	events := make([]netsim.ProbeEvent, 4000)
+	for i := range events {
+		events[i] = netsim.ProbeEvent{
+			Time: time.Date(2021, 4, 1, 0, 0, i%60, 0, time.UTC),
+			Src:  netsim.Endpoint{IP: netsim.IPv4(i % 977), Port: uint16(40000 + i%50)},
+			Dst: netsim.Endpoint{IP: netsim.MustParseIPv4("44.1.1.1") + netsim.IPv4(i%13),
+				Port: 23},
+			Transport: netsim.TCP, Kind: netsim.ProbeSYN, TTL: 52,
+		}
+	}
+
+	seq := New(prefix, nil)
+	for _, ev := range events {
+		seq.Observe(ev)
+	}
+
+	par := New(prefix, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(events); i += 8 {
+				par.Observe(events[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	a, b := seq.Flows(), par.Flows()
+	if len(a) != len(b) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a), len(b))
+	}
+	// Arrival ordinals race under concurrency, so compare as key-sorted sets.
+	key := func(ft *FlowTuple) uint64 { return uint64(ft.SrcIP)<<32 | uint64(ft.SrcPort)<<16 | uint64(ft.DstIP&0xffff) }
+	byKey := func(flows []*FlowTuple) map[uint64]uint32 {
+		m := make(map[uint64]uint32, len(flows))
+		for _, ft := range flows {
+			m[key(ft)] += ft.PacketCnt
+		}
+		return m
+	}
+	ma, mb := byKey(a), byKey(b)
+	for k, v := range ma {
+		if mb[k] != v {
+			t.Fatalf("packet count for key %x: sequential %d, concurrent %d", k, v, mb[k])
+		}
+	}
+}
+
+// TestRecordBatchLargeUsesHeapScratch covers the >256-record path, which
+// sorts in heap scratch instead of the stack arrays.
+func TestRecordBatchLargeUsesHeapScratch(t *testing.T) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+	fts := make([]FlowTuple, 700)
+	for i := range fts {
+		fts[i] = FlowTuple{
+			Time: time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC), SrcIP: netsim.IPv4(i),
+			DstIP: netsim.MustParseIPv4("44.2.2.2"), SrcPort: uint16(1000 + i), DstPort: 1883,
+			Protocol: ProtoTCP, PacketCnt: 1,
+		}
+	}
+	tel.RecordBatch(100, fts)
+	flows := tel.Flows()
+	if len(flows) != 700 {
+		t.Fatalf("flows %d, want 700", len(flows))
+	}
+	for i, ft := range flows {
+		if ft.SrcIP != netsim.IPv4(i) {
+			t.Fatalf("flow %d out of ordinal order: src %d", i, ft.SrcIP)
+		}
+	}
+}
+
+// TestFlowsCSVStableAcrossSnapshots guards the dump path the equivalence
+// tests rely on: two snapshots of one telescope serialize identically.
+func TestFlowsCSVStableAcrossSnapshots(t *testing.T) {
+	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+	for i := 0; i < 100; i++ {
+		ft := sampleFlow()
+		ft.SrcIP = netsim.IPv4(i * 7)
+		ft.SrcPort = uint16(1000 + i)
+		tel.Record(ft)
+	}
+	dump := func() []byte {
+		var buf bytes.Buffer
+		for _, ft := range tel.Flows() {
+			if err := ft.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	if a, b := dump(), dump(); !bytes.Equal(a, b) {
+		t.Fatal("two snapshots of the same capture serialized differently")
+	}
+}

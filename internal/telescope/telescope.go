@@ -3,6 +3,7 @@ package telescope
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openhire/internal/geo"
@@ -15,13 +16,49 @@ import (
 // it into the fabric with Network.AddObserver captures every probe the
 // simulated adversaries send at its prefix — the same passive capture model
 // as the UCSD /8 darknet.
+//
+// The flow table is hash-sharded: each flow key maps to one of numShards
+// open-addressing tables with its own lock, so concurrent attack workers and
+// the parallel darknet generator never serialize on a single mutex. Every
+// flow carries an ordinal; Flows and Drain merge the shards back into
+// ascending-ordinal order, which for a single sequential writer is exactly
+// insertion order (the behaviour the pre-sharding telescope guaranteed).
 type Telescope struct {
 	prefix netsim.Prefix
 	geodb  *geo.DB
 
-	mu    sync.Mutex
-	flows map[flowKey]*FlowTuple
-	order []flowKey // insertion order for deterministic dumps
+	// seq allocates ordinals for Observe/Record. It starts at recordSeqBase
+	// so batch ingest (RecordBatch, whose callers assign their own ordinals
+	// below the base) sorts ahead of fabric-observed traffic.
+	seq    atomic.Uint64
+	shards [numShards]flowShard
+}
+
+// numShards is the flow-table shard count. 64 keeps the per-shard lock
+// essentially uncontended at the worker counts the replay uses while the
+// array of shard headers still fits in a few cache lines.
+const numShards = 64
+
+// recordSeqBase is the first ordinal handed to Observe/Record traffic.
+// RecordBatch callers own the range below it.
+const recordSeqBase = uint64(1) << 62
+
+// flowShard is one lock-striped slice of the flow table: an open-addressing
+// index over an insertion-ordered entry slab. Padded so adjacent shard
+// headers do not share a cache line under concurrent ingest.
+type flowShard struct {
+	mu      sync.Mutex
+	entries []flowEntry
+	slots   []int32 // entry index + 1; 0 = empty
+	mask    uint64
+	_       [64]byte
+}
+
+// flowEntry is one aggregated flow plus its packed key and merge ordinal.
+type flowEntry struct {
+	k0, k1 uint64
+	seq    uint64
+	ft     *FlowTuple
 }
 
 // flowKey aggregates packets of one flow within the capture window.
@@ -31,17 +68,104 @@ type flowKey struct {
 	proto        uint8
 }
 
+// pack flattens the key into two words for the open-addressing tables.
+func (k flowKey) pack() (uint64, uint64) {
+	k0 := uint64(k.src)<<32 | uint64(k.dst)
+	k1 := uint64(k.sport)<<24 | uint64(k.dport)<<8 | uint64(k.proto)
+	return k0, k1
+}
+
+// mix64 is the SplitMix64 finalizer, used to hash packed flow keys.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // New builds a telescope over prefix using geodb for source annotation.
 func New(prefix netsim.Prefix, geodb *geo.DB) *Telescope {
-	return &Telescope{
-		prefix: prefix,
-		geodb:  geodb,
-		flows:  make(map[flowKey]*FlowTuple),
-	}
+	t := &Telescope{prefix: prefix, geodb: geodb}
+	t.seq.Store(recordSeqBase)
+	return t
 }
 
 // Prefix returns the observed range.
 func (t *Telescope) Prefix() netsim.Prefix { return t.prefix }
+
+// insert adds or merges one flow under the shard lock. The caller computes
+// the packed key and hash; ft ownership passes to the telescope. When two
+// ordinals collide on one key the smaller ordinal's record wins and absorbs
+// the other's packet count, so the merged table is a pure function of the
+// flow set — independent of arrival interleaving.
+func (s *flowShard) insert(k0, k1, h, seq uint64, ft *FlowTuple) {
+	if s.slots == nil {
+		s.grow(512)
+	}
+	for i := h & s.mask; ; i = (i + 1) & s.mask {
+		ref := s.slots[i]
+		if ref == 0 {
+			if uint64(len(s.entries))*4 >= uint64(len(s.slots))*3 {
+				s.grow(uint64(len(s.slots)) * 2)
+				s.insert(k0, k1, h, seq, ft)
+				return
+			}
+			s.entries = append(s.entries, flowEntry{k0: k0, k1: k1, seq: seq, ft: ft})
+			s.slots[i] = int32(len(s.entries))
+			return
+		}
+		e := &s.entries[ref-1]
+		if e.k0 == k0 && e.k1 == k1 {
+			if seq < e.seq {
+				ft.PacketCnt += e.ft.PacketCnt
+				e.ft = ft
+				e.seq = seq
+			} else {
+				e.ft.PacketCnt += ft.PacketCnt
+			}
+			return
+		}
+	}
+}
+
+// find returns the record for a packed key, or nil. Caller holds the lock.
+func (s *flowShard) find(k0, k1, h uint64) *FlowTuple {
+	if s.slots == nil {
+		return nil
+	}
+	for i := h & s.mask; ; i = (i + 1) & s.mask {
+		ref := s.slots[i]
+		if ref == 0 {
+			return nil
+		}
+		if e := &s.entries[ref-1]; e.k0 == k0 && e.k1 == k1 {
+			return e.ft
+		}
+	}
+}
+
+// grow rebuilds the slot index at the new power-of-two size and reserves
+// entry capacity for the 3/4 load the index admits, so insert's append never
+// reallocates (entry copies carry pointer write barriers, which showed up in
+// the batch-ingest profile).
+func (s *flowShard) grow(size uint64) {
+	s.slots = make([]int32, size)
+	s.mask = size - 1
+	if want := int(size - size/4); cap(s.entries) < want {
+		ne := make([]flowEntry, len(s.entries), want)
+		copy(ne, s.entries)
+		s.entries = ne
+	}
+	for idx := range s.entries {
+		e := &s.entries[idx]
+		h := mix64(e.k0 ^ mix64(e.k1))
+		for i := h & s.mask; ; i = (i + 1) & s.mask {
+			if s.slots[i] == 0 {
+				s.slots[i] = int32(idx + 1)
+				break
+			}
+		}
+	}
+}
 
 // Observe implements netsim.Observer.
 func (t *Telescope) Observe(ev netsim.ProbeEvent) {
@@ -63,15 +187,21 @@ func (t *Telescope) Observe(ev netsim.ProbeEvent) {
 			synWin = 65535
 		}
 	}
-	key := flowKey{src: ev.Src.IP, dst: ev.Dst.IP, sport: ev.Src.Port,
-		dport: ev.Dst.Port, proto: proto}
+	k0, k1 := flowKey{src: ev.Src.IP, dst: ev.Dst.IP, sport: ev.Src.Port,
+		dport: ev.Dst.Port, proto: proto}.pack()
+	h := mix64(k0 ^ mix64(k1))
+	s := &t.shards[h>>(64-6)]
 
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if ft, ok := t.flows[key]; ok {
+	// Fast path: a repeat packet of a known flow only bumps its counter —
+	// no allocation, no geo lookup, one shard lock.
+	s.mu.Lock()
+	if ft := s.find(k0, k1, h); ft != nil {
 		ft.PacketCnt++
+		s.mu.Unlock()
 		return
 	}
+	s.mu.Unlock()
+
 	ft := &FlowTuple{
 		Time: ev.Time, SrcIP: ev.Src.IP, DstIP: ev.Dst.IP,
 		SrcPort: ev.Src.Port, DstPort: ev.Dst.Port,
@@ -83,58 +213,153 @@ func (t *Telescope) Observe(ev netsim.ProbeEvent) {
 		ft.CountryCC = string(t.geodb.Country(ev.Src.IP))
 		ft.ASN = t.geodb.ASN(ev.Src.IP)
 	}
-	t.flows[key] = ft
-	t.order = append(t.order, key)
+	// A racing Observe of the same new flow may have inserted between the
+	// probe and here; insert merges the counters either way.
+	seq := t.seq.Add(1)
+	s.mu.Lock()
+	s.insert(k0, k1, h, seq, ft)
+	s.mu.Unlock()
 }
 
-// Record ingests a pre-built FlowTuple directly. The statistical traffic
-// generator uses this path for volumes that would be wasteful to route
-// through the packet fabric.
+// ingest routes one owned record to its shard. Duplicate keys merge by
+// adding ft's packet count to the already-held record.
+func (t *Telescope) ingest(ft *FlowTuple, seq uint64) {
+	k0, k1 := flowKey{src: ft.SrcIP, dst: ft.DstIP, sport: ft.SrcPort,
+		dport: ft.DstPort, proto: ft.Protocol}.pack()
+	h := mix64(k0 ^ mix64(k1))
+	s := &t.shards[h>>(64-6)] // top bits pick the shard, low bits the slot
+	s.mu.Lock()
+	s.insert(k0, k1, h, seq, ft)
+	s.mu.Unlock()
+}
+
+// Record ingests a copy of a pre-built FlowTuple. The statistical traffic
+// generator's scalar path and tests use this; bulk producers should prefer
+// RecordBatch, which skips the per-record copy and lock acquisition.
 func (t *Telescope) Record(ft *FlowTuple) {
-	key := flowKey{src: ft.SrcIP, dst: ft.DstIP, sport: ft.SrcPort,
-		dport: ft.DstPort, proto: ft.Protocol}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if prev, ok := t.flows[key]; ok {
-		prev.PacketCnt += ft.PacketCnt
+	cp := *ft
+	t.ingest(&cp, t.seq.Add(1))
+}
+
+// RecordBatch ingests a batch of pre-built flows, taking ownership of the
+// backing slab: records are indexed in place, never copied, and the caller
+// must not touch them again. Record i receives ordinal base+i, and Flows and
+// Drain return ascending-ordinal order, so concurrent producers that carve
+// disjoint ordinal ranges below 1<<62 (the parallel darknet generator gives
+// each (protocol, day) unit its own range) get dumps that are byte-identical
+// no matter how their batches interleave. When one key appears under two
+// ordinals, the smaller ordinal's record wins and absorbs the other's packet
+// count — the same outcome sequential ingest in ordinal order would produce.
+func (t *Telescope) RecordBatch(base uint64, fts []FlowTuple) {
+	if len(fts) == 0 {
 		return
 	}
-	cp := *ft
-	t.flows[key] = &cp
-	t.order = append(t.order, key)
+	// Counting-sort the batch by shard so each shard lock is acquired once
+	// per batch instead of once per record. Placement scans records in batch
+	// order, so within a shard ordinals stay ascending. Batches up to 256
+	// records (the darknet generator's flush size) sort in stack scratch.
+	var hsArr [256]uint64
+	var orderArr [256]int32
+	var hs []uint64
+	var order []int32
+	if len(fts) <= len(hsArr) {
+		hs, order = hsArr[:len(fts)], orderArr[:len(fts)]
+	} else {
+		hs = make([]uint64, len(fts))
+		order = make([]int32, len(fts))
+	}
+	var count [numShards]int32
+	for i := range fts {
+		k0, k1 := flowKey{src: fts[i].SrcIP, dst: fts[i].DstIP, sport: fts[i].SrcPort,
+			dport: fts[i].DstPort, proto: fts[i].Protocol}.pack()
+		hs[i] = mix64(k0 ^ mix64(k1))
+		count[hs[i]>>(64-6)]++
+	}
+	var offset [numShards + 1]int32
+	for s := 0; s < numShards; s++ {
+		offset[s+1] = offset[s] + count[s]
+	}
+	var fill [numShards]int32
+	for i := range fts {
+		s := hs[i] >> (64 - 6)
+		order[offset[s]+fill[s]] = int32(i)
+		fill[s]++
+	}
+	for s := 0; s < numShards; s++ {
+		if count[s] == 0 {
+			continue
+		}
+		shard := &t.shards[s]
+		shard.mu.Lock()
+		for _, i := range order[offset[s]:offset[s+1]] {
+			ft := &fts[i]
+			k0, k1 := flowKey{src: ft.SrcIP, dst: ft.DstIP, sport: ft.SrcPort,
+				dport: ft.DstPort, proto: ft.Protocol}.pack()
+			shard.insert(k0, k1, hs[i], base+uint64(i), ft)
+		}
+		shard.mu.Unlock()
+	}
 }
 
-// Flows returns the captured records in insertion order.
+// snapshot gathers all entries across shards in ascending ordinal order.
+func (t *Telescope) snapshot(clear bool) []*FlowTuple {
+	type seqFlow struct {
+		seq uint64
+		ft  *FlowTuple
+	}
+	var all []seqFlow
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for j := range s.entries {
+			all = append(all, seqFlow{seq: s.entries[j].seq, ft: s.entries[j].ft})
+		}
+		if clear {
+			s.entries = nil
+			s.slots = nil
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]*FlowTuple, len(all))
+	for i := range all {
+		out[i] = all[i].ft
+	}
+	return out
+}
+
+// Flows returns an isolated snapshot of the captured records in ingest
+// order: every record is a deep copy, so callers may mutate the result (the
+// report pipelines sort and rewrite rows) without corrupting the capture.
 func (t *Telescope) Flows() []*FlowTuple {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]*FlowTuple, 0, len(t.order))
-	for _, k := range t.order {
-		cp := *t.flows[k]
-		out = append(out, &cp)
+	out := t.snapshot(false)
+	for i, ft := range out {
+		cp := *ft
+		out[i] = &cp
 	}
 	return out
 }
 
-// Drain returns captured records and clears the buffer — the per-minute
-// file rotation the CAIDA pipeline performs (1,440 files per day).
+// Drain returns the captured records in ingest order and clears the buffer —
+// the per-minute file rotation the CAIDA pipeline performs (1,440 files per
+// day). Unlike Flows it hands back the live records without copying: the
+// telescope forgets them, ownership passes to the caller, and the next
+// capture window starts empty. Use it for rotation (cmd/openhire-telescope's
+// -rotate path); use Flows when the capture must keep accumulating.
 func (t *Telescope) Drain() []*FlowTuple {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]*FlowTuple, 0, len(t.order))
-	for _, k := range t.order {
-		out = append(out, t.flows[k])
-	}
-	t.flows = make(map[flowKey]*FlowTuple)
-	t.order = nil
-	return out
+	return t.snapshot(true)
 }
 
 // Len returns the number of aggregated flows currently held.
 func (t *Telescope) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.flows)
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // ProtocolOfPort maps a destination port to the study's protocol buckets.

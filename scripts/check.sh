@@ -3,8 +3,11 @@
 #
 #   1. go vet over everything
 #   2. full build
-#   3. race detector over the scan hot-path packages (lock-free snapshot
-#      lookup, sharded stats, batched rate limiter)
+#   3. race detector over the hot-path packages: the scan leg (lock-free
+#      snapshot lookup, sharded stats, batched rate limiter) and the attack
+#      month / telescope leg (sharded flow tables, striped event log,
+#      parallel darknet generation) — the parallel-vs-sequential equivalence
+#      tests run under the detector here
 #   4. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,7 +19,8 @@ echo "==> go build ./..."
 go build ./...
 
 echo "==> go test -race (hot-path packages)"
-go test -race ./internal/netsim/... ./internal/core/scan/...
+go test -race ./internal/netsim/... ./internal/core/scan/... \
+	./internal/telescope/... ./internal/attack/... ./internal/honeypot/...
 
 echo "==> go test ./... (tier-1 gate)"
 go test ./...
