@@ -1,6 +1,6 @@
 # Developer entry points. `make check` is the gate every PR must pass.
 
-.PHONY: check build test race bench-scan bench-telescope
+.PHONY: check build test race chaos bench-scan bench-telescope
 
 check:
 	./scripts/check.sh
@@ -14,6 +14,20 @@ test:
 race:
 	go test -race ./internal/netsim/... ./internal/core/scan/... \
 		./internal/telescope/... ./internal/attack/... ./internal/honeypot/...
+
+# chaos runs just the fault-model gate: the equivalence tests (zero-fault
+# noop, cross-worker determinism, ±2% calibrated drift) under the race
+# detector, then a 10-iteration fuzz smoke over the Telnet/MQTT parsers.
+chaos:
+	go test -race -run 'TestChaos|TestBackoff|TestScanCancel' \
+		./internal/core/scan/ ./internal/core/classify/
+	go test -race ./internal/netsim/faults/
+	for target in FuzzSplitStream FuzzEscapeRoundTrip; do \
+		go test -run "^$$target\$$" -fuzz "^$$target\$$" -fuzztime 10x ./internal/protocols/telnet/ || exit 1; \
+	done
+	for target in FuzzReadPacket FuzzTopicMatches; do \
+		go test -run "^$$target\$$" -fuzz "^$$target\$$" -fuzztime 10x ./internal/protocols/mqtt/ || exit 1; \
+	done
 
 # bench-scan reproduces the hot-path numbers recorded in BENCH_scan.json.
 bench-scan:

@@ -7,6 +7,7 @@
 //
 //	openhire-scan [-seed N] [-prefix CIDR] [-boost F] [-workers N]
 //	              [-protocol P] [-rate N] [-show-honeypots]
+//	              [-faults PROFILE] [-max-attempts N]
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"openhire/internal/geo"
 	"openhire/internal/iot"
 	"openhire/internal/netsim"
+	"openhire/internal/netsim/faults"
 )
 
 func main() {
@@ -39,6 +41,8 @@ func main() {
 		verifyPots    = flag.Bool("verify-honeypots", false, "confirm banner detections with the active deviation probe")
 		out           = flag.String("out", "", "save raw scan results as JSON Lines")
 		in            = flag.String("in", "", "skip scanning; analyze a previously saved result file")
+		faultSpec     = flag.String("faults", "", "network fault profile: zero|calibrated|harsh plus key=value overrides (e.g. calibrated,synloss=0.05)")
+		maxAttempts   = flag.Int("max-attempts", 0, "probe transmissions per target on a faulted network (0 = default 3)")
 	)
 	flag.Parse()
 
@@ -54,13 +58,26 @@ func main() {
 	network := netsim.NewNetwork(netsim.NewSimClock(netsim.ExperimentStart))
 	network.AddProvider(prefix, universe)
 
+	profile, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// New returns nil for a disabled profile; installing nothing keeps the
+	// no-fault fast path and its byte-identical output.
+	if model := faults.New(profile); model != nil {
+		network.SetFaults(model)
+		fmt.Printf("fault profile: %s\n", *faultSpec)
+	}
+
 	scanner := scan.NewScanner(scan.Config{
-		Network:    network,
-		Source:     netsim.MustParseIPv4("130.226.0.1"),
-		Prefix:     prefix,
-		Seed:       *seed,
-		Workers:    *workers,
-		RatePerSec: *rate,
+		Network:     network,
+		Source:      netsim.MustParseIPv4("130.226.0.1"),
+		Prefix:      prefix,
+		Seed:        *seed,
+		Workers:     *workers,
+		RatePerSec:  *rate,
+		MaxAttempts: *maxAttempts,
 	})
 
 	modules := scan.AllModules()
@@ -108,6 +125,19 @@ func main() {
 			expo.AddRow(string(p), int(st.Probed), len(results[p]), st.Elapsed.Round(1000000).String())
 		}
 		_ = expo.Render(os.Stdout)
+
+		// Degradation accounting, only on a faulted fabric so zero-fault
+		// output stays byte-identical to a run without the fault layer.
+		if network.Faults() != nil {
+			deg := report.NewTable("\nGraceful degradation under faults",
+				"Protocol", "Timeouts", "Retransmits", "Resets", "Partials", "Skipped")
+			for _, m := range modules {
+				st := stats[m.Protocol()]
+				deg.AddRow(string(m.Protocol()), int(st.Timeouts), int(st.Retransmits),
+					int(st.Resets), int(st.Partials), int(st.BreakerSkipped))
+			}
+			_ = deg.Render(os.Stdout)
+		}
 	}
 
 	if *out != "" {

@@ -47,6 +47,30 @@ func credentialFor(gen *prng.Source) (string, string) {
 	return pair.User, pair.Pass
 }
 
+// attackDialAttempts bounds SYN retries per attack conversation. Botnet
+// loaders retry aggressively, so a lossy path mostly delays an attack
+// rather than erasing it from the honeypot log.
+const attackDialAttempts = 3
+
+// dial opens one attack connection, retrying transient fault-model drops.
+// On a perfect fabric the first attempt either connects or fails
+// definitively (refused / unreachable), so campaign replays without faults
+// behave exactly as before. Each retry passes a higher Attempt so the fault
+// model draws fresh loss for it.
+func (e *Executor) dial(ctx context.Context, src netsim.IPv4, ep netsim.Endpoint) (*netsim.ServiceConn, error) {
+	var (
+		conn *netsim.ServiceConn
+		err  error
+	)
+	for a := uint32(0); a < attackDialAttempts; a++ {
+		conn, err = e.net.Dial(ctx, src, ep, netsim.ProbeOptions{Attempt: a})
+		if err != netsim.ErrProbeTimeout {
+			break
+		}
+	}
+	return conn, err
+}
+
 // Execute performs one attack of the given type from src against the
 // honeypot's service for proto. It returns an error only for simulation
 // faults; refused conversations are normal.
@@ -86,7 +110,7 @@ func (e *Executor) Execute(ctx context.Context, typ honeypot.AttackType, proto i
 
 func (e *Executor) telnetAttack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil // target gone; nothing to observe
 	}
@@ -113,7 +137,7 @@ func (e *Executor) telnetAttack(ctx context.Context, typ honeypot.AttackType,
 
 func (e *Executor) sshAttack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil
 	}
@@ -153,7 +177,7 @@ func (e *Executor) sshAttack(ctx context.Context, typ honeypot.AttackType,
 
 func (e *Executor) mqttAttack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil
 	}
@@ -178,7 +202,7 @@ func (e *Executor) mqttAttack(ctx context.Context, typ honeypot.AttackType,
 
 func (e *Executor) amqpAttack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil
 	}
@@ -202,7 +226,7 @@ func (e *Executor) amqpAttack(ctx context.Context, typ honeypot.AttackType,
 
 func (e *Executor) xmppAttack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil
 	}
@@ -264,7 +288,7 @@ func (e *Executor) upnpAttack(typ honeypot.AttackType, src netsim.IPv4,
 
 func (e *Executor) httpAttack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil
 	}
@@ -296,7 +320,7 @@ func (e *Executor) httpAttack(ctx context.Context, typ honeypot.AttackType,
 
 func (e *Executor) ftpAttack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil
 	}
@@ -323,7 +347,7 @@ func (e *Executor) ftpAttack(ctx context.Context, typ honeypot.AttackType,
 
 func (e *Executor) smbAttack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil
 	}
@@ -354,7 +378,7 @@ func (e *Executor) smbAttack(ctx context.Context, typ honeypot.AttackType,
 
 func (e *Executor) s7Attack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil
 	}
@@ -385,7 +409,7 @@ func (e *Executor) s7Attack(ctx context.Context, typ honeypot.AttackType,
 
 func (e *Executor) modbusAttack(ctx context.Context, typ honeypot.AttackType,
 	src netsim.IPv4, ep netsim.Endpoint, gen *prng.Source) error {
-	conn, err := e.net.Dial(ctx, src, ep, netsim.ProbeOptions{})
+	conn, err := e.dial(ctx, src, ep)
 	if err != nil {
 		return nil
 	}

@@ -205,7 +205,12 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 		if ctx.Err() != nil {
 			break
 		}
-		c.cfg.Clock.Set(DayStart(day).Add(time.Duration(day%7) * time.Minute))
+		// The day schedule is monotonic by construction (each day's stamp is
+		// past the previous day's), so a refused Set is a driver bug; fail
+		// loudly rather than logging events into a silently skewed timeline.
+		if err := c.cfg.Clock.Set(DayStart(day).Add(time.Duration(day%7) * time.Minute)); err != nil {
+			panic("attack: campaign day schedule not monotonic: " + err.Error())
+		}
 		for _, target := range PaperTargets {
 			hp, ok := c.byName[target.Honeypot]
 			if !ok {
@@ -268,7 +273,9 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 	wg.Wait()
 	c.cfg.Network.Quiesce() // the log is complete once Run returns
 	// Leave the clock at the end of the month.
-	c.cfg.Clock.Set(DayStart(ExperimentDays))
+	if err := c.cfg.Clock.Set(DayStart(ExperimentDays)); err != nil {
+		panic("attack: end-of-month clock set not monotonic: " + err.Error())
+	}
 	stats.EventsRun = int(runCount.Load())
 	stats.Elapsed = time.Since(start)
 	return stats

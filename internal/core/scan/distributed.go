@@ -83,6 +83,11 @@ func RunDistributed(ctx context.Context, cfg DistributedConfig, module ProbeModu
 			mu.Lock()
 			stats.Probed += st.Probed
 			stats.Responded += st.Responded
+			stats.Timeouts += st.Timeouts
+			stats.Resets += st.Resets
+			stats.Partials += st.Partials
+			stats.Retransmits += st.Retransmits
+			stats.BreakerSkipped += st.BreakerSkipped
 			if st.Elapsed > stats.Elapsed {
 				stats.Elapsed = st.Elapsed // wall-clock = slowest vantage
 			}

@@ -27,15 +27,18 @@ func (TR069Module) Protocol() iot.Protocol { return iot.ProtoTR069 }
 func (TR069Module) Ports() []uint16 { return []uint16{7547} }
 
 // Probe implements ProbeModule.
-func (TR069Module) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool) {
-	conn, err := n.Dial(ctx, src, dst, netsim.ProbeOptions{})
+func (TR069Module) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint, spec ProbeSpec) (*Result, Outcome) {
+	conn, err := n.Dial(ctx, src, dst, spec.Options())
 	if err != nil {
-		return nil, false
+		return nil, DialOutcome(err)
 	}
 	defer conn.Close()
 	pr, err := tr069.Probe(conn, grabWindow)
 	if err != nil {
-		return nil, false
+		if out, faulted := ConnOutcome(conn); faulted {
+			return nil, out
+		}
+		return nil, OutcomeNone
 	}
 	return &Result{
 		Time: conn.DialTime, IP: dst.IP, Port: dst.Port,
@@ -46,7 +49,7 @@ func (TR069Module) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4
 			"tr069.server": pr.Server,
 			"tr069.noauth": fmt.Sprintf("%v", pr.Unauthenticated),
 		},
-	}, true
+	}, OutcomeOK
 }
 
 // SMBModule probes port 445 with an SMB negotiate.
@@ -59,20 +62,23 @@ func (SMBModule) Protocol() iot.Protocol { return iot.ProtoSMB }
 func (SMBModule) Ports() []uint16 { return []uint16{445} }
 
 // Probe implements ProbeModule.
-func (SMBModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool) {
-	conn, err := n.Dial(ctx, src, dst, netsim.ProbeOptions{})
+func (SMBModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint, spec ProbeSpec) (*Result, Outcome) {
+	conn, err := n.Dial(ctx, src, dst, spec.Options())
 	if err != nil {
-		return nil, false
+		return nil, DialOutcome(err)
 	}
 	defer conn.Close()
 	dialect, err := smb.Probe(conn, grabWindow)
 	if err != nil {
-		return nil, false
+		if out, faulted := ConnOutcome(conn); faulted {
+			return nil, out
+		}
+		return nil, OutcomeNone
 	}
 	return &Result{
 		Time: conn.DialTime, IP: dst.IP, Port: dst.Port,
 		Protocol: iot.ProtoSMB, Transport: netsim.TCP,
 		Banner: []byte("Dialect: " + dialect),
 		Meta:   map[string]string{"smb.dialect": dialect},
-	}, true
+	}, OutcomeOK
 }

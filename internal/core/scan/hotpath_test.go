@@ -137,7 +137,7 @@ func TestRateLimiterSteadyStateAfterIdle(t *testing.T) {
 	r := newRateLimiter(1000) // 1ms per token
 	r.next = time.Now().Add(-time.Hour)
 
-	granted := r.reserve(1 << 20)
+	granted := r.reserve(context.Background(), 1<<20)
 	if max := int(maxGrantHorizon/r.period) + 1; granted > max {
 		t.Fatalf("granted %d tokens after idle gap, want ≤ %d", granted, max)
 	}
@@ -150,11 +150,11 @@ func TestRateLimiterSteadyStateAfterIdle(t *testing.T) {
 // count and never more than the horizon allows.
 func TestRateLimiterBatchedGrant(t *testing.T) {
 	r := newRateLimiter(100_000) // 10µs per token
-	if n := r.reserve(4); n < 1 || n > 4 {
+	if n := r.reserve(context.Background(), 4); n < 1 || n > 4 {
 		t.Fatalf("reserve(4) granted %d", n)
 	}
 	// A huge request is clamped by the grant horizon.
-	if n := r.reserve(1 << 30); n > int(maxGrantHorizon/r.period) {
+	if n := r.reserve(context.Background(), 1<<30); n > int(maxGrantHorizon/r.period) {
 		t.Fatalf("reserve granted %d tokens, beyond the horizon", n)
 	}
 }

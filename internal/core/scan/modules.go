@@ -56,22 +56,27 @@ func (TelnetModule) Protocol() iot.Protocol { return iot.ProtoTelnet }
 func (TelnetModule) Ports() []uint16 { return []uint16{23, 2323} }
 
 // Probe implements ProbeModule.
-func (TelnetModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool) {
-	conn, err := n.Dial(ctx, src, dst, netsim.ProbeOptions{})
+func (TelnetModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint, spec ProbeSpec) (*Result, Outcome) {
+	conn, err := n.Dial(ctx, src, dst, spec.Options())
 	if err != nil {
-		return nil, false
+		return nil, DialOutcome(err)
 	}
 	defer conn.Close()
 	banner, err := telnet.Grab(ctx, conn, grabWindow)
+	// An injected pathology outranks whatever the grab made of the bytes: a
+	// tarpitted banner prefix can look like a complete (just terse) banner.
+	if out, faulted := ConnOutcome(conn); faulted {
+		return nil, out
+	}
 	if err != nil {
-		return nil, false
+		return nil, OutcomeNone
 	}
 	return &Result{
 		Time: conn.DialTime, IP: dst.IP, Port: dst.Port,
 		Protocol: iot.ProtoTelnet, Transport: netsim.TCP,
 		Banner: banner.Raw,
 		Meta:   map[string]string{"telnet.text": banner.Text},
-	}, true
+	}, OutcomeOK
 }
 
 // MQTTModule probes port 1883 with an anonymous CONNECT and records the
@@ -85,16 +90,19 @@ func (MQTTModule) Protocol() iot.Protocol { return iot.ProtoMQTT }
 func (MQTTModule) Ports() []uint16 { return []uint16{1883} }
 
 // Probe implements ProbeModule.
-func (MQTTModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool) {
-	conn, err := n.Dial(ctx, src, dst, netsim.ProbeOptions{})
+func (MQTTModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint, spec ProbeSpec) (*Result, Outcome) {
+	conn, err := n.Dial(ctx, src, dst, spec.Options())
 	if err != nil {
-		return nil, false
+		return nil, DialOutcome(err)
 	}
 	defer conn.Close()
 	client := mqtt.NewClient(conn, grabWindow)
 	code, err := client.Connect(fmt.Sprintf("probe-%08x", uint32(src)), "", "")
 	if err != nil && err != mqtt.ErrRejected {
-		return nil, false
+		if out, faulted := ConnOutcome(conn); faulted {
+			return nil, out
+		}
+		return nil, OutcomeNone
 	}
 	res := &Result{
 		Time: conn.DialTime, IP: dst.IP, Port: dst.Port,
@@ -115,7 +123,10 @@ func (MQTTModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4,
 		sort.Strings(names)
 		res.Meta["mqtt.topics"] = strings.Join(names, ",")
 	}
-	return res, true
+	// The CONNACK code arrived, so the host is classified even if a stream
+	// pathology later cut the topic listing short: the truncation budget is
+	// deterministic, so the recorded topic set still is too.
+	return res, OutcomeOK
 }
 
 // AMQPModule probes port 5672, reading connection.start server properties.
@@ -128,15 +139,18 @@ func (AMQPModule) Protocol() iot.Protocol { return iot.ProtoAMQP }
 func (AMQPModule) Ports() []uint16 { return []uint16{5672} }
 
 // Probe implements ProbeModule.
-func (AMQPModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool) {
-	conn, err := n.Dial(ctx, src, dst, netsim.ProbeOptions{})
+func (AMQPModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint, spec ProbeSpec) (*Result, Outcome) {
+	conn, err := n.Dial(ctx, src, dst, spec.Options())
 	if err != nil {
-		return nil, false
+		return nil, DialOutcome(err)
 	}
 	defer conn.Close()
 	props, err := amqp.Probe(conn, grabWindow)
 	if err != nil {
-		return nil, false
+		if out, faulted := ConnOutcome(conn); faulted {
+			return nil, out
+		}
+		return nil, OutcomeNone
 	}
 	return &Result{
 		Time: conn.DialTime, IP: dst.IP, Port: dst.Port,
@@ -148,7 +162,7 @@ func (AMQPModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4,
 			"amqp.version":    props.Version,
 			"amqp.mechanisms": strings.Join(props.Mechanisms, " "),
 		},
-	}, true
+	}, OutcomeOK
 }
 
 // XMPPModule probes the client port 5222 (and server port 5269), recording
@@ -162,15 +176,18 @@ func (XMPPModule) Protocol() iot.Protocol { return iot.ProtoXMPP }
 func (XMPPModule) Ports() []uint16 { return []uint16{5222} }
 
 // Probe implements ProbeModule.
-func (XMPPModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool) {
-	conn, err := n.Dial(ctx, src, dst, netsim.ProbeOptions{})
+func (XMPPModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint, spec ProbeSpec) (*Result, Outcome) {
+	conn, err := n.Dial(ctx, src, dst, spec.Options())
 	if err != nil {
-		return nil, false
+		return nil, DialOutcome(err)
 	}
 	defer conn.Close()
 	banner, feats, err := xmpp.ProbeBanner(conn, "probe.invalid", grabWindow)
+	if out, faulted := ConnOutcome(conn); faulted {
+		return nil, out
+	}
 	if err != nil && banner == "" {
-		return nil, false
+		return nil, OutcomeNone
 	}
 	return &Result{
 		Time: conn.DialTime, IP: dst.IP, Port: dst.Port,
@@ -180,7 +197,7 @@ func (XMPPModule) Probe(ctx context.Context, n *netsim.Network, src netsim.IPv4,
 			"xmpp.mechanisms": strings.Join(feats.Mechanisms, " "),
 			"xmpp.tls":        fmt.Sprintf("%v", feats.RequireTLS),
 		},
-	}, true
+	}, OutcomeOK
 }
 
 // CoAPModule probes UDP 5683 with the "/.well-known/core" query
@@ -194,12 +211,15 @@ func (CoAPModule) Protocol() iot.Protocol { return iot.ProtoCoAP }
 func (CoAPModule) Ports() []uint16 { return []uint16{5683} }
 
 // Probe implements ProbeModule.
-func (CoAPModule) Probe(_ context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool) {
+func (CoAPModule) Probe(_ context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint, spec ProbeSpec) (*Result, Outcome) {
 	client := coap.NewClient(uint64(src)<<32 | uint64(dst.IP))
 	probe := client.DiscoveryProbe()
-	resp := n.Query(src, dst, probe, netsim.ProbeOptions{})
+	resp, qo := n.QueryX(src, dst, probe, spec.Options())
+	if qo == netsim.QueryDropped {
+		return nil, OutcomeTimeout // lost in flight: worth retransmitting
+	}
 	if resp == nil {
-		return nil, false
+		return nil, OutcomeNone // dark, closed or deliberately silent: final
 	}
 	body, disclosed, err := coap.ParseDiscovery(resp)
 	meta := map[string]string{
@@ -214,7 +234,7 @@ func (CoAPModule) Probe(_ context.Context, n *netsim.Network, src netsim.IPv4, d
 		Time: n.Clock().Now(), IP: dst.IP, Port: dst.Port,
 		Protocol: iot.ProtoCoAP, Transport: netsim.UDP,
 		Response: resp, Meta: meta,
-	}, true
+	}, OutcomeOK
 }
 
 // UPnPModule probes UDP 1900 with an ssdp:discover M-SEARCH.
@@ -227,11 +247,14 @@ func (UPnPModule) Protocol() iot.Protocol { return iot.ProtoUPnP }
 func (UPnPModule) Ports() []uint16 { return []uint16{1900} }
 
 // Probe implements ProbeModule.
-func (UPnPModule) Probe(_ context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool) {
+func (UPnPModule) Probe(_ context.Context, n *netsim.Network, src netsim.IPv4, dst netsim.Endpoint, spec ProbeSpec) (*Result, Outcome) {
 	probe := upnp.BuildMSearch("ssdp:all")
-	resp := n.Query(src, dst, probe, netsim.ProbeOptions{})
+	resp, qo := n.QueryX(src, dst, probe, spec.Options())
+	if qo == netsim.QueryDropped {
+		return nil, OutcomeTimeout
+	}
 	if resp == nil {
-		return nil, false
+		return nil, OutcomeNone
 	}
 	meta := map[string]string{
 		"upnp.reqbytes":  fmt.Sprintf("%d", len(probe)),
@@ -247,5 +270,5 @@ func (UPnPModule) Probe(_ context.Context, n *netsim.Network, src netsim.IPv4, d
 		Time: n.Clock().Now(), IP: dst.IP, Port: dst.Port,
 		Protocol: iot.ProtoUPnP, Transport: netsim.UDP,
 		Response: resp, Meta: meta,
-	}, true
+	}, OutcomeOK
 }

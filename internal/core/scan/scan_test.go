@@ -333,7 +333,7 @@ func BenchmarkTelnetProbe(b *testing.B) {
 		if !ok {
 			b.Fatal("no live host")
 		}
-		if _, ok := m.Probe(context.Background(), n, 1, netsim.Endpoint{IP: ip, Port: 23}); ok {
+		if _, out := m.Probe(context.Background(), n, 1, netsim.Endpoint{IP: ip, Port: 23}, ProbeSpec{}); out == OutcomeOK {
 			target = netsim.Endpoint{IP: ip, Port: 23}
 			break
 		}
@@ -341,7 +341,7 @@ func BenchmarkTelnetProbe(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, ok := m.Probe(context.Background(), n, 1, target); !ok {
+		if _, out := m.Probe(context.Background(), n, 1, target, ProbeSpec{}); out != OutcomeOK {
 			b.Fatal("probe failed")
 		}
 	}

@@ -2,12 +2,14 @@ package scan
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"time"
 
 	"openhire/internal/iot"
 	"openhire/internal/netsim"
+	"openhire/internal/prng"
 )
 
 // Result is one responsive host observed by the scan: the raw banner or UDP
@@ -28,6 +30,65 @@ type Result struct {
 	Meta map[string]string
 }
 
+// Outcome classifies one probe attempt. Separating the transient failures
+// (timeouts, resets, partial banners) from true negatives is what lets the
+// misconfiguration pipeline degrade gracefully on a lossy network: a lost
+// probe is retransmitted and an unclassifiable host is counted as such,
+// instead of both silently deflating the exposure numbers.
+type Outcome uint8
+
+// Probe outcomes.
+const (
+	// OutcomeNone is a true negative: dark address, closed port, or a
+	// conversation that cleanly ended without the protocol answering.
+	OutcomeNone Outcome = iota
+	// OutcomeOK means the endpoint responded; the Result is valid.
+	OutcomeOK
+	// OutcomeTimeout means the probe (or its reply) was lost or outlasted
+	// the per-attempt deadline. Worth retransmitting.
+	OutcomeTimeout
+	// OutcomeReset means the conversation was torn down mid-stream (RST).
+	OutcomeReset
+	// OutcomePartial means a tarpit delivered only a banner prefix: the
+	// host is responsive but unclassifiable from what arrived.
+	OutcomePartial
+)
+
+// ProbeSpec carries the per-attempt parameters a module forwards into
+// netsim.ProbeOptions: which retransmission this is, and how much simulated
+// patience the scanner has per attempt.
+type ProbeSpec struct {
+	Attempt uint32
+	Timeout time.Duration
+}
+
+// Options converts the spec to transport options.
+func (s ProbeSpec) Options() netsim.ProbeOptions {
+	return netsim.ProbeOptions{Attempt: s.Attempt, Timeout: s.Timeout}
+}
+
+// DialOutcome maps a Dial error to the scanner's outcome taxonomy.
+func DialOutcome(err error) Outcome {
+	if errors.Is(err, netsim.ErrProbeTimeout) {
+		return OutcomeTimeout
+	}
+	return OutcomeNone // refused or unreachable: a true negative
+}
+
+// ConnOutcome inspects a finished conversation for injected stream
+// pathologies: fault resets and tarpit truncations outrank whatever the
+// protocol parser made of the bytes.
+func ConnOutcome(conn *netsim.ServiceConn) (Outcome, bool) {
+	switch {
+	case conn.FaultReset():
+		return OutcomeReset, true
+	case conn.FaultTruncated():
+		return OutcomePartial, true
+	default:
+		return OutcomeNone, false
+	}
+}
+
 // ProbeModule probes one protocol. Implementations are stateless and safe
 // for concurrent use.
 type ProbeModule interface {
@@ -35,8 +96,10 @@ type ProbeModule interface {
 	Protocol() iot.Protocol
 	// Ports lists the ports to probe, in order.
 	Ports() []uint16
-	// Probe checks one endpoint and returns a Result if it responded.
-	Probe(ctx context.Context, net *netsim.Network, src netsim.IPv4, dst netsim.Endpoint) (*Result, bool)
+	// Probe checks one endpoint once and classifies the attempt. A non-nil
+	// Result is returned only with OutcomeOK. Retransmission is the
+	// scanner's job: modules must not loop internally.
+	Probe(ctx context.Context, net *netsim.Network, src netsim.IPv4, dst netsim.Endpoint, spec ProbeSpec) (*Result, Outcome)
 }
 
 // Config configures a scan run.
@@ -59,19 +122,56 @@ type Config struct {
 	RatePerSec int
 	// Shard / Shards split the permutation across cooperating scanners.
 	Shard, Shards int
+
+	// The robustness knobs below only engage when the network has a fault
+	// model installed (Network.Faults() != nil). On a perfect fabric every
+	// target is probed exactly once, preserving the zero-fault byte-identity
+	// guarantee.
+
+	// MaxAttempts bounds transmissions per target, ZMap-style (0 = 3).
+	MaxAttempts int
+	// ProbeTimeout is the per-attempt patience in simulated time (0 = 500ms):
+	// a path slower than this counts as a timeout and is retransmitted.
+	ProbeTimeout time.Duration
+	// RetransmitBase seeds the exponential backoff between attempts
+	// (0 = 100ms, simulated); RetransmitCap bounds it (0 = 1.6s).
+	RetransmitBase, RetransmitCap time.Duration
+	// TargetBudget caps one target's total simulated spend across attempts,
+	// waits and backoffs (0 = 4s); the retry loop stops when exceeded.
+	TargetBudget time.Duration
+	// BreakerThreshold is the circuit breaker's trip count: after this many
+	// admin-prohibited targets inside one /24, the rest of that prefix is
+	// skipped (0 = 8).
+	BreakerThreshold int
 }
 
-// Stats summarizes one protocol scan.
+// Stats summarizes one protocol scan. Probed counts transmissions (like
+// ZMap's sent-packet counter), so retransmits show up in it; the transient
+// failure classes are broken out so lost probes are never silently folded
+// into the true negatives.
 type Stats struct {
 	Probed    uint64
 	Blocked   uint64
 	Responded uint64
-	Elapsed   time.Duration
+	// Timeouts counts attempts lost to drops, rate limiting or latency
+	// beyond the per-attempt deadline.
+	Timeouts uint64
+	// Resets counts conversations torn down mid-stream.
+	Resets uint64
+	// Partials counts tarpitted conversations that yielded only a banner
+	// prefix: responsive hosts the classifier cannot type.
+	Partials uint64
+	// Retransmits counts follow-up transmissions after a timeout.
+	Retransmits uint64
+	// BreakerSkipped counts targets skipped inside circuit-broken prefixes.
+	BreakerSkipped uint64
+	Elapsed        time.Duration
 }
 
 // Scanner runs probe modules over a prefix.
 type Scanner struct {
-	cfg Config
+	cfg  Config
+	root *prng.Source // hash root for backoff jitter; never advanced
 }
 
 // NewScanner validates cfg and builds a Scanner.
@@ -85,7 +185,25 @@ func NewScanner(cfg Config) *Scanner {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
-	return &Scanner{cfg: cfg}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 500 * time.Millisecond
+	}
+	if cfg.RetransmitBase <= 0 {
+		cfg.RetransmitBase = 100 * time.Millisecond
+	}
+	if cfg.RetransmitCap <= 0 {
+		cfg.RetransmitCap = 1600 * time.Millisecond
+	}
+	if cfg.TargetBudget <= 0 {
+		cfg.TargetBudget = 4 * time.Second
+	}
+	if cfg.BreakerThreshold < 1 {
+		cfg.BreakerThreshold = 8
+	}
+	return &Scanner{cfg: cfg, root: prng.New(cfg.Seed)}
 }
 
 // targetBatchSize is how many (ip, port) pairs ride one channel send. The
@@ -104,9 +222,13 @@ type target struct {
 // after the feed closes. Padded to a cache line so adjacent shards never
 // false-share.
 type workerStats struct {
-	probed    uint64
-	responded uint64
-	_         [48]byte
+	probed      uint64
+	responded   uint64
+	timeouts    uint64
+	resets      uint64
+	partials    uint64
+	retransmits uint64
+	_           [16]byte
 }
 
 // Run scans the prefix with one probe module, streaming results to emit.
@@ -129,34 +251,53 @@ func (s *Scanner) Run(ctx context.Context, module ProbeModule, emit func(*Result
 		limiter = newRateLimiter(s.cfg.RatePerSec)
 	}
 
+	// Retransmission only engages on a faulted fabric. On a perfect one,
+	// maxAttempts is pinned to 1 so every target is probed exactly once and
+	// zero-fault runs stay byte-identical to the pre-fault scanner.
+	faultModel := s.cfg.Network.Faults()
+	maxAttempts := 1
+	if faultModel != nil {
+		maxAttempts = s.cfg.MaxAttempts
+	}
+
 	shards := make([]workerStats, s.cfg.Workers)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < s.cfg.Workers; w++ {
 		wg.Add(1)
 		go func(shard *workerStats) {
 			defer wg.Done()
 			for batch := range batches {
+				select {
+				case <-done:
+					continue // canceled: drain the feed without probing
+				default:
+				}
 				for i := 0; i < len(batch); {
 					n := len(batch) - i
 					if limiter != nil {
-						n = limiter.reserve(n)
+						if n = limiter.reserve(ctx, n); n == 0 {
+							break // canceled while throttled
+						}
 					}
 					for _, t := range batch[i : i+n] {
-						res, ok := module.Probe(ctx, s.cfg.Network, s.cfg.Source,
-							netsim.Endpoint{IP: t.ip, Port: t.port})
-						shard.probed++
-						if ok {
-							shard.responded++
-							if emit != nil {
-								emit(res)
-							}
-						}
+						s.probeTarget(ctx, module, t, shard, maxAttempts, limiter, emit)
 					}
 					i += n
 				}
 			}
 		}(&shards[w])
 	}
+
+	// The circuit breaker lives here in the single-threaded feed, not in the
+	// workers: it consults the fault model's deterministic blackhole oracle
+	// in permutation order, so the set of skipped targets is a pure function
+	// of (seed, config) and independent of worker count.
+	var breaker *prefixBreaker
+	if faultModel != nil && s.cfg.BreakerThreshold > 0 {
+		breaker = newPrefixBreaker(faultModel, s.cfg.Source, s.cfg.BreakerThreshold)
+	}
+	var breakerSkipped uint64
 
 	it := NewAddressIterator(s.cfg.Prefix, s.cfg.Seed, s.cfg.Blocklist, s.cfg.Shard, s.cfg.Shards)
 	ports := module.Ports()
@@ -166,6 +307,10 @@ feed:
 		ip, ok := it.Next()
 		if !ok {
 			break
+		}
+		if breaker != nil && breaker.skip(ip) {
+			breakerSkipped += uint64(len(ports))
+			continue
 		}
 		for _, port := range ports {
 			batch = append(batch, target{ip: ip, port: port})
@@ -192,9 +337,112 @@ feed:
 	for i := range shards {
 		stats.Probed += shards[i].probed
 		stats.Responded += shards[i].responded
+		stats.Timeouts += shards[i].timeouts
+		stats.Resets += shards[i].resets
+		stats.Partials += shards[i].partials
+		stats.Retransmits += shards[i].retransmits
 	}
+	stats.BreakerSkipped = breakerSkipped
 	stats.Elapsed = time.Since(start)
 	return stats
+}
+
+// probeTarget drives one target through the retransmit loop: probe, classify
+// the outcome, and on a timeout back off (in simulated time) and try again
+// until the attempt cap or the target's time budget is exhausted. The budget
+// is virtual — per-attempt timeouts and backoff delays are *counted*, never
+// slept — so a lossy fabric costs bookkeeping, not wall-clock.
+func (s *Scanner) probeTarget(ctx context.Context, module ProbeModule, t target,
+	shard *workerStats, maxAttempts int, limiter *rateLimiter, emit func(*Result)) {
+	dst := netsim.Endpoint{IP: t.ip, Port: t.port}
+	spec := ProbeSpec{Timeout: s.cfg.ProbeTimeout}
+	var spent time.Duration
+	for {
+		res, out := module.Probe(ctx, s.cfg.Network, s.cfg.Source, dst, spec)
+		shard.probed++
+		switch out {
+		case OutcomeOK:
+			shard.responded++
+			if emit != nil {
+				emit(res)
+			}
+			return
+		case OutcomeReset:
+			shard.resets++
+			return
+		case OutcomePartial:
+			shard.partials++
+			return
+		case OutcomeTimeout:
+			shard.timeouts++
+			spent += s.cfg.ProbeTimeout + s.backoffDelay(t.ip, t.port, spec.Attempt)
+			if int(spec.Attempt)+1 >= maxAttempts || spent > s.cfg.TargetBudget || ctx.Err() != nil {
+				return
+			}
+			shard.retransmits++
+			if limiter != nil && limiter.reserve(ctx, 1) == 0 {
+				return // canceled while throttled
+			}
+			spec.Attempt++
+		default:
+			return
+		}
+	}
+}
+
+// backoffLabel is the hash domain for retransmit jitter, disjoint from every
+// other derived-stream label in the repo.
+const backoffLabel = 0xb0ff
+
+// backoffDelay is the simulated pause before the retransmission that follows
+// attempt: exponential in the attempt number, capped, with jitter in
+// [0, delay/2] drawn from the stream derived from (seed, ip, port, attempt).
+// It is a pure function, so the schedule for any target is identical across
+// runs and worker counts.
+func backoffDelay(root *prng.Source, base, cap time.Duration, ip netsim.IPv4, port uint16, attempt uint32) time.Duration {
+	d := base << attempt
+	if d <= 0 || d > cap {
+		d = cap
+	}
+	jitter := time.Duration(root.Hash64(backoffLabel, uint64(ip), uint64(port), uint64(attempt)) % uint64(d/2+1))
+	return d + jitter
+}
+
+func (s *Scanner) backoffDelay(ip netsim.IPv4, port uint16, attempt uint32) time.Duration {
+	return backoffDelay(s.root, s.cfg.RetransmitBase, s.cfg.RetransmitCap, ip, port, attempt)
+}
+
+// prefixBreaker is the scanner's circuit breaker for persistently dead
+// prefixes. Operators who blackhole scan traffic do it for whole prefixes,
+// so after BreakerThreshold addresses inside one /24 have hit the fault
+// model's blackhole oracle, the rest of that /24 is skipped — the paper's
+// graceful-degradation requirement without unbounded waiting. Only consulted
+// from the single-threaded feed loop; not safe for concurrent use.
+type prefixBreaker struct {
+	model     netsim.FaultModel
+	src       netsim.IPv4
+	threshold int
+	hits      map[uint32]int // /24 prefix -> blackholed addresses fed so far
+}
+
+func newPrefixBreaker(model netsim.FaultModel, src netsim.IPv4, threshold int) *prefixBreaker {
+	return &prefixBreaker{model: model, src: src, threshold: threshold, hits: make(map[uint32]int)}
+}
+
+// skip reports whether ip should be dropped from the feed. The first
+// threshold blackholed addresses in a /24 are still fed (the scanner has to
+// burn timeouts on them to "learn" the prefix is dead, exactly like a real
+// scan would); every later address in that /24 is skipped.
+func (b *prefixBreaker) skip(ip netsim.IPv4) bool {
+	if !b.model.Blackholed(b.src, ip) {
+		return false
+	}
+	p24 := uint32(ip) >> 8
+	if b.hits[p24] >= b.threshold {
+		return true
+	}
+	b.hits[p24]++
+	return false
 }
 
 // runCollect runs one module and returns its results sorted by (IP, Port),
@@ -306,11 +554,13 @@ func newRateLimiter(perSec int) *rateLimiter {
 // reserve grants between 1 and max tokens in a single lock round-trip,
 // sleeping until the first granted token's scheduled slot. It returns the
 // number granted; the caller may perform that many probes without touching
-// the limiter again.
+// the limiter again. If ctx is canceled while waiting for the slot, reserve
+// returns 0 immediately — a throttled sweep aborts within one token period
+// instead of draining its whole schedule.
 //
 // After an idle gap the schedule restarts at the current time (steady
 // state) rather than granting the backlog as a burst.
-func (r *rateLimiter) reserve(max int) int {
+func (r *rateLimiter) reserve(ctx context.Context, max int) int {
 	if max < 1 {
 		max = 1
 	}
@@ -331,12 +581,23 @@ func (r *rateLimiter) reserve(max int) int {
 	r.next = r.next.Add(time.Duration(n) * r.period)
 	r.mu.Unlock()
 	if sleep > 0 {
-		time.Sleep(sleep)
+		if ctx == nil {
+			time.Sleep(sleep)
+		} else {
+			t := time.NewTimer(sleep)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return 0
+			}
+		}
 	}
 	return n
 }
 
-// wait blocks until one token is available (reserve of exactly one).
-func (r *rateLimiter) wait() {
-	r.reserve(1)
+// wait blocks until one token is available (reserve of exactly one), or ctx
+// is canceled (returns false).
+func (r *rateLimiter) wait(ctx context.Context) bool {
+	return r.reserve(ctx, 1) > 0
 }

@@ -384,7 +384,12 @@ func Figure2(w *World) Result {
 		for typ, n := range types {
 			rows = append(rows, tc{typ, n})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].typ < rows[j].typ
+		})
 		for _, r := range rows {
 			t.AddRow(string(p), string(r.typ), report.Percent(float64(r.n)/float64(total)))
 		}

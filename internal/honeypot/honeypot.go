@@ -223,6 +223,21 @@ func (h *Honeypot) floodUpgrade(ev *Event) {
 	}
 }
 
+// ExemptPrefixes collects the deployed honeypots' /32s into a PrefixSet for
+// a fault profile's exemption list. The paper's honeypots ran uninterrupted
+// for the whole measurement month, so campaign replays on a faulted fabric
+// exempt them: injected pathologies shape the scan and attack paths, not the
+// vantage points themselves.
+func ExemptPrefixes(pots ...*Honeypot) *netsim.PrefixSet {
+	set := netsim.NewPrefixSet()
+	for _, h := range pots {
+		if h != nil {
+			set.Add(netsim.NewPrefix(h.IP, 32))
+		}
+	}
+	return set
+}
+
 // New builds an empty honeypot bound to the shared log. clock stamps
 // datagram-service events; nil falls back to wall time.
 func New(name, profile string, ip netsim.IPv4, clock netsim.Clock, log *Log) *Honeypot {

@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,13 @@ var ErrConnRefused = errors.New("netsim: connection refused")
 // ErrHostUnreachable is returned by Dial and Query when no host exists at the
 // destination address (darknet space).
 var ErrHostUnreachable = errors.New("netsim: host unreachable")
+
+// ErrProbeTimeout is returned by Dial when the network's fault model drops
+// the SYN, the host is rate-limiting the source, or the simulated round-trip
+// exceeds the sender's ProbeOptions.Timeout. Unlike ErrConnRefused and
+// ErrHostUnreachable it is a *transient* verdict: retransmitting with a
+// higher ProbeOptions.Attempt draws fresh loss and jitter and may succeed.
+var ErrProbeTimeout = errors.New("netsim: probe timed out")
 
 // pipeBuffer is one direction of a duplex in-memory connection: a bounded
 // byte queue with blocking reads, deadline support and half-close semantics.
@@ -159,6 +167,64 @@ type conn struct {
 	closeMu sync.Mutex
 	closed  bool
 	onClose func()
+
+	// sf, when set, injects a stream pathology into this endpoint's writes
+	// (the server side of a faulted dial). faultTruncated/faultReset are
+	// raised on the *peer* endpoint when the pathology trips, so the client
+	// can tell a tarpitted or reset conversation apart from a clean close.
+	sf             *streamFault
+	faultTruncated atomic.Bool
+	faultReset     atomic.Bool
+}
+
+// streamFault cuts one direction of a connection after a byte budget,
+// modelling either a tarpit the dialer gave up on (the drip outlasts any
+// reasonable read window, so only a prefix of the banner is ever seen) or a
+// mid-stream TCP RST. The budget is decided once, deterministically, when
+// the dial is faulted; tripping does not depend on scheduling.
+type streamFault struct {
+	mu        sync.Mutex
+	remaining int  // bytes still allowed through
+	reset     bool // true: RST (discard in flight); false: tarpit cut (EOF after prefix)
+	tripped   bool
+	peer      *conn // the dialing endpoint, flagged on trip
+}
+
+// write passes bytes through until the budget is spent, then trips.
+func (f *streamFault) write(c *conn, p []byte) (int, error) {
+	f.mu.Lock()
+	if f.tripped {
+		f.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	allow := len(p)
+	trip := false
+	if allow >= f.remaining {
+		allow = f.remaining
+		trip = true
+		f.tripped = true
+	}
+	f.remaining -= allow
+	f.mu.Unlock()
+
+	n, err := 0, error(nil)
+	if allow > 0 {
+		n, err = c.write.write(p[:allow])
+	}
+	if !trip {
+		return n, err
+	}
+	if f.reset {
+		// RST: both directions torn down, in-flight data discarded.
+		f.peer.faultReset.Store(true)
+		c.write.breakPipe()
+		c.read.breakPipe()
+	} else {
+		// Tarpit cut: the prefix already written stays readable, then EOF.
+		f.peer.faultTruncated.Store(true)
+		c.write.closeWrite()
+	}
+	return n, io.ErrClosedPipe
 }
 
 // connBufferSize bounds each direction of an in-memory connection. 64 KiB
@@ -185,8 +251,14 @@ func NewServiceConnPair(client, server Endpoint, dialTime time.Time) (*ServiceCo
 		&ServiceConn{conn: sc.(*conn), DialTime: dialTime}
 }
 
-func (c *conn) Read(p []byte) (int, error)  { return c.read.read(p) }
-func (c *conn) Write(p []byte) (int, error) { return c.write.write(p) }
+func (c *conn) Read(p []byte) (int, error) { return c.read.read(p) }
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.sf != nil {
+		return c.sf.write(c, p)
+	}
+	return c.write.write(p)
+}
 
 // Close shuts down both directions. The peer reading drained data still sees
 // it (TCP FIN semantics), then io.EOF.

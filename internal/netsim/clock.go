@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"sync"
 	"time"
 )
@@ -42,13 +43,23 @@ func (c *SimClock) Advance(d time.Duration) time.Time {
 	return c.now
 }
 
-// Set jumps the clock to t if t is not before the current time.
-func (c *SimClock) Set(t time.Time) {
+// ErrClockBackwards is returned by Set when the requested instant is before
+// the current simulated time. The clock is left unchanged: simulated time is
+// monotonic, and a driver that schedules against an already-passed instant
+// has a bug it needs to hear about rather than a silently skewed timeline.
+var ErrClockBackwards = errors.New("netsim: SimClock.Set would move time backwards")
+
+// Set jumps the clock to t. Setting the current time again is a no-op;
+// setting an earlier time fails with ErrClockBackwards and does not move
+// the clock.
+func (c *SimClock) Set(t time.Time) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if t.After(c.now) {
-		c.now = t
+	if t.Before(c.now) {
+		return ErrClockBackwards
 	}
+	c.now = t
+	return nil
 }
 
 // WallClock is a Clock backed by the real time.Now, used by the runnable

@@ -41,7 +41,19 @@ func (f DatagramHandlerFunc) HandleDatagram(from Endpoint, payload []byte) []byt
 type ServiceConn struct {
 	*conn
 	DialTime time.Time
+	// RTT is the simulated round-trip latency the fault model assigned to
+	// the dial (zero when no fault model is installed).
+	RTT time.Duration
 }
+
+// FaultTruncated reports whether the peer's stream was cut by a tarpit
+// pathology: the bytes read so far are a genuine prefix of the banner, but
+// the rest never arrived inside any read window.
+func (c *ServiceConn) FaultTruncated() bool { return c.conn.faultTruncated.Load() }
+
+// FaultReset reports whether the conversation was torn down mid-stream by an
+// injected TCP RST.
+func (c *ServiceConn) FaultReset() bool { return c.conn.faultReset.Load() }
 
 // Host describes a simulated machine: which ports answer, and how.
 // Implementations must be safe for concurrent use; the lazily derived IoT
@@ -127,6 +139,43 @@ type Stats struct {
 	Unreachable atomic.Uint64 // no host at address
 	Datagrams   atomic.Uint64 // UDP queries sent
 	Responses   atomic.Uint64 // UDP responses returned
+	Dropped     atomic.Uint64 // probes lost to the fault model (SYN or datagram)
+}
+
+// FaultPlan is the set of pathologies the fault model injects into one probe
+// or flow. The zero value is a perfectly healthy network path.
+type FaultPlan struct {
+	// Latency is the simulated round trip. A reply slower than the sender's
+	// ProbeOptions.Timeout is indistinguishable from loss and reported as a
+	// timeout.
+	Latency time.Duration
+	// DropSYN loses a TCP SYN (or its SYN-ACK): the dial times out.
+	DropSYN bool
+	// DropDatagram loses a UDP probe or its response: silence.
+	DropDatagram bool
+	// HostDown marks the destination as flapped off the network: the address
+	// is dark for the duration of the current churn epoch.
+	HostDown bool
+	// TruncateAfter, when > 0, tarpits the flow: the server's stream is cut
+	// after that many bytes, as seen by a dialer that gave up on the drip.
+	TruncateAfter int
+	// ResetAfter, when > 0, resets the flow (TCP RST) after that many bytes,
+	// discarding anything in flight.
+	ResetAfter int
+}
+
+// FaultModel decides the pathologies applied to traffic. Implementations
+// MUST be pure functions of (their seed, the arguments): the scan and attack
+// legs rely on probe outcomes being independent of worker count and run
+// order. Attempt is the sender's retransmission ordinal, giving every
+// retransmit an independent draw.
+type FaultModel interface {
+	// PlanProbe decides the fate of one probe/flow.
+	PlanProbe(src IPv4, dst Endpoint, transport Transport, attempt uint32, now time.Time) FaultPlan
+	// Blackholed reports whether dst sits in a prefix that administratively
+	// drops all of src's probes — the signal (ICMP admin-prohibited in the
+	// real world) a scanner's circuit breaker keys on.
+	Blackholed(src IPv4, dst IPv4) bool
 }
 
 // Network is the simulated Internet fabric. Hosts come from registered
@@ -150,7 +199,32 @@ type Network struct {
 	// can wait for the server side of every conversation to finish.
 	handlers sync.WaitGroup
 
+	// faults, when non-nil, injects deterministic network pathologies into
+	// every probe. Behind an atomic pointer so installing a model does not
+	// race with in-flight traffic; the nil fast path costs one atomic load.
+	faults atomic.Pointer[faultsHolder]
+
 	stats Stats
+}
+
+// faultsHolder boxes the FaultModel interface for atomic.Pointer.
+type faultsHolder struct{ model FaultModel }
+
+// SetFaults installs (or, with nil, removes) the network's fault model.
+func (n *Network) SetFaults(m FaultModel) {
+	if m == nil {
+		n.faults.Store(nil)
+		return
+	}
+	n.faults.Store(&faultsHolder{model: m})
+}
+
+// Faults returns the installed fault model, or nil for a perfect network.
+func (n *Network) Faults() FaultModel {
+	if h := n.faults.Load(); h != nil {
+		return h.model
+	}
+	return nil
 }
 
 // netState is one immutable snapshot of the network's registrations.
@@ -285,6 +359,20 @@ type ProbeOptions struct {
 	TTL     uint8
 	Spoofed bool
 	Masscan bool
+	// Attempt is the retransmission ordinal (0 = first transmission). Fault
+	// draws derive from (dst, attempt), so each retransmit sees independent
+	// loss and jitter regardless of worker scheduling.
+	Attempt uint32
+	// Timeout, when > 0, is the sender's patience in simulated time: a path
+	// whose simulated latency exceeds it behaves as a lost probe. Zero means
+	// the sender waits out any latency (only hard drops time out).
+	Timeout time.Duration
+}
+
+// timedOut reports whether the plan's pathologies defeat this probe: an
+// outright drop, or latency beyond the sender's patience.
+func (o ProbeOptions) timedOut(plan FaultPlan, drop bool) bool {
+	return drop || (o.Timeout > 0 && plan.Latency > o.Timeout)
 }
 
 // SynProbe performs a stateless TCP SYN probe: it reports whether a host at
@@ -300,6 +388,12 @@ func (n *Network) SynProbe(src Endpoint, dst Endpoint, opts ProbeOptions) bool {
 		Time: n.clock.Now(), Src: src, Dst: dst, Transport: TCP, Kind: ProbeSYN,
 		Size: 0, TTL: ttl, Spoofed: opts.Spoofed, Masscan: opts.Masscan,
 	})
+	if fm := n.Faults(); fm != nil {
+		plan := fm.PlanProbe(src.IP, dst, TCP, opts.Attempt, n.clock.Now())
+		if plan.HostDown || opts.timedOut(plan, plan.DropSYN) {
+			return false
+		}
+	}
 	h := n.lookupHost(dst.IP)
 	if h == nil {
 		return false
@@ -321,6 +415,18 @@ func (n *Network) Dial(ctx context.Context, src IPv4, dst Endpoint, opts ProbeOp
 		Time: now, Src: srcEP, Dst: dst, Transport: TCP, Kind: ProbeSYN,
 		TTL: ttl, Spoofed: opts.Spoofed, Masscan: opts.Masscan,
 	})
+	var plan FaultPlan
+	if fm := n.Faults(); fm != nil {
+		plan = fm.PlanProbe(src, dst, TCP, opts.Attempt, now)
+		if plan.HostDown {
+			n.stats.Unreachable.Add(1)
+			return nil, ErrHostUnreachable
+		}
+		if opts.timedOut(plan, plan.DropSYN) {
+			n.stats.Dropped.Add(1)
+			return nil, ErrProbeTimeout
+		}
+	}
 	h := n.lookupHost(dst.IP)
 	if h == nil {
 		n.stats.Unreachable.Add(1)
@@ -335,8 +441,13 @@ func (n *Network) Dial(ctx context.Context, src IPv4, dst Endpoint, opts ProbeOp
 	n.emit(ProbeEvent{Time: now, Src: srcEP, Dst: dst, Transport: TCP, Kind: ProbeACK, TTL: ttl})
 
 	clientNC, serverNC := NewConnPair(srcEP, dst)
-	client := &ServiceConn{conn: clientNC.(*conn), DialTime: now}
-	server := &ServiceConn{conn: serverNC.(*conn), DialTime: now}
+	client := &ServiceConn{conn: clientNC.(*conn), DialTime: now, RTT: plan.Latency}
+	server := &ServiceConn{conn: serverNC.(*conn), DialTime: now, RTT: plan.Latency}
+	if plan.ResetAfter > 0 {
+		server.conn.sf = &streamFault{remaining: plan.ResetAfter, reset: true, peer: client.conn}
+	} else if plan.TruncateAfter > 0 {
+		server.conn.sf = &streamFault{remaining: plan.TruncateAfter, peer: client.conn}
+	}
 	n.handlers.Add(1)
 	go func() {
 		defer n.handlers.Done()
@@ -356,10 +467,33 @@ func (n *Network) Quiesce() {
 	n.handlers.Wait()
 }
 
+// QueryOutcome explains a silent Query. A real scanner can distinguish a
+// closed port (ICMP port unreachable) from plain silence; the simulation
+// additionally separates a service that ignored the probe from a datagram
+// the fault model lost, because only the latter is worth retransmitting —
+// stateless services answer a retransmit exactly as they answered the
+// original.
+type QueryOutcome uint8
+
+// Query outcomes.
+const (
+	QueryAnswered QueryOutcome = iota // response returned
+	QueryDark                         // no host at the address
+	QueryClosed                       // host up, nothing listens on the port
+	QueryIgnored                      // service saw the datagram, chose silence
+	QueryDropped                      // lost to the fault model; retransmit may recover
+)
+
 // Query sends a UDP datagram from src to dst and returns the response, or
 // nil if the destination does not answer (dark address, closed port, or the
 // service dropped the probe).
 func (n *Network) Query(src IPv4, dst Endpoint, payload []byte, opts ProbeOptions) []byte {
+	resp, _ := n.QueryX(src, dst, payload, opts)
+	return resp
+}
+
+// QueryX is Query plus the reason no response came back.
+func (n *Network) QueryX(src IPv4, dst Endpoint, payload []byte, opts ProbeOptions) ([]byte, QueryOutcome) {
 	n.stats.Datagrams.Add(1)
 	now := n.clock.Now()
 	ttl := opts.TTL
@@ -371,19 +505,30 @@ func (n *Network) Query(src IPv4, dst Endpoint, payload []byte, opts ProbeOption
 		Time: now, Src: srcEP, Dst: dst, Transport: UDP, Kind: ProbeUDP,
 		Size: len(payload), TTL: ttl, Spoofed: opts.Spoofed, Masscan: opts.Masscan,
 	})
+	if fm := n.Faults(); fm != nil {
+		plan := fm.PlanProbe(src, dst, UDP, opts.Attempt, now)
+		if plan.HostDown {
+			return nil, QueryDark
+		}
+		if opts.timedOut(plan, plan.DropDatagram) {
+			n.stats.Dropped.Add(1)
+			return nil, QueryDropped
+		}
+	}
 	h := n.lookupHost(dst.IP)
 	if h == nil {
-		return nil
+		return nil, QueryDark
 	}
 	handler := h.DatagramService(dst.Port)
 	if handler == nil {
-		return nil
+		return nil, QueryClosed
 	}
 	resp := handler.HandleDatagram(srcEP, payload)
-	if resp != nil {
-		n.stats.Responses.Add(1)
+	if resp == nil {
+		return nil, QueryIgnored
 	}
-	return resp
+	n.stats.Responses.Add(1)
+	return resp, QueryAnswered
 }
 
 // ephemeralPort derives a stable pseudo-ephemeral source port for a flow so

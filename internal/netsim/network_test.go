@@ -299,13 +299,42 @@ func TestSimClock(t *testing.T) {
 	if !c.Now().Equal(ExperimentStart.Add(time.Hour)) {
 		t.Fatal("advance failed")
 	}
-	c.Set(ExperimentStart) // in the past; ignored
-	if !c.Now().Equal(ExperimentStart.Add(time.Hour)) {
-		t.Fatal("Set moved clock backwards")
+	if err := c.Set(ExperimentStart); err != ErrClockBackwards {
+		t.Fatalf("Set into the past returned %v, want ErrClockBackwards", err)
 	}
-	c.Set(ExperimentStart.Add(2 * time.Hour))
+	if !c.Now().Equal(ExperimentStart.Add(time.Hour)) {
+		t.Fatal("rejected Set still moved the clock")
+	}
+	if err := c.Set(c.Now()); err != nil {
+		t.Fatalf("Set to the current instant returned %v", err)
+	}
+	if err := c.Set(ExperimentStart.Add(2 * time.Hour)); err != nil {
+		t.Fatalf("Set forward returned %v", err)
+	}
 	if !c.Now().Equal(ExperimentStart.Add(2 * time.Hour)) {
 		t.Fatal("Set forward failed")
+	}
+}
+
+// TestSimClockBackwardsRegression replays the exact pattern that used to skew
+// campaign timelines silently: a driver computing per-day offsets can produce
+// an instant before the current simulated time, and the old Set would rewind
+// the clock without a trace. The clock must refuse and stay where it is.
+func TestSimClockBackwardsRegression(t *testing.T) {
+	c := NewSimClock(ExperimentStart)
+	// Day 3 with a skewed offset lands before day 3's start after the clock
+	// already reached day 5.
+	_ = c.Set(ExperimentStart.AddDate(0, 0, 5))
+	before := c.Now()
+	if err := c.Set(ExperimentStart.AddDate(0, 0, 3).Add(42 * time.Minute)); err == nil {
+		t.Fatal("backwards Set succeeded")
+	}
+	if !c.Now().Equal(before) {
+		t.Fatalf("clock moved from %v to %v on a rejected Set", before, c.Now())
+	}
+	// Forward progress still works after a rejection.
+	if err := c.Set(before.Add(time.Minute)); err != nil {
+		t.Fatalf("forward Set after rejection returned %v", err)
 	}
 }
 

@@ -8,7 +8,11 @@
 #      month / telescope leg (sharded flow tables, striped event log,
 #      parallel darknet generation) — the parallel-vs-sequential equivalence
 #      tests run under the detector here
-#   4. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
+#   4. the chaos gate: the fault-model equivalence tests (zero-fault noop,
+#      cross-worker determinism, ±2% calibrated classification drift) under
+#      the race detector, plus a short fuzz smoke over the Telnet and MQTT
+#      parsers (seed corpus + 10 fresh inputs each)
+#   5. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +25,19 @@ go build ./...
 echo "==> go test -race (hot-path packages)"
 go test -race ./internal/netsim/... ./internal/core/scan/... \
 	./internal/telescope/... ./internal/attack/... ./internal/honeypot/...
+
+echo "==> chaos gate: fault-model equivalence under -race"
+go test -race -run 'TestChaos|TestBackoff|TestScanCancel' \
+	./internal/core/scan/ ./internal/core/classify/
+go test -race ./internal/netsim/faults/
+
+echo "==> chaos gate: parser fuzz smoke (10 iterations per target)"
+for target in FuzzSplitStream FuzzEscapeRoundTrip; do
+	go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 10x ./internal/protocols/telnet/
+done
+for target in FuzzReadPacket FuzzTopicMatches; do
+	go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 10x ./internal/protocols/mqtt/
+done
 
 echo "==> go test ./... (tier-1 gate)"
 go test ./...
