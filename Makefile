@@ -13,7 +13,8 @@ test:
 
 race:
 	go test -race ./internal/netsim/... ./internal/core/scan/... \
-		./internal/telescope/... ./internal/attack/... ./internal/honeypot/...
+		./internal/telescope/... ./internal/attack/... ./internal/honeypot/... \
+		./internal/obs/... ./internal/expr/
 
 # chaos runs just the fault-model gate: the equivalence tests (zero-fault
 # noop, cross-worker determinism, ±2% calibrated drift) under the race

@@ -5,14 +5,17 @@
 // Usage:
 //
 //	openhire-honeypots [-seed N] [-intensity F] [-workers N] [-csv]
+//	                   [-debug-addr HOST:PORT] [-manifest FILE]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"openhire/internal/attack"
 	"openhire/internal/attack/malware"
@@ -22,15 +25,18 @@ import (
 	"openhire/internal/intel"
 	"openhire/internal/iot"
 	"openhire/internal/netsim"
+	"openhire/internal/obs"
 )
 
 func main() {
 	var (
-		seed      = flag.Uint64("seed", 2021, "simulation seed")
-		intensity = flag.Float64("intensity", 1.0/16, "fraction of the paper's 200k events to replay")
-		workers   = flag.Int("workers", 128, "attack concurrency")
-		csvOut    = flag.Bool("csv", false, "emit the daily series as CSV")
-		export    = flag.String("export", "", "directory for daily JSONL event exports")
+		seed         = flag.Uint64("seed", 2021, "simulation seed")
+		intensity    = flag.Float64("intensity", 1.0/16, "fraction of the paper's 200k events to replay")
+		workers      = flag.Int("workers", 128, "attack concurrency")
+		csvOut       = flag.Bool("csv", false, "emit the daily series as CSV")
+		export       = flag.String("export", "", "directory for daily JSONL event exports")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live")
+		manifestPath = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
 	)
 	flag.Parse()
 
@@ -41,6 +47,28 @@ func main() {
 	fmt.Println("deployed honeypots:")
 	for _, hp := range pots {
 		fmt.Printf("  %-9s %-36s %s\n", hp.Name, hp.Profile, hp.IP)
+	}
+
+	// Observability stack: nil unless asked for; the campaign's OnDay hook
+	// and every registry call below are no-ops on the nil values, so a bare
+	// run is exactly the pre-obs binary.
+	var (
+		reg      *obs.Registry
+		tracer   *obs.Tracer
+		progress *obs.Progress
+	)
+	if *debugAddr != "" || *manifestPath != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(clock) // the campaign advances simulated time day by day
+		progress = obs.NewProgress(os.Stderr, "attack days", uint64(attack.ExperimentDays))
+	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", addr)
 	}
 
 	rdns := geo.NewRDNS(*seed)
@@ -59,19 +87,44 @@ func main() {
 		GreyNoise:  gn,
 		VirusTotal: vt,
 		RDNS:       rdns,
+		OnDay:      dayHook(reg, progress),
 	})
 	fmt.Printf("\nreplaying attack month at intensity %.4f ...\n", *intensity)
+	span := tracer.Start("attack_month")
 	stats := campaign.Run(context.Background())
+	span.End()
+	progress.Done()
 	campaign.RegisterIntel()
+	reg.AddAll("campaign", stats.Counters())
 	fmt.Printf("replayed %s attack conversations in %s\n",
 		report.Comma(stats.EventsRun), stats.Elapsed.Round(1000000))
 
 	events := log.Events()
+	reg.AddAll("honeypot", honeypot.EventCounters(events))
+	for _, ev := range events {
+		// Simulated timestamps: the distribution is deterministic and goes
+		// in the manifest alongside the counters.
+		reg.Observe("honeypot.event_time_of_day", ev.Time.Sub(netsim.ExperimentStart)%(24*time.Hour))
+	}
+	outputDigests := make(map[string]string)
 	if *export != "" {
-		if err := exportDaily(*export, events); err != nil {
+		var digests map[string]string
+		if *manifestPath != "" {
+			digests = outputDigests
+		}
+		if err := exportDaily(*export, events, digests); err != nil {
 			fmt.Fprintln(os.Stderr, "export:", err)
 			os.Exit(1)
 		}
+	} else if *manifestPath != "" {
+		// No files requested: digest the canonical JSONL stream anyway so
+		// two manifests can still be compared on event content.
+		dw := obs.NewDigestWriter()
+		if err := honeypot.ExportJSONL(dw, events); err != nil {
+			fmt.Fprintln(os.Stderr, "digest:", err)
+			os.Exit(1)
+		}
+		outputDigests["events.jsonl"] = dw.Sum()
 	}
 	counts := honeypot.CountByHoneypotProtocol(events)
 	uniq := honeypot.UniqueSourcesByHoneypot(events)
@@ -135,27 +188,68 @@ func main() {
 	ms := honeypot.DetectMultistage(honeypot.FilterBySources(events, exclude))
 	fmt.Printf("\nmultistage attacks detected: %d\n", len(ms))
 	printStages(ms)
+	reg.Add("honeypot.multistage", uint64(len(ms)))
+
+	if *manifestPath != "" {
+		m := obs.NewManifest("openhire-honeypots", *seed)
+		m.RecordFlags(flag.CommandLine)
+		m.FromTracer(tracer)
+		m.FromRegistry(reg)
+		for name, digest := range outputDigests {
+			m.AddOutput(name, digest)
+		}
+		if err := m.WriteFile(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifestPath)
+	}
+}
+
+// dayHook builds the campaign's day-boundary callback: live gauges plus a
+// progress tick. Nil registry and reporter make it a pure no-op, but a nil
+// func keeps the campaign on its documented no-hook path.
+func dayHook(reg *obs.Registry, progress *obs.Progress) func(day, planned, run int) {
+	if reg == nil && progress == nil {
+		return nil
+	}
+	return func(day, planned, run int) {
+		reg.SetGauge("campaign.day", float64(day))
+		reg.SetGauge("campaign.events_planned", float64(planned))
+		reg.SetGauge("campaign.events_run", float64(run))
+		progress.Add(1)
+	}
 }
 
 // exportDaily writes one JSONL file per simulated day, the paper's daily
 // export-and-import workflow (Section 3.3.2).
-func exportDaily(dir string, events []honeypot.Event) error {
+func exportDaily(dir string, events []honeypot.Event, digests map[string]string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	byDay, keys := honeypot.PartitionByDay(events)
 	for _, day := range keys {
-		f, err := os.Create(filepath.Join(dir, "attacks-"+day+".jsonl"))
+		path := filepath.Join(dir, "attacks-"+day+".jsonl")
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		err = honeypot.ExportJSONL(f, byDay[day])
+		var w io.Writer = f
+		var dw *obs.DigestWriter
+		if digests != nil {
+			dw = obs.NewDigestWriter()
+			w = io.MultiWriter(f, dw)
+		}
+		err = honeypot.ExportJSONL(w, byDay[day])
 		cerr := f.Close()
 		if err != nil {
 			return err
 		}
 		if cerr != nil {
 			return cerr
+		}
+		if dw != nil {
+			digests[path] = dw.Sum()
 		}
 	}
 	fmt.Printf("exported %d day files to %s\n", len(keys), dir)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	openhire-report [-seed N] [-quick] [-only ID[,ID...]]
+//	                [-debug-addr HOST:PORT] [-manifest FILE]
 package main
 
 import (
@@ -15,13 +16,17 @@ import (
 
 	"openhire/internal/core/report"
 	"openhire/internal/expr"
+	"openhire/internal/honeypot"
+	"openhire/internal/obs"
 )
 
 func main() {
 	var (
-		seed  = flag.Uint64("seed", 2021, "simulation seed")
-		quick = flag.Bool("quick", false, "use the small fast world")
-		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed         = flag.Uint64("seed", 2021, "simulation seed")
+		quick        = flag.Bool("quick", false, "use the small fast world")
+		only         = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live")
+		manifestPath = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
 	)
 	flag.Parse()
 
@@ -31,6 +36,27 @@ func main() {
 	}
 	cfg.Seed = *seed
 	world := expr.BuildWorld(cfg)
+
+	// Observability stack: nil unless asked for. The world's phase methods
+	// call only nil-safe tracer methods, so a bare run does the same work
+	// as before the instrumentation existed.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if *debugAddr != "" || *manifestPath != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(world.Clock)
+		world.Trace = tracer
+	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", addr)
+	}
 
 	var selected []expr.Experiment
 	if *only == "" {
@@ -54,6 +80,7 @@ func main() {
 		cfg.UniversePrefix, cfg.DensityBoost, world.ScaleFactor(),
 		cfg.AttackIntensity, cfg.TelescopeScale)
 
+	outputDigests := make(map[string]string)
 	for _, e := range selected {
 		fmt.Printf("\n================ %s — %s ================\n\n", e.ID, e.Title)
 		res := e.Run(world)
@@ -61,5 +88,43 @@ func main() {
 		if len(res.Comparisons) > 0 {
 			_ = report.RenderComparisons(os.Stdout, "paper vs measured", res.Comparisons)
 		}
+		if *manifestPath != "" {
+			outputDigests["artifact:"+e.ID] = obs.Digest([]byte(res.Artifact))
+		}
+	}
+
+	if *manifestPath != "" {
+		// Fold in counters for exactly the phases the experiments forced:
+		// the world caches each phase, so these reads are free, and phases
+		// that never ran stay out of the manifest.
+		ran := make(map[string]bool)
+		for _, sp := range tracer.Spans() {
+			ran[sp.Name] = true
+		}
+		if ran["scan"] {
+			_, stats := world.RunScan()
+			for proto, st := range stats {
+				reg.AddAll("scan."+string(proto), st.Counters())
+			}
+		}
+		if ran["attack_month"] {
+			reg.AddAll("campaign", world.RunAttackMonth().Counters())
+			reg.AddAll("honeypot", honeypot.EventCounters(world.Log.Events()))
+		}
+		if ran["telescope"] {
+			reg.AddAll("telescope", world.Telescope.Stats().Counters())
+		}
+		m := obs.NewManifest("openhire-report", *seed)
+		m.RecordFlags(flag.CommandLine)
+		m.FromTracer(tracer)
+		m.FromRegistry(reg)
+		for name, digest := range outputDigests {
+			m.AddOutput(name, digest)
+		}
+		if err := m.WriteFile(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifestPath)
 	}
 }

@@ -7,13 +7,27 @@
 //
 //	openhire-scan [-seed N] [-prefix CIDR] [-boost F] [-workers N]
 //	              [-protocol P] [-rate N] [-show-honeypots]
-//	              [-faults PROFILE] [-max-attempts N]
+//	              [-faults PROFILE] [-max-attempts N] [-probe-timeout D]
+//	              [-target-budget D] [-breaker-threshold N]
+//	              [-debug-addr HOST:PORT] [-manifest FILE]
+//
+// The robustness knobs (-max-attempts, -probe-timeout, -target-budget,
+// -breaker-threshold) only engage on a faulted fabric: without -faults the
+// scanner probes every target exactly once and the knobs are inert, so
+// setting one without -faults prints a warning on stderr.
+//
+// -debug-addr serves /metrics, /debug/vars and /debug/pprof while the run
+// is live; -manifest writes a machine-readable run record (seed, resolved
+// flags, phase timings, counters, output digests) on exit. Both observe
+// through the existing per-worker stat shards, so instrumented runs stay
+// byte-identical to bare ones.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -26,6 +40,7 @@ import (
 	"openhire/internal/iot"
 	"openhire/internal/netsim"
 	"openhire/internal/netsim/faults"
+	"openhire/internal/obs"
 )
 
 func main() {
@@ -42,7 +57,12 @@ func main() {
 		out           = flag.String("out", "", "save raw scan results as JSON Lines")
 		in            = flag.String("in", "", "skip scanning; analyze a previously saved result file")
 		faultSpec     = flag.String("faults", "", "network fault profile: zero|calibrated|harsh plus key=value overrides (e.g. calibrated,synloss=0.05)")
-		maxAttempts   = flag.Int("max-attempts", 0, "probe transmissions per target on a faulted network (0 = default 3)")
+		maxAttempts   = flag.Int("max-attempts", 0, "probe transmissions per target (requires -faults; 0 = default 3)")
+		probeTimeout  = flag.Duration("probe-timeout", 0, "per-attempt simulated patience (requires -faults; 0 = default 500ms)")
+		targetBudget  = flag.Duration("target-budget", 0, "simulated spend cap per target across attempts (requires -faults; 0 = default 4s)")
+		breakerThresh = flag.Int("breaker-threshold", 0, "admin-prohibited hits per /24 before the breaker skips it (requires -faults; 0 = default 8)")
+		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live")
+		manifestPath  = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
 	)
 	flag.Parse()
 
@@ -68,17 +88,32 @@ func main() {
 	if model := faults.New(profile); model != nil {
 		network.SetFaults(model)
 		fmt.Printf("fault profile: %s\n", *faultSpec)
+	} else if *maxAttempts != 0 || *probeTimeout != 0 || *targetBudget != 0 || *breakerThresh != 0 {
+		fmt.Fprintln(os.Stderr, "warning: robustness knobs (-max-attempts, -probe-timeout,"+
+			" -target-budget, -breaker-threshold) have no effect without -faults:"+
+			" on a perfect fabric every target is probed exactly once")
 	}
 
-	scanner := scan.NewScanner(scan.Config{
-		Network:     network,
-		Source:      netsim.MustParseIPv4("130.226.0.1"),
-		Prefix:      prefix,
-		Seed:        *seed,
-		Workers:     *workers,
-		RatePerSec:  *rate,
-		MaxAttempts: *maxAttempts,
-	})
+	// Observability stack: nil unless asked for, and the nil values are
+	// no-ops everywhere they are threaded, so a bare run does exactly the
+	// same work as before the instrumentation existed.
+	var (
+		reg      *obs.Registry
+		tracer   *obs.Tracer
+		progress *obs.Progress
+	)
+	if *debugAddr != "" || *manifestPath != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(nil) // the scan does not advance simulated time
+	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", addr)
+	}
 
 	modules := scan.AllModules()
 	if *extended {
@@ -92,6 +127,35 @@ func main() {
 		}
 		modules = []scan.ProbeModule{m}
 	}
+
+	scanCfg := scan.Config{
+		Network:          network,
+		Source:           netsim.MustParseIPv4("130.226.0.1"),
+		Prefix:           prefix,
+		Seed:             *seed,
+		Workers:          *workers,
+		RatePerSec:       *rate,
+		MaxAttempts:      *maxAttempts,
+		ProbeTimeout:     *probeTimeout,
+		TargetBudget:     *targetBudget,
+		BreakerThreshold: *breakerThresh,
+	}
+	if reg != nil {
+		// The hook rides the feed goroutine: one registry add and one
+		// throttled stderr line per 256-target batch, off the probe path.
+		var ports uint64
+		for _, m := range modules {
+			ports += uint64(len(m.Ports()))
+		}
+		progress = obs.NewProgress(os.Stderr, "scan targets", prefix.Size()*ports)
+		scanCfg.Progress = func(targets uint64) {
+			reg.Add("scan.targets_fed", targets)
+			progress.Add(targets)
+		}
+	}
+	scanner := scan.NewScanner(scanCfg)
+
+	outputDigests := make(map[string]string)
 
 	var results map[iot.Protocol][]*scan.Result
 	if *in != "" {
@@ -114,15 +178,21 @@ func main() {
 	} else {
 		fmt.Printf("scanning %s (%s addresses, boost %.0fx, scale 1/%.0f)\n",
 			prefix, report.Comma(int(prefix.Size())), *boost, universe.ScaleFactor())
+		span := tracer.Start("scan")
 		var stats map[iot.Protocol]scan.Stats
 		results, stats = scanner.RunAllParallel(context.Background(), modules)
+		span.End()
+		progress.Done()
+		for _, m := range modules {
+			reg.AddAll("scan."+string(m.Protocol()), stats[m.Protocol()].Counters())
+		}
 
 		// Table 4 style exposure summary.
-		expo := report.NewTable("\nExposed systems by protocol", "Protocol", "Probed", "Responded", "Elapsed")
+		expo := report.NewTable("\nExposed systems by protocol", "Protocol", "Probed", "Blocked", "Responded", "Elapsed")
 		for _, m := range modules {
 			p := m.Protocol()
 			st := stats[p]
-			expo.AddRow(string(p), int(st.Probed), len(results[p]), st.Elapsed.Round(1000000).String())
+			expo.AddRow(string(p), int(st.Probed), int(st.Blocked), len(results[p]), st.Elapsed.Round(1000000).String())
 		}
 		_ = expo.Render(os.Stdout)
 
@@ -159,7 +229,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		err = db.Save(f)
+		var w io.Writer = f
+		var dw *obs.DigestWriter
+		if *manifestPath != "" {
+			dw = obs.NewDigestWriter()
+			w = io.MultiWriter(f, dw)
+		}
+		err = db.Save(w)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -167,10 +243,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if dw != nil {
+			outputDigests[*out] = dw.Sum()
+		}
 		fmt.Printf("saved %s records to %s\n", report.Comma(db.Len()), *out)
 	}
 
 	// Honeypot filtering (Table 6).
+	span := tracer.Start("analyze")
 	var allFindings []classify.Finding
 	var detections []fingerprint.Detection
 	for _, m := range modules {
@@ -208,7 +288,18 @@ func main() {
 	for cls, n := range summary.MisconfigByClass {
 		rows = append(rows, row{cls, n})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].n < rows[j].n })
+	// Tie-break on (protocol, class): the rows come from a map, so a
+	// count-only comparator let equal-count rows land in a different order
+	// every run.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n < rows[j].n
+		}
+		if pi, pj := rows[i].cls.Protocol(), rows[j].cls.Protocol(); pi != pj {
+			return pi < pj
+		}
+		return rows[i].cls.String() < rows[j].cls.String()
+	})
 	for _, r := range rows {
 		mis.AddRow(string(r.cls.Protocol()), r.cls.String(), r.n)
 	}
@@ -232,5 +323,24 @@ func main() {
 			ct.AddRow(string(cc.Country), cc.Count)
 		}
 		_ = ct.Render(os.Stdout)
+	}
+	span.End()
+
+	if *manifestPath != "" {
+		reg.Add("classify.findings", uint64(len(allFindings)))
+		reg.Add("classify.misconfigured", uint64(summary.TotalMisconfigured))
+		reg.Add("fingerprint.honeypots", uint64(len(detections)))
+		m := obs.NewManifest("openhire-scan", *seed)
+		m.RecordFlags(flag.CommandLine)
+		m.FromTracer(tracer)
+		m.FromRegistry(reg)
+		for name, digest := range outputDigests {
+			m.AddOutput(name, digest)
+		}
+		if err := m.WriteFile(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifestPath)
 	}
 }

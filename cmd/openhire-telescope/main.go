@@ -5,6 +5,7 @@
 // Usage:
 //
 //	openhire-telescope [-seed N] [-scale F] [-days N] [-workers N] [-out FILE] [-format csv|bin]
+//	                   [-debug-addr HOST:PORT] [-manifest FILE]
 //	openhire-telescope -rotate [-days N] [-out FILE]
 //	openhire-telescope -parse FILE
 //
@@ -19,24 +20,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"openhire/internal/attack"
 	"openhire/internal/core/report"
 	"openhire/internal/geo"
+	"openhire/internal/iot"
 	"openhire/internal/netsim"
+	"openhire/internal/obs"
 	"openhire/internal/telescope"
 )
 
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 2021, "simulation seed")
-		scale   = flag.Float64("scale", 1.0/8192, "fraction of the paper's telescope volume")
-		days    = flag.Int("days", 1, "days of traffic to generate")
-		workers = flag.Int("workers", 0, "generation workers (0 = all CPUs)")
-		out     = flag.String("out", "", "write FlowTuple records to this file")
-		format  = flag.String("format", "csv", "output format: csv or bin")
-		parse   = flag.String("parse", "", "parse a FlowTuple CSV file instead of generating")
-		rotate  = flag.Bool("rotate", false, "cut the capture per day (drain + per-day files)")
+		seed         = flag.Uint64("seed", 2021, "simulation seed")
+		scale        = flag.Float64("scale", 1.0/8192, "fraction of the paper's telescope volume")
+		days         = flag.Int("days", 1, "days of traffic to generate")
+		workers      = flag.Int("workers", 0, "generation workers (0 = all CPUs)")
+		out          = flag.String("out", "", "write FlowTuple records to this file")
+		format       = flag.String("format", "csv", "output format: csv or bin")
+		parse        = flag.String("parse", "", "parse a FlowTuple CSV file instead of generating")
+		rotate       = flag.Bool("rotate", false, "cut the capture per day (drain + per-day files)")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live")
+		manifestPath = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
 	)
 	flag.Parse()
 
@@ -45,28 +51,65 @@ func main() {
 		return
 	}
 
+	// Observability stack: nil unless asked for; every hook below is a
+	// no-op on the nil values, so a bare run is exactly the pre-obs binary.
+	var (
+		reg      *obs.Registry
+		tracer   *obs.Tracer
+		progress *obs.Progress
+	)
+	if *debugAddr != "" || *manifestPath != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(nil) // flow timestamps are synthetic, no sim clock
+		progress = obs.NewProgress(os.Stderr, "generation units", 0)
+	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", addr)
+	}
+	outputDigests := make(map[string]string)
+
 	prefix := netsim.MustParsePrefix("44.0.0.0/8")
 	geodb := geo.NewDB(*seed, nil)
 	tel := telescope.New(prefix, geodb)
-	gen := attack.NewDarknetGenerator(attack.DarknetConfig{
+	cfg := attack.DarknetConfig{
 		Seed:      *seed,
 		Telescope: tel,
 		GeoDB:     geodb,
 		Scale:     *scale,
 		Days:      *days,
 		Workers:   *workers,
-	})
+	}
+	if reg != nil {
+		// Reported once per finished (protocol, day) unit after the worker
+		// pool joins — never from inside the generation hot path.
+		cfg.OnUnit = func(proto iot.Protocol, day, flows int) {
+			reg.Add("darknet."+string(proto)+".flows", uint64(flows))
+			reg.Add("darknet.units", 1)
+			progress.Add(1)
+		}
+	}
+	gen := attack.NewDarknetGenerator(cfg)
 	fmt.Printf("generating %d day(s) of telescope traffic at scale %.2g ...\n", *days, *scale)
 
 	if *rotate {
-		runRotated(gen, tel, *days, *out, *format)
+		runRotated(gen, tel, *days, *out, *format, reg, tracer, outputDigests)
+		writeManifest(*manifestPath, *seed, reg, tracer, outputDigests)
+		progress.Done()
 		return
 	}
 
+	span := tracer.Start("generate")
 	flows := gen.Run()
+	span.End()
 	fmt.Printf("captured %s aggregated flows\n", report.Comma(flows))
 
 	all := tel.Flows()
+	observeFlows(reg, all)
 	t8 := report.NewTable("\nTelescope traffic by protocol", "Protocol", "Packets", "Flows", "Unique IPs")
 	for _, s := range telescope.AggregateByProtocol(all) {
 		t8.AddRow(string(s.Protocol), s.Packets, s.Flows, s.UniqueIPs)
@@ -74,36 +117,87 @@ func main() {
 	_ = t8.Render(os.Stdout)
 
 	if *out != "" {
-		if err := writeFile(*out, *format, all); err != nil {
+		digest, err := writeFile(*out, *format, all, *manifestPath != "")
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if digest != "" {
+			outputDigests[*out] = digest
+		}
 		fmt.Printf("\nwrote %s records to %s (%s)\n", report.Comma(len(all)), *out, *format)
 	}
+	writeManifest(*manifestPath, *seed, reg, tracer, outputDigests)
+	progress.Done()
+}
+
+// observeFlows folds the finished capture into the registry: flow/packet
+// totals (computed from the records, so the rotate path's drained telescope
+// counts too) plus a histogram of flow time-of-day offsets. Flow timestamps
+// are synthetic simulated time, so the histogram is deterministic and
+// belongs in the manifest.
+func observeFlows(reg *obs.Registry, flows []*telescope.FlowTuple) {
+	if reg == nil {
+		return
+	}
+	st := telescope.Stats{Flows: len(flows)}
+	day := 24 * time.Hour
+	for _, ft := range flows {
+		st.Packets += uint64(ft.PacketCnt)
+		reg.Observe("telescope.flow_time_of_day", ft.Time.Sub(netsim.ExperimentStart)%day)
+	}
+	reg.AddAll("telescope", st.Counters())
+}
+
+// writeManifest emits the run manifest when a path was requested.
+func writeManifest(path string, seed uint64, reg *obs.Registry, tracer *obs.Tracer, outputs map[string]string) {
+	if path == "" {
+		return
+	}
+	m := obs.NewManifest("openhire-telescope", seed)
+	m.RecordFlags(flag.CommandLine)
+	m.FromTracer(tracer)
+	m.FromRegistry(reg)
+	for name, digest := range outputs {
+		m.AddOutput(name, digest)
+	}
+	if err := m.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "manifest written to %s\n", path)
 }
 
 // runRotated generates one day at a time, draining the telescope between
 // days so each capture file holds exactly one day and the flow table never
 // grows past a single day's footprint. Drain hands over the live records —
 // the rotation contract — so nothing is copied on the way to disk.
-func runRotated(gen *attack.DarknetGenerator, tel *telescope.Telescope, days int, out, format string) {
+func runRotated(gen *attack.DarknetGenerator, tel *telescope.Telescope, days int, out, format string,
+	reg *obs.Registry, tracer *obs.Tracer, digests map[string]string) {
 	total := 0
 	var allStats []*telescope.FlowTuple
 	for day := 0; day < days; day++ {
+		span := tracer.Start(fmt.Sprintf("generate.day%02d", day))
 		gen.RunDay(day)
+		span.End()
 		flows := tel.Drain()
 		total += len(flows)
 		fmt.Printf("day %02d: %s aggregated flows\n", day, report.Comma(len(flows)))
 		if out != "" {
 			path := fmt.Sprintf("%s.day%02d", out, day)
-			if err := writeFile(path, format, flows); err != nil {
+			digest, err := writeFile(path, format, flows, digests != nil && reg != nil)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
+			}
+			if digest != "" {
+				digests[path] = digest
 			}
 			fmt.Printf("  wrote %s records to %s (%s)\n", report.Comma(len(flows)), path, format)
 		}
 		allStats = append(allStats, flows...)
 	}
+	observeFlows(reg, allStats)
 	fmt.Printf("captured %s aggregated flows across %d day(s)\n", report.Comma(total), days)
 	t8 := report.NewTable("\nTelescope traffic by protocol", "Protocol", "Packets", "Flows", "Unique IPs")
 	for _, s := range telescope.AggregateByProtocol(allStats) {
@@ -112,34 +206,47 @@ func runRotated(gen *attack.DarknetGenerator, tel *telescope.Telescope, days int
 	_ = t8.Render(os.Stdout)
 }
 
-func writeFile(path, format string, flows []*telescope.FlowTuple) error {
+func writeFile(path, format string, flows []*telescope.FlowTuple, digest bool) (string, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer f.Close()
-	w := bufio.NewWriter(f)
+	var sink io.Writer = f
+	var dw *obs.DigestWriter
+	if digest {
+		dw = obs.NewDigestWriter()
+		sink = io.MultiWriter(f, dw)
+	}
+	w := bufio.NewWriter(sink)
 	defer w.Flush()
+	sum := func() string {
+		if dw == nil {
+			return ""
+		}
+		w.Flush()
+		return dw.Sum()
+	}
 	switch format {
 	case "csv":
 		if err := telescope.WriteCSVHeader(w); err != nil {
-			return err
+			return "", err
 		}
 		for _, ft := range flows {
 			if err := ft.WriteCSV(w); err != nil {
-				return err
+				return "", err
 			}
 		}
 	case "bin":
 		for _, ft := range flows {
 			if err := ft.WriteBinary(w); err != nil {
-				return err
+				return "", err
 			}
 		}
 	default:
-		return fmt.Errorf("unknown format %q", format)
+		return "", fmt.Errorf("unknown format %q", format)
 	}
-	return nil
+	return sum(), nil
 }
 
 func parseFile(path string) {

@@ -47,6 +47,13 @@ type CampaignConfig struct {
 	// MultistageActors is the number of deliberate multi-protocol
 	// adversaries to schedule (0 = scaled PaperMultistageCount).
 	MultistageActors int
+	// OnDay, when set, is called at each day boundary after the day's jobs
+	// have drained and the fabric has quiesced, with the day index and the
+	// cumulative planned/run event counts. It runs on the single-threaded
+	// scheduler between days — never inside the worker hot path — so wiring
+	// a progress reporter or span tracer here cannot perturb the replay;
+	// leaving it nil (the default) is byte-identical to not having the hook.
+	OnDay func(day, planned, run int)
 }
 
 // Campaign replays the paper's attack month.
@@ -144,6 +151,15 @@ type Stats struct {
 	EventsPlanned int
 	EventsRun     int
 	Elapsed       time.Duration
+}
+
+// Counters flattens the deterministic stat fields for the metrics registry
+// and run manifest (Elapsed is wall-clock and excluded).
+func (st Stats) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"events_planned": uint64(st.EventsPlanned),
+		"events_run":     uint64(st.EventsRun),
+	}
 }
 
 // Run replays the month: for each day, each (honeypot, protocol) target
@@ -266,6 +282,9 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 		// its tail events into the wrong Figure 8 bucket.
 		dayWG.Wait()
 		c.cfg.Network.Quiesce()
+		if c.cfg.OnDay != nil {
+			c.cfg.OnDay(day, stats.EventsPlanned, int(runCount.Load()))
+		}
 	}
 	for _, q := range queues {
 		close(q)

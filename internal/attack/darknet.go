@@ -54,6 +54,12 @@ type DarknetConfig struct {
 	// telescope ordinal range, so the captured flows are byte-identical for
 	// any worker count.
 	Workers int
+	// OnUnit, when set, is called once per finished (protocol, day) unit —
+	// after the worker pool has joined, in fixed unit order, never from the
+	// generation hot path — with that unit's flow count. Progress reporting
+	// and per-unit metrics hang here; nil (the default) is byte-identical
+	// to not having the hook.
+	OnUnit func(protocol iot.Protocol, day, flows int)
 }
 
 // DarknetGenerator produces Table 8-calibrated FlowTuple traffic. Volumes at
@@ -255,8 +261,12 @@ func (g *DarknetGenerator) runUnits(units []int) int {
 	}
 	wg.Wait()
 	total := 0
-	for _, n := range counts {
+	for i, n := range counts {
 		total += n
+		if g.cfg.OnUnit != nil {
+			unit := units[i]
+			g.cfg.OnUnit(g.states[unit/g.cfg.Days].cal.Protocol, unit%g.cfg.Days, n)
+		}
 	}
 	return total
 }

@@ -10,6 +10,7 @@ import (
 	"openhire/internal/attack/malware"
 	"openhire/internal/geo"
 	"openhire/internal/honeypot"
+	"openhire/internal/iot"
 	"openhire/internal/netsim"
 	"openhire/internal/telescope"
 )
@@ -151,5 +152,110 @@ func TestCampaignParallelEquivalence(t *testing.T) {
 			a.Password != b.Password || a.Detail != b.Detail || !bytes.Equal(a.Payload, b.Payload) {
 			t.Fatalf("event %d differs:\n1 worker: %+v\n8 workers: %+v", i, a, b)
 		}
+	}
+}
+
+// TestDarknetOnUnitZeroPerturbation is the observability leg of the darknet
+// equivalence gate: attaching an OnUnit hook must not change a single flow
+// byte, the per-unit reports must sum to the generator's total, and the
+// report sequence itself must be deterministic across runs.
+func TestDarknetOnUnitZeroPerturbation(t *testing.T) {
+	type unitReport struct {
+		proto iot.Protocol
+		day   int
+		flows int
+	}
+	run := func(collect *[]unitReport) ([]byte, int) {
+		tel := telescope.New(netsim.MustParsePrefix("44.0.0.0/8"), geo.NewDB(1, nil))
+		cfg := DarknetConfig{
+			Seed: 9, Telescope: tel, GeoDB: geo.NewDB(1, nil),
+			Scale: 1.0 / 8192, Days: 3, Workers: 8,
+		}
+		if collect != nil {
+			cfg.OnUnit = func(proto iot.Protocol, day, flows int) {
+				*collect = append(*collect, unitReport{proto, day, flows})
+			}
+		}
+		total := NewDarknetGenerator(cfg).Run()
+		return dumpFlows(t, tel.Flows()), total
+	}
+	bare, bareTotal := run(nil)
+	var unitsA, unitsB []unitReport
+	hooked, hookedTotal := run(&unitsA)
+	if !bytes.Equal(bare, hooked) {
+		t.Fatalf("OnUnit hook changed the flow dump (%d vs %d bytes)", len(bare), len(hooked))
+	}
+	if bareTotal != hookedTotal {
+		t.Fatalf("OnUnit hook changed the flow total: %d vs %d", bareTotal, hookedTotal)
+	}
+	sum := 0
+	for _, u := range unitsA {
+		sum += u.flows
+	}
+	if sum != hookedTotal {
+		t.Fatalf("per-unit reports sum to %d, generator returned %d", sum, hookedTotal)
+	}
+	if _, total := run(&unitsB); total != hookedTotal || !reflect.DeepEqual(unitsA, unitsB) {
+		t.Fatalf("unit report sequence not deterministic across runs")
+	}
+}
+
+// TestCampaignOnDayZeroPerturbation is the observability leg of the campaign
+// equivalence gate: attaching an OnDay hook must leave the honeypot log
+// byte-identical, fire exactly once per simulated day in order, and report
+// cumulative planned/run counts that end at the campaign's own totals.
+func TestCampaignOnDayZeroPerturbation(t *testing.T) {
+	type dayReport struct{ day, planned, run int }
+	run := func(collect *[]dayReport) ([]honeypot.Event, Stats) {
+		n, pots, log, u, clk := buildWorld(t)
+		sources := NewSources(11, u, nil, nil)
+		cfg := CampaignConfig{
+			Seed: 11, Network: n, Honeypots: pots, Universe: u,
+			Sources: sources, Corpus: malware.NewCorpus(1, nil),
+			Intensity: 0.004, Workers: 8, Clock: clk,
+		}
+		if collect != nil {
+			cfg.OnDay = func(day, planned, run int) {
+				*collect = append(*collect, dayReport{day, planned, run})
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		stats := NewCampaign(cfg).Run(ctx)
+		events := log.Events()
+		honeypot.SortEventsCanonical(events)
+		return events, stats
+	}
+	bare, bareStats := run(nil)
+	var days []dayReport
+	hooked, hookedStats := run(&days)
+	if len(bare) != len(hooked) {
+		t.Fatalf("OnDay hook changed the event count: %d vs %d", len(bare), len(hooked))
+	}
+	for i := range bare {
+		a, b := bare[i], hooked[i]
+		if !a.Time.Equal(b.Time) || a.Honeypot != b.Honeypot || a.Src != b.Src ||
+			a.Type != b.Type || a.Detail != b.Detail || !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("event %d differs with OnDay hook attached:\nbare:   %+v\nhooked: %+v", i, a, b)
+		}
+	}
+	bareStats.Elapsed, hookedStats.Elapsed = 0, 0 // wall-clock, excluded by design
+	if bareStats != hookedStats {
+		t.Fatalf("OnDay hook changed campaign stats: %+v vs %+v", bareStats, hookedStats)
+	}
+	if len(days) != ExperimentDays {
+		t.Fatalf("OnDay fired %d times, want %d", len(days), ExperimentDays)
+	}
+	for i, d := range days {
+		if d.day != i {
+			t.Fatalf("day reports out of order: %+v at index %d", d, i)
+		}
+		if i > 0 && (d.planned < days[i-1].planned || d.run < days[i-1].run) {
+			t.Fatalf("cumulative counts regressed at day %d: %+v after %+v", i, d, days[i-1])
+		}
+	}
+	last := days[len(days)-1]
+	if last.planned != hookedStats.EventsPlanned || last.run != hookedStats.EventsRun {
+		t.Fatalf("final day report %+v does not reconcile with stats %+v", last, hookedStats)
 	}
 }

@@ -192,8 +192,8 @@ func TestChaosBreakerSkipsBlackholed(t *testing.T) {
 	})
 	st := s.Run(context.Background(), TelnetModule{}, nil)
 
-	const threshold = 8 // NewScanner default
-	wantProbed := uint64(threshold * 2 * 3)  // 8 addrs x 2 ports x 3 attempts
+	const threshold = 8                     // NewScanner default
+	wantProbed := uint64(threshold * 2 * 3) // 8 addrs x 2 ports x 3 attempts
 	wantSkipped := uint64((256 - threshold) * 2)
 	if st.Probed != wantProbed {
 		t.Fatalf("probed %d transmissions, want %d", st.Probed, wantProbed)

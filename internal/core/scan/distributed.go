@@ -82,10 +82,12 @@ func RunDistributed(ctx context.Context, cfg DistributedConfig, module ProbeModu
 			})
 			mu.Lock()
 			stats.Probed += st.Probed
+			stats.Blocked += st.Blocked
 			stats.Responded += st.Responded
 			stats.Timeouts += st.Timeouts
 			stats.Resets += st.Resets
 			stats.Partials += st.Partials
+			stats.Negatives += st.Negatives
 			stats.Retransmits += st.Retransmits
 			stats.BreakerSkipped += st.BreakerSkipped
 			if st.Elapsed > stats.Elapsed {

@@ -143,6 +143,13 @@ type Config struct {
 	// admin-prohibited targets inside one /24, the rest of that prefix is
 	// skipped (0 = 8).
 	BreakerThreshold int
+
+	// Progress, when set, is called from the feed goroutine once per target
+	// batch with the number of (address, port) pairs just enqueued. It runs
+	// outside the probe hot path (one call per targetBatchSize targets) and
+	// must not block; leaving it nil — the default — keeps the feed loop
+	// exactly as fast and the scan byte-identical to an unobserved run.
+	Progress func(targets uint64)
 }
 
 // Stats summarizes one protocol scan. Probed counts transmissions (like
@@ -150,7 +157,10 @@ type Config struct {
 // failure classes are broken out so lost probes are never silently folded
 // into the true negatives.
 type Stats struct {
-	Probed    uint64
+	Probed uint64
+	// Blocked counts addresses the blocklist excluded from this scan's
+	// permutation walk (addresses, not address×port targets: a blocklisted
+	// address is dropped before ports fan out).
 	Blocked   uint64
 	Responded uint64
 	// Timeouts counts attempts lost to drops, rate limiting or latency
@@ -161,11 +171,34 @@ type Stats struct {
 	// Partials counts tarpitted conversations that yielded only a banner
 	// prefix: responsive hosts the classifier cannot type.
 	Partials uint64
+	// Negatives counts true-negative attempts: dark addresses, closed ports,
+	// or conversations that cleanly ended without the protocol answering.
+	// Every transmission lands in exactly one of Responded, Timeouts,
+	// Resets, Partials or Negatives, so Probed is their sum — the
+	// conservation law the accounting tests pin.
+	Negatives uint64
 	// Retransmits counts follow-up transmissions after a timeout.
 	Retransmits uint64
-	// BreakerSkipped counts targets skipped inside circuit-broken prefixes.
+	// BreakerSkipped counts targets skipped inside circuit-broken prefixes
+	// (in address×port units, like Probed).
 	BreakerSkipped uint64
 	Elapsed        time.Duration
+}
+
+// Counters flattens the deterministic stat fields into a named map for the
+// metrics registry and run manifest (Elapsed is wall-clock and excluded).
+func (st Stats) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"probed":          st.Probed,
+		"blocked":         st.Blocked,
+		"responded":       st.Responded,
+		"timeouts":        st.Timeouts,
+		"resets":          st.Resets,
+		"partials":        st.Partials,
+		"negatives":       st.Negatives,
+		"retransmits":     st.Retransmits,
+		"breaker_skipped": st.BreakerSkipped,
+	}
 }
 
 // Scanner runs probe modules over a prefix.
@@ -227,8 +260,9 @@ type workerStats struct {
 	timeouts    uint64
 	resets      uint64
 	partials    uint64
+	negatives   uint64
 	retransmits uint64
-	_           [16]byte
+	_           [8]byte
 }
 
 // Run scans the prefix with one probe module, streaming results to emit.
@@ -317,6 +351,9 @@ feed:
 			if len(batch) == targetBatchSize {
 				select {
 				case batches <- batch:
+					if s.cfg.Progress != nil {
+						s.cfg.Progress(targetBatchSize)
+					}
 					batch = make([]target, 0, targetBatchSize)
 				case <-ctx.Done():
 					break feed
@@ -327,6 +364,9 @@ feed:
 	if len(batch) > 0 {
 		select {
 		case batches <- batch:
+			if s.cfg.Progress != nil {
+				s.cfg.Progress(uint64(len(batch)))
+			}
 		case <-ctx.Done():
 		}
 	}
@@ -340,8 +380,10 @@ feed:
 		stats.Timeouts += shards[i].timeouts
 		stats.Resets += shards[i].resets
 		stats.Partials += shards[i].partials
+		stats.Negatives += shards[i].negatives
 		stats.Retransmits += shards[i].retransmits
 	}
+	stats.Blocked = it.Blocked()
 	stats.BreakerSkipped = breakerSkipped
 	stats.Elapsed = time.Since(start)
 	return stats
@@ -385,6 +427,7 @@ func (s *Scanner) probeTarget(ctx context.Context, module ProbeModule, t target,
 			}
 			spec.Attempt++
 		default:
+			shard.negatives++
 			return
 		}
 	}
@@ -394,16 +437,32 @@ func (s *Scanner) probeTarget(ctx context.Context, module ProbeModule, t target,
 // other derived-stream label in the repo.
 const backoffLabel = 0xb0ff
 
+// backoffShiftMax caps the exponent in the backoff schedule. Even a 1ns base
+// doubles past any sane RetransmitCap within 32 attempts, so saturating the
+// shift there loses nothing — and without a clamp, `base << attempt` wraps
+// int64 once attempt reaches the high 30s: a wrapped-but-positive value below
+// cap slipped through the old `d <= 0 || d > cap` guard and produced a
+// non-monotone schedule for large -max-attempts.
+const backoffShiftMax = 32
+
+// backoffBase is the un-jittered delay before the retransmission that
+// follows attempt: exponential in the attempt number, saturating at cap. The
+// overflow-proof form compares base against cap>>attempt (right shifts never
+// wrap), so the left shift is only evaluated when its result provably fits.
+func backoffBase(base, cap time.Duration, attempt uint32) time.Duration {
+	if attempt >= backoffShiftMax || base > cap>>attempt {
+		return cap
+	}
+	return base << attempt
+}
+
 // backoffDelay is the simulated pause before the retransmission that follows
 // attempt: exponential in the attempt number, capped, with jitter in
 // [0, delay/2] drawn from the stream derived from (seed, ip, port, attempt).
 // It is a pure function, so the schedule for any target is identical across
 // runs and worker counts.
 func backoffDelay(root *prng.Source, base, cap time.Duration, ip netsim.IPv4, port uint16, attempt uint32) time.Duration {
-	d := base << attempt
-	if d <= 0 || d > cap {
-		d = cap
-	}
+	d := backoffBase(base, cap, attempt)
 	jitter := time.Duration(root.Hash64(backoffLabel, uint64(ip), uint64(port), uint64(attempt)) % uint64(d/2+1))
 	return d + jitter
 }
@@ -487,18 +546,16 @@ func (s *Scanner) RunAll(ctx context.Context, modules []ProbeModule) (map[iot.Pr
 // producing the same per-protocol result sets as sequential RunAll
 // (slices sorted by (IP, Port), deterministic for a fixed seed).
 //
-// The scanner's Workers budget is the total across all modules: each module
-// gets Workers/len(modules) probe workers (at least 1).
+// The scanner's Workers budget is the total across all modules, split by
+// splitWorkers: every module gets at least one worker and the whole budget
+// is spent — the old Workers/len(modules) integer division silently idled
+// the remainder (2 of 128 workers with the default six modules, more with
+// -extended's eight).
 func (s *Scanner) RunAllParallel(ctx context.Context, modules []ProbeModule) (map[iot.Protocol][]*Result, map[iot.Protocol]Stats) {
 	if len(modules) == 0 {
 		return map[iot.Protocol][]*Result{}, map[iot.Protocol]Stats{}
 	}
-	perModule := s.cfg.Workers / len(modules)
-	if perModule < 1 {
-		perModule = 1
-	}
-	subCfg := s.cfg
-	subCfg.Workers = perModule
+	perModule := splitWorkers(s.cfg.Workers, len(modules))
 
 	results := make(map[iot.Protocol][]*Result, len(modules))
 	stats := make(map[iot.Protocol]Stats, len(modules))
@@ -506,11 +563,13 @@ func (s *Scanner) RunAllParallel(ctx context.Context, modules []ProbeModule) (ma
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
-	for _, m := range modules {
-		m := m
+	for i, m := range modules {
+		i, m := i, m
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			subCfg := s.cfg
+			subCfg.Workers = perModule[i]
 			rs, st := NewScanner(subCfg).runCollect(ctx, m)
 			mu.Lock()
 			results[m.Protocol()] = rs
@@ -520,6 +579,28 @@ func (s *Scanner) RunAllParallel(ctx context.Context, modules []ProbeModule) (ma
 	}
 	wg.Wait()
 	return results, stats
+}
+
+// splitWorkers divides a total worker budget across n modules: each gets the
+// integer share, the remainder is distributed one-each to the first
+// total%n modules, and no module drops below one worker. For total >= n the
+// per-module counts sum exactly to total.
+func splitWorkers(total, n int) []int {
+	counts := make([]int, n)
+	if n == 0 {
+		return counts
+	}
+	base, rem := total/n, total%n
+	for i := range counts {
+		counts[i] = base
+		if i < rem {
+			counts[i]++
+		}
+		if counts[i] < 1 {
+			counts[i] = 1
+		}
+	}
+	return counts
 }
 
 // rateLimiter is a token bucket over wall time. Tokens are granted in

@@ -20,6 +20,7 @@ import (
 	"openhire/internal/intel"
 	"openhire/internal/iot"
 	"openhire/internal/netsim"
+	"openhire/internal/obs"
 	"openhire/internal/telescope"
 )
 
@@ -94,6 +95,12 @@ type World struct {
 	Sources    *attack.Sources
 	Corpus     *malware.Corpus
 
+	// Trace, when non-nil, records one span per lazily executed phase
+	// (simulated durations read from the tracer's clock). Leaving it nil is
+	// byte-identical to a traced run: phases only ever call the tracer's
+	// nil-safe methods and never branch on it.
+	Trace *obs.Tracer
+
 	scanOnce    sync.Once
 	scanResults map[iot.Protocol][]*scan.Result
 	scanStats   map[iot.Protocol]scan.Stats
@@ -157,6 +164,8 @@ func (w *World) ScaleFactor() float64 { return w.Universe.ScaleFactor() }
 // RunScan executes the six-protocol Internet-wide scan once.
 func (w *World) RunScan() (map[iot.Protocol][]*scan.Result, map[iot.Protocol]scan.Stats) {
 	w.scanOnce.Do(func() {
+		span := w.Trace.Start("scan")
+		defer span.End()
 		s := scan.NewScanner(scan.Config{
 			Network: w.Network,
 			Source:  w.Cfg.ScannerSource,
@@ -172,6 +181,8 @@ func (w *World) RunScan() (map[iot.Protocol][]*scan.Result, map[iot.Protocol]sca
 // FilterHoneypots splits scan results into genuine hosts and detections.
 func (w *World) FilterHoneypots() (map[iot.Protocol][]*scan.Result, []fingerprint.Detection) {
 	w.filterOnce.Do(func() {
+		span := w.Trace.Start("filter_honeypots")
+		defer span.End()
 		results, _ := w.RunScan()
 		w.genuine = make(map[iot.Protocol][]*scan.Result, len(results))
 		// Filter in sorted protocol order so the detections slice (and
@@ -195,6 +206,8 @@ func (w *World) FilterHoneypots() (map[iot.Protocol][]*scan.Result, []fingerprin
 // results.
 func (w *World) Classify() ([]classify.Finding, classify.Summary) {
 	w.classifyOnce.Do(func() {
+		span := w.Trace.Start("classify")
+		defer span.End()
 		genuine, _ := w.FilterHoneypots()
 		for _, proto := range iot.ScannedProtocols {
 			w.findings = append(w.findings, classify.ClassifyAll(genuine[proto])...)
@@ -207,6 +220,8 @@ func (w *World) Classify() ([]classify.Finding, classify.Summary) {
 // RunAttackMonth replays the calibrated attack month once.
 func (w *World) RunAttackMonth() attack.Stats {
 	w.attackOnce.Do(func() {
+		span := w.Trace.Start("attack_month")
+		defer span.End()
 		campaign := attack.NewCampaign(attack.CampaignConfig{
 			Seed:       w.Cfg.Seed,
 			Network:    w.Network,
@@ -230,6 +245,8 @@ func (w *World) RunAttackMonth() attack.Stats {
 // RunTelescope generates the calibrated darknet traffic once.
 func (w *World) RunTelescope() int {
 	w.darknetOnce.Do(func() {
+		span := w.Trace.Start("telescope")
+		defer span.End()
 		gen := attack.NewDarknetGenerator(attack.DarknetConfig{
 			Seed:      w.Cfg.Seed,
 			Telescope: w.Telescope,

@@ -21,6 +21,21 @@ func CountByHoneypotProtocol(events []Event) map[string]map[iot.Protocol]int {
 	return out
 }
 
+// EventCounters flattens an event set into the named counter map the
+// metrics registry and run manifest consume: the event total plus per-type,
+// per-protocol and per-honeypot tallies. It walks the already-collected
+// (striped, seq-merged) log snapshot, so computing it never touches the
+// append hot path.
+func EventCounters(events []Event) map[string]uint64 {
+	out := map[string]uint64{"events": uint64(len(events))}
+	for _, ev := range events {
+		out["type."+string(ev.Type)]++
+		out["protocol."+string(ev.Protocol)]++
+		out["honeypot."+ev.Honeypot]++
+	}
+	return out
+}
+
 // UniqueSourcesByHoneypot returns the distinct source addresses seen per
 // honeypot.
 func UniqueSourcesByHoneypot(events []Event) map[string]map[netsim.IPv4]struct{} {

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar name: tests (and a binary
+// restarting its server) must not panic on a duplicate Publish.
+var publishOnce sync.Once
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060") and
+// returns the bound listener address. The mux exposes:
+//
+//	/metrics      — the registry snapshot as JSON
+//	/debug/vars   — expvar (cmdline, memstats, and the registry under "obs")
+//	/debug/pprof/ — the standard pprof handlers
+//
+// The server runs on its own goroutine for the life of the process; the
+// pipeline never blocks on it, and scraping it reads snapshots, not live
+// shards, so it cannot perturb a run.
+func Serve(addr string, r *Registry) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return r.Snapshot() }))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", r.handler)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

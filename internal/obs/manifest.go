@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"hash"
+	"io"
+	"os"
+)
+
+// Manifest is one run's machine-readable ground truth: the seed and resolved
+// configuration, per-phase simulated/wall timings, the full counter sets,
+// and content digests of the outputs. Everything except wall timings is a
+// pure function of (seed, config, build), so diffing two manifests isolates
+// exactly what changed between runs or PRs — the BENCH_*.json trajectory's
+// missing half.
+//
+// encoding/json sorts map keys, so marshaled manifests are deterministic.
+type Manifest struct {
+	// Binary names the emitting command ("openhire-scan", ...).
+	Binary string `json:"binary"`
+	// Seed is the simulation seed the run used.
+	Seed uint64 `json:"seed"`
+	// Config is the fully resolved flag set: every flag, default or not,
+	// with its final string value.
+	Config map[string]string `json:"config,omitempty"`
+	// Phases are the tracer's spans in completion order.
+	Phases []SpanRecord `json:"phases,omitempty"`
+	// Counters, Gauges and Histograms mirror the registry snapshot.
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Outputs maps artifact names to "sha256:..." content digests.
+	Outputs map[string]string `json:"outputs,omitempty"`
+}
+
+// NewManifest starts a manifest for the named binary and seed.
+func NewManifest(binary string, seed uint64) *Manifest {
+	return &Manifest{
+		Binary:  binary,
+		Seed:    seed,
+		Config:  make(map[string]string),
+		Outputs: make(map[string]string),
+	}
+}
+
+// RecordFlags snapshots the resolved configuration: every flag's final value
+// after parsing, including untouched defaults — the paper pipeline's "what
+// exactly did this run do" record.
+func (m *Manifest) RecordFlags(fs *flag.FlagSet) {
+	fs.VisitAll(func(f *flag.Flag) {
+		m.Config[f.Name] = f.Value.String()
+	})
+}
+
+// FromRegistry copies the registry's snapshot into the manifest.
+func (m *Manifest) FromRegistry(r *Registry) {
+	s := r.Snapshot()
+	m.Counters = s.Counters
+	m.Gauges = s.Gauges
+	m.Histograms = s.Histograms
+}
+
+// FromTracer copies the tracer's finished spans into the manifest.
+func (m *Manifest) FromTracer(t *Tracer) {
+	m.Phases = t.Spans()
+}
+
+// AddOutput records a named artifact digest (use Digest or a DigestWriter).
+func (m *Manifest) AddOutput(name, digest string) {
+	m.Outputs[name] = digest
+}
+
+// WriteFile marshals the manifest (indented, trailing newline) to path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Digest returns the "sha256:..." content digest of data.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// DigestWriter accumulates a content digest from streamed writes, so
+// artifacts can be digested while (or instead of) being written to disk.
+type DigestWriter struct {
+	h hash.Hash
+	n int64
+}
+
+// NewDigestWriter returns an empty digest accumulator.
+func NewDigestWriter() *DigestWriter {
+	return &DigestWriter{h: sha256.New()}
+}
+
+// Write implements io.Writer.
+func (d *DigestWriter) Write(p []byte) (int, error) {
+	d.n += int64(len(p))
+	return d.h.Write(p)
+}
+
+// Sum returns the "sha256:..." digest of everything written so far.
+func (d *DigestWriter) Sum() string {
+	return "sha256:" + hex.EncodeToString(d.h.Sum(nil))
+}
+
+// Bytes returns how many bytes were digested.
+func (d *DigestWriter) Bytes() int64 { return d.n }
+
+var _ io.Writer = (*DigestWriter)(nil)

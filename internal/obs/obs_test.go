@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Add("scan.probed", 10)
+	r.Add("scan.probed", 5)
+	r.AddAll("scan.telnet", map[string]uint64{"responded": 3, "timeouts": 2})
+	r.SetGauge("scale", 0.5)
+	if got := r.Counter("scan.probed"); got != 15 {
+		t.Fatalf("counter = %d, want 15", got)
+	}
+	if got := r.Counter("scan.telnet.responded"); got != 3 {
+		t.Fatalf("AddAll counter = %d, want 3", got)
+	}
+	s := r.Snapshot()
+	if s.Gauges["scale"] != 0.5 {
+		t.Fatalf("gauge = %v, want 0.5", s.Gauges["scale"])
+	}
+	// Snapshot is a copy: mutating the registry afterwards must not move it.
+	r.Add("scan.probed", 100)
+	if s.Counters["scan.probed"] != 15 {
+		t.Fatal("snapshot aliased live registry state")
+	}
+}
+
+// TestNilRegistryIsNoop pins the nil-sink contract the pipeline hooks rely
+// on: uninstrumented runs pass nil and every method must be safe.
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1)
+	r.AddAll("p", map[string]uint64{"y": 2})
+	r.SetGauge("g", 3)
+	r.Observe("h", time.Second)
+	if r.Counter("x") != 0 {
+		t.Fatal("nil registry returned a nonzero counter")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, time.Second})
+	h.Observe(time.Microsecond)       // bucket 0 (<= 1ms)
+	h.Observe(time.Millisecond)       // bucket 0 (boundary is inclusive)
+	h.Observe(500 * time.Millisecond) // bucket 1
+	h.Observe(time.Hour)              // overflow
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Total != 4 {
+		t.Fatalf("total = %d, want 4", s.Total)
+	}
+	if s.MaxNS != int64(time.Hour) {
+		t.Fatalf("max = %d, want %d", s.MaxNS, int64(time.Hour))
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]time.Duration{nil, {}, {time.Second, time.Second}, {2 * time.Second, time.Second}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// fakeClock is a manually advanced obs.Clock for span tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func TestTracerSimulatedDurations(t *testing.T) {
+	clk := &fakeClock{now: time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC)}
+	tr := NewTracer(clk)
+	sp := tr.Start("campaign.day00")
+	clk.now = clk.now.Add(24 * time.Hour)
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Name != "campaign.day00" || spans[0].SimNS != int64(24*time.Hour) {
+		t.Fatalf("span = %+v, want sim 24h", spans[0])
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("anything")
+	sp.End() // must not panic
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+	// Tracer with nil clock: wall duration only, sim pinned to zero.
+	tr2 := NewTracer(nil)
+	s2 := tr2.Start("x")
+	s2.End()
+	if got := tr2.Spans(); len(got) != 1 || got[0].SimNS != 0 {
+		t.Fatalf("nil-clock tracer spans = %+v, want one span with sim 0", got)
+	}
+}
+
+func TestProgressThrottleAndDone(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "scan", 100)
+	p.interval = 0 // emit every Add for the test
+	p.Add(25)
+	p.Add(25)
+	p.Done()
+	out := buf.String()
+	if !strings.Contains(out, "scan: 50/100 (50.0%)") {
+		t.Fatalf("missing 50%% line in:\n%s", out)
+	}
+	if p.Count() != 50 {
+		t.Fatalf("count = %d, want 50", p.Count())
+	}
+	var nilP *Progress
+	nilP.Add(1)
+	nilP.Done() // must not panic
+}
+
+func TestManifestDeterministicJSON(t *testing.T) {
+	build := func() []byte {
+		m := NewManifest("openhire-scan", 2021)
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.Int("workers", 128, "")
+		fs.String("prefix", "100.0.0.0/14", "")
+		_ = fs.Parse([]string{"-workers", "64"})
+		m.RecordFlags(fs)
+		r := NewRegistry()
+		r.Add("scan.telnet.probed", 42)
+		r.Add("scan.mqtt.probed", 7)
+		r.Observe("flow.time_of_day", 3*time.Hour)
+		m.FromRegistry(r)
+		clk := &fakeClock{now: time.Unix(0, 0)}
+		tr := NewTracer(clk)
+		sp := tr.Start("scan")
+		clk.now = clk.now.Add(time.Minute)
+		sp.End()
+		m.FromTracer(tr)
+		m.AddOutput("results", Digest([]byte("hello")))
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero the wall timing: it is the one legitimately nondeterministic
+		// field, excluded from the byte-identity claim.
+		var back Manifest
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		for i := range back.Phases {
+			back.Phases[i].WallNS = 0
+		}
+		out, err := json.MarshalIndent(&back, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("manifest JSON differs between identical runs:\n%s\n----\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"workers": "64"`) {
+		t.Fatalf("resolved flag value missing from config:\n%s", a)
+	}
+	if !strings.Contains(string(a), `"prefix": "100.0.0.0/14"`) {
+		t.Fatalf("default flag value missing from config:\n%s", a)
+	}
+}
+
+func TestDigestWriterMatchesDigest(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	w := NewDigestWriter()
+	_, _ = w.Write(payload[:5])
+	_, _ = w.Write(payload[5:])
+	if w.Sum() != Digest(payload) {
+		t.Fatalf("streamed digest %s != one-shot %s", w.Sum(), Digest(payload))
+	}
+	if w.Bytes() != int64(len(payload)) {
+		t.Fatalf("bytes = %d, want %d", w.Bytes(), len(payload))
+	}
+	if !strings.HasPrefix(Digest(nil), "sha256:") {
+		t.Fatal("digest missing scheme prefix")
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Add("scan.probed", 9)
+	addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Skipf("cannot listen on loopback in this environment: %v", err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `"scan.probed": 9`) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, `"obs"`) {
+		t.Fatalf("/debug/vars missing published registry:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

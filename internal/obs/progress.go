@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports a long run's advance to a side channel (stderr in the
+// binaries), throttled to at most one line per interval so a million-target
+// sweep costs a handful of writes. It deliberately never writes to stdout:
+// the byte-identity guarantee covers stdout and result files, and progress
+// is wall-clock-paced, so it must stay out of both.
+//
+// A nil *Progress is a valid no-op, so pipeline hooks can forward to one
+// unconditionally.
+type Progress struct {
+	w        io.Writer
+	label    string
+	total    uint64
+	interval time.Duration
+
+	mu    sync.Mutex
+	n     uint64
+	last  time.Time
+	start time.Time
+}
+
+// defaultInterval is the minimum wall time between progress lines.
+const defaultInterval = 500 * time.Millisecond
+
+// NewProgress builds a reporter writing to w. total is the expected unit
+// count (0 = unknown: lines omit the percentage).
+func NewProgress(w io.Writer, label string, total uint64) *Progress {
+	now := time.Now()
+	return &Progress{w: w, label: label, total: total,
+		interval: defaultInterval, last: now, start: now}
+}
+
+// Add advances the counter by n units and emits a line if the throttle
+// interval has elapsed. Safe for concurrent use and on a nil reporter.
+func (p *Progress) Add(n uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.n += n
+	now := time.Now()
+	if now.Sub(p.last) >= p.interval {
+		p.last = now
+		p.emit(now)
+	}
+	p.mu.Unlock()
+}
+
+// Done emits the final count unconditionally.
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.emit(time.Now())
+	p.mu.Unlock()
+}
+
+// emit writes one line; callers hold p.mu.
+func (p *Progress) emit(now time.Time) {
+	elapsed := now.Sub(p.start).Round(time.Millisecond)
+	if p.total > 0 {
+		fmt.Fprintf(p.w, "%s: %d/%d (%.1f%%) in %s\n",
+			p.label, p.n, p.total, 100*float64(p.n)/float64(p.total), elapsed)
+	} else {
+		fmt.Fprintf(p.w, "%s: %d in %s\n", p.label, p.n, elapsed)
+	}
+}
+
+// Count returns the units accumulated so far.
+func (p *Progress) Count() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}

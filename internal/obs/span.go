@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the simulated time source spans read. netsim.SimClock satisfies
+// it; the interface is redeclared here so obs stays a leaf package with no
+// dependency on the simulation.
+type Clock interface {
+	Now() time.Time
+}
+
+// Tracer records scoped spans over pipeline phases. Simulated durations come
+// from the Clock, so for a fixed (seed, config) they are identical run to
+// run; wall durations are recorded alongside for the bench trajectory but
+// are excluded from any determinism guarantee.
+//
+// A nil *Tracer is a valid no-op: Start returns a nil *Span whose End is
+// also a no-op, so phase methods can be instrumented unconditionally.
+type Tracer struct {
+	clock Clock // may be nil: sim durations stay zero
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTracer builds a tracer reading simulated time from clock. A nil clock
+// is allowed for binaries without a simulation clock (simulated durations
+// are then zero, still deterministic).
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// SpanRecord is one finished span as it appears in manifests.
+type SpanRecord struct {
+	Name string `json:"name"`
+	// SimNS is the simulated time the phase covered, in nanoseconds.
+	SimNS int64 `json:"sim_ns"`
+	// WallNS is the wall-clock duration, in nanoseconds. Not deterministic.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Span is one in-flight phase measurement.
+type Span struct {
+	t         *Tracer
+	name      string
+	simStart  time.Time
+	wallStart time.Time
+}
+
+// Start opens a span. Spans are recorded when End is called, in End order.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, name: name, wallStart: time.Now()}
+	if t.clock != nil {
+		s.simStart = t.clock.Now()
+	}
+	return s
+}
+
+// End closes the span and records it on the tracer. Safe on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{Name: s.name, WallNS: int64(time.Since(s.wallStart))}
+	if s.t.clock != nil {
+		rec.SimNS = int64(s.t.clock.Now().Sub(s.simStart))
+	}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, rec)
+	s.t.mu.Unlock()
+}
+
+// Spans returns the finished spans in completion order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}

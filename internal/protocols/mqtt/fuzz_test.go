@@ -30,13 +30,13 @@ func FuzzReadPacket(f *testing.F) {
 	}
 	// Malformed shapes seen from real scanners and cut-off streams.
 	f.Add([]byte{})
-	f.Add([]byte{0x10})                                  // CONNECT header, no length
-	f.Add([]byte{0x10, 0x7f})                            // length larger than body
-	f.Add([]byte{0x30, 0x02, 0x00})                      // PUBLISH with truncated topic
-	f.Add([]byte{0x10, 0x04, 0x00, 0x04, 'M', 'Q'})      // protocol name cut mid-string
-	f.Add([]byte{0xf0, 0x00})                            // reserved packet type
-	f.Add([]byte{0x10, 0xff, 0xff, 0xff, 0xff})          // remaining length overlong
-	f.Add(bytes.Repeat([]byte{0xff}, 64))                // IAC-style garbage
+	f.Add([]byte{0x10})                                     // CONNECT header, no length
+	f.Add([]byte{0x10, 0x7f})                               // length larger than body
+	f.Add([]byte{0x30, 0x02, 0x00})                         // PUBLISH with truncated topic
+	f.Add([]byte{0x10, 0x04, 0x00, 0x04, 'M', 'Q'})         // protocol name cut mid-string
+	f.Add([]byte{0xf0, 0x00})                               // reserved packet type
+	f.Add([]byte{0x10, 0xff, 0xff, 0xff, 0xff})             // remaining length overlong
+	f.Add(bytes.Repeat([]byte{0xff}, 64))                   // IAC-style garbage
 	f.Add([]byte("GET / HTTP/1.1\r\nHost: broker\r\n\r\n")) // cross-protocol probe
 
 	f.Fuzz(func(t *testing.T, raw []byte) {

@@ -125,7 +125,9 @@ func TestConcurrentObserveMatchesSequential(t *testing.T) {
 		t.Fatalf("flow counts differ: %d vs %d", len(a), len(b))
 	}
 	// Arrival ordinals race under concurrency, so compare as key-sorted sets.
-	key := func(ft *FlowTuple) uint64 { return uint64(ft.SrcIP)<<32 | uint64(ft.SrcPort)<<16 | uint64(ft.DstIP&0xffff) }
+	key := func(ft *FlowTuple) uint64 {
+		return uint64(ft.SrcIP)<<32 | uint64(ft.SrcPort)<<16 | uint64(ft.DstIP&0xffff)
+	}
 	byKey := func(flows []*FlowTuple) map[uint64]uint32 {
 		m := make(map[uint64]uint32, len(flows))
 		for _, ft := range flows {

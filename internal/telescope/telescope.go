@@ -362,6 +362,41 @@ func (t *Telescope) Len() int {
 	return n
 }
 
+// Stats is a cheap counter snapshot of the live flow table, read shard by
+// shard under the existing stripe locks — the observability layer's view of
+// the capture without materializing (or copying) the flows themselves.
+type Stats struct {
+	// Flows is the number of aggregated FlowTuple records held.
+	Flows int
+	// Packets is the packet total across those flows.
+	Packets uint64
+}
+
+// Stats sums the live shards. Like Len it takes each shard lock once, so it
+// is safe to call while ingest is running; call it between phases (it is a
+// consistent total only once writers have quiesced).
+func (t *Telescope) Stats() Stats {
+	var st Stats
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		st.Flows += len(s.entries)
+		for j := range s.entries {
+			st.Packets += uint64(s.entries[j].ft.PacketCnt)
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Counters flattens the snapshot for the metrics registry and run manifest.
+func (st Stats) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"flows":   uint64(st.Flows),
+		"packets": st.Packets,
+	}
+}
+
 // ProtocolOfPort maps a destination port to the study's protocol buckets.
 func ProtocolOfPort(port uint16) (iot.Protocol, bool) {
 	switch port {

@@ -1,20 +1,31 @@
 #!/usr/bin/env bash
 # check.sh — the full verification gate for this repo, used by `make check`.
 #
-#   1. go vet over everything
+#   1. gofmt (no unformatted files) and go vet over everything
 #   2. full build
 #   3. race detector over the hot-path packages: the scan leg (lock-free
 #      snapshot lookup, sharded stats, batched rate limiter) and the attack
 #      month / telescope leg (sharded flow tables, striped event log,
 #      parallel darknet generation) — the parallel-vs-sequential equivalence
 #      tests run under the detector here
-#   4. the chaos gate: the fault-model equivalence tests (zero-fault noop,
+#   4. the observability gate: the zero-perturbation equivalence tests
+#      (instrumented runs — registry, tracer, progress and day/unit hooks —
+#      byte-identical to bare runs) under the race detector
+#   5. the chaos gate: the fault-model equivalence tests (zero-fault noop,
 #      cross-worker determinism, ±2% calibrated classification drift) under
 #      the race detector, plus a short fuzz smoke over the Telnet and MQTT
 #      parsers (seed corpus + 10 fresh inputs each)
-#   5. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
+#   6. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt -l (all tracked Go files)"
+unformatted=$(gofmt -l . | grep -v '^\.git/' || true)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files are not gofmt-clean:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "==> go vet ./..."
 go vet ./...
@@ -25,6 +36,9 @@ go build ./...
 echo "==> go test -race (hot-path packages)"
 go test -race ./internal/netsim/... ./internal/core/scan/... \
 	./internal/telescope/... ./internal/attack/... ./internal/honeypot/...
+
+echo "==> observability gate: zero-perturbation equivalence under -race"
+go test -race ./internal/obs/... ./internal/expr/
 
 echo "==> chaos gate: fault-model equivalence under -race"
 go test -race -run 'TestChaos|TestBackoff|TestScanCancel' \
