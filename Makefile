@@ -1,9 +1,14 @@
 # Developer entry points. `make check` is the gate every PR must pass.
 
-.PHONY: check build test race chaos bench-scan bench-telescope
+.PHONY: check check-fast build test race chaos bench-scan bench-telescope
 
 check:
 	./scripts/check.sh
+
+# check-fast is the inner-loop gate: everything in check except the parser
+# fuzz smokes.
+check-fast:
+	./scripts/check.sh --fast
 
 build:
 	go build ./...

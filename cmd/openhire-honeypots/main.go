@@ -6,6 +6,12 @@
 //
 //	openhire-honeypots [-seed N] [-intensity F] [-workers N] [-csv]
 //	                   [-debug-addr HOST:PORT] [-manifest FILE]
+//	                   [-trace FILE] [-trace-sample N]
+//
+// -trace writes the flight recorder's JSONL trace: campaign day boundaries
+// plus session open/command/close lifecycles derived per (source, honeypot,
+// protocol, day) from the canonical event log after the replay quiesces —
+// sources sampled by pure hash of seed and address (-trace-sample).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"openhire/internal/iot"
 	"openhire/internal/netsim"
 	"openhire/internal/obs"
+	"openhire/internal/obs/trace"
 )
 
 func main() {
@@ -37,6 +44,8 @@ func main() {
 		export       = flag.String("export", "", "directory for daily JSONL event exports")
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live")
 		manifestPath = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
+		tracePath    = flag.String("trace", "", "write the flight recorder's JSONL lifecycle trace to this file")
+		traceSample  = flag.Uint64("trace-sample", 16, "trace one of every N source addresses (pure hash of seed+address; 1 = all)")
 	)
 	flag.Parse()
 
@@ -63,12 +72,16 @@ func main() {
 		progress = obs.NewProgress(os.Stderr, "attack days", uint64(attack.ExperimentDays))
 	}
 	if *debugAddr != "" {
-		addr, err := obs.Serve(*debugAddr, reg)
+		addr, _, err := obs.Serve(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", addr)
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder("openhire-honeypots", *seed, *traceSample)
 	}
 
 	rdns := geo.NewRDNS(*seed)
@@ -87,7 +100,7 @@ func main() {
 		GreyNoise:  gn,
 		VirusTotal: vt,
 		RDNS:       rdns,
-		OnDay:      dayHook(reg, progress),
+		OnDay:      dayHook(reg, progress, rec),
 	})
 	fmt.Printf("\nreplaying attack month at intensity %.4f ...\n", *intensity)
 	span := tracer.Start("attack_month")
@@ -100,6 +113,9 @@ func main() {
 		report.Comma(stats.EventsRun), stats.Elapsed.Round(1000000))
 
 	events := log.Events()
+	// Sessions are derived from the quiesced log's canonical order — the
+	// replay's own hot path never sees the recorder.
+	trace.SessionEvents(rec, events)
 	reg.AddAll("honeypot", honeypot.EventCounters(events))
 	for _, ev := range events {
 		// Simulated timestamps: the distribution is deterministic and goes
@@ -118,9 +134,15 @@ func main() {
 		}
 	} else if *manifestPath != "" {
 		// No files requested: digest the canonical JSONL stream anyway so
-		// two manifests can still be compared on event content.
+		// two manifests can still be compared on event content. The stream
+		// must be digested in canonical (content) order, not the log's
+		// arrival order — arrival order is scheduling noise, and a digest
+		// over it made same-seed manifests diff dirty.
+		canonical := make([]honeypot.Event, len(events))
+		copy(canonical, events)
+		honeypot.SortEventsCanonical(canonical)
 		dw := obs.NewDigestWriter()
-		if err := honeypot.ExportJSONL(dw, events); err != nil {
+		if err := honeypot.ExportJSONL(dw, canonical); err != nil {
 			fmt.Fprintln(os.Stderr, "digest:", err)
 			os.Exit(1)
 		}
@@ -190,6 +212,16 @@ func main() {
 	printStages(ms)
 	reg.Add("honeypot.multistage", uint64(len(ms)))
 
+	if rec != nil {
+		digest, err := rec.WriteFile(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		outputDigests[*tracePath] = digest
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *tracePath, rec.Len())
+	}
+
 	if *manifestPath != "" {
 		m := obs.NewManifest("openhire-honeypots", *seed)
 		m.RecordFlags(flag.CommandLine)
@@ -206,28 +238,36 @@ func main() {
 	}
 }
 
-// dayHook builds the campaign's day-boundary callback: live gauges plus a
-// progress tick. Nil registry and reporter make it a pure no-op, but a nil
-// func keeps the campaign on its documented no-hook path.
-func dayHook(reg *obs.Registry, progress *obs.Progress) func(day, planned, run int) {
-	if reg == nil && progress == nil {
+// dayHook builds the campaign's day-boundary callback: live gauges, a
+// progress tick, and a trace record. Nil registry, reporter and recorder
+// make it a pure no-op, but a nil func keeps the campaign on its documented
+// no-hook path.
+func dayHook(reg *obs.Registry, progress *obs.Progress, rec *trace.Recorder) func(day, planned, run int) {
+	if reg == nil && progress == nil && rec == nil {
 		return nil
 	}
 	return func(day, planned, run int) {
 		reg.SetGauge("campaign.day", float64(day))
 		reg.SetGauge("campaign.events_planned", float64(planned))
 		reg.SetGauge("campaign.events_run", float64(run))
+		trace.CampaignDayEvent(rec, day, planned, run)
 		progress.Add(1)
 	}
 }
 
 // exportDaily writes one JSONL file per simulated day, the paper's daily
-// export-and-import workflow (Section 3.3.2).
+// export-and-import workflow (Section 3.3.2). Events are exported in
+// canonical (content) order: the log's arrival order is scheduling noise,
+// and exporting it verbatim made the day files — and their manifest digests
+// — differ between two same-seed runs.
 func exportDaily(dir string, events []honeypot.Event, digests map[string]string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	byDay, keys := honeypot.PartitionByDay(events)
+	canonical := make([]honeypot.Event, len(events))
+	copy(canonical, events)
+	honeypot.SortEventsCanonical(canonical)
+	byDay, keys := honeypot.PartitionByDay(canonical)
 	for _, day := range keys {
 		path := filepath.Join(dir, "attacks-"+day+".jsonl")
 		f, err := os.Create(path)

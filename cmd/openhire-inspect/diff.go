@@ -1,0 +1,292 @@
+package main
+
+// Artifact diffing. Both manifests and traces are pure functions of
+// (seed, config, build) minus wall-clock timings, so the diff treats any
+// divergence as signal: same-input runs must report "no differences", and a
+// non-empty diff between two builds localizes the behavior change — which
+// counters moved, which phase's simulated time shifted, which sampled
+// target's lifecycle took a different turn.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"openhire/internal/obs"
+	"openhire/internal/obs/trace"
+)
+
+// diff compares two artifacts of the same kind and returns how many
+// differences it printed.
+func diff(w io.Writer, pathA, pathB string) (int, error) {
+	kindA, err := artifactKind(pathA)
+	if err != nil {
+		return 0, err
+	}
+	kindB, err := artifactKind(pathB)
+	if err != nil {
+		return 0, err
+	}
+	if kindA != kindB {
+		return 0, fmt.Errorf("cannot diff a %s against a %s", kindA, kindB)
+	}
+	var n int
+	if kindA == "manifest" {
+		n, err = diffManifests(w, pathA, pathB)
+	} else {
+		n, err = diffTraces(w, pathA, pathB)
+	}
+	if err != nil {
+		return n, err
+	}
+	if n == 0 {
+		fmt.Fprintf(w, "no differences between %s and %s\n", pathA, pathB)
+	} else {
+		fmt.Fprintf(w, "%d difference(s)\n", n)
+	}
+	return n, nil
+}
+
+// differ accumulates printed difference lines.
+type differ struct {
+	w io.Writer
+	n int
+}
+
+func (d *differ) reportf(format string, args ...any) {
+	d.n++
+	fmt.Fprintf(d.w, format+"\n", args...)
+}
+
+// diffManifests compares every deterministic section of two run manifests.
+// Wall-clock phase timings are excluded by design; simulated timings, being
+// pure functions of the run, are compared exactly.
+func diffManifests(w io.Writer, pathA, pathB string) (int, error) {
+	a, err := readManifest(pathA)
+	if err != nil {
+		return 0, err
+	}
+	b, err := readManifest(pathB)
+	if err != nil {
+		return 0, err
+	}
+	d := &differ{w: w}
+	if a.Binary != b.Binary {
+		d.reportf("binary: %s vs %s", a.Binary, b.Binary)
+	}
+	if a.Seed != b.Seed {
+		d.reportf("seed: %d vs %d", a.Seed, b.Seed)
+	}
+	diffBuild(d, a.Build, b.Build)
+	diffStringMaps(d, "config", a.Config, b.Config)
+	diffPhases(d, a.Phases, b.Phases)
+
+	countersA, countersB := stringify(a.Counters), stringify(b.Counters)
+	diffStringMaps(d, "counter", countersA, countersB)
+	diffStringMaps(d, "gauge", stringify(a.Gauges), stringify(b.Gauges))
+	diffStringMaps(d, "histogram", stringify(a.Histograms), stringify(b.Histograms))
+	diffStringMaps(d, "output", a.Outputs, b.Outputs)
+	return d.n, nil
+}
+
+// diffBuild compares the build stamps field by field.
+func diffBuild(d *differ, a, b *obs.BuildInfo) {
+	switch {
+	case a == nil && b == nil:
+		return
+	case a == nil || b == nil:
+		d.reportf("build: present in only one manifest")
+		return
+	}
+	if *a != *b {
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		d.reportf("build: %s vs %s", aj, bj)
+	}
+}
+
+// diffPhases compares phase names and simulated durations in completion
+// order, ignoring wall-clock timings.
+func diffPhases(d *differ, a, b []obs.SpanRecord) {
+	if len(a) != len(b) {
+		d.reportf("phases: %d vs %d recorded", len(a), len(b))
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Name != b[i].Name {
+			d.reportf("phase[%d]: %s vs %s", i, a[i].Name, b[i].Name)
+			continue
+		}
+		if a[i].SimNS != b[i].SimNS {
+			d.reportf("phase %s: sim %s vs %s", a[i].Name, fmtNS(a[i].SimNS), fmtNS(b[i].SimNS))
+		}
+	}
+}
+
+// stringify renders every map value as compact JSON, giving all manifest
+// sections one comparable shape.
+func stringify[V any](m map[string]V) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		data, _ := json.Marshal(v)
+		out[k] = string(data)
+	}
+	return out
+}
+
+// diffStringMaps reports keys present on one side only and values that
+// changed, in sorted key order.
+func diffStringMaps(d *differ, section string, a, b map[string]string) {
+	keys := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	for _, k := range sortedKeys(keys) {
+		va, okA := a[k]
+		vb, okB := b[k]
+		switch {
+		case !okA:
+			d.reportf("%s %s: only in B (%s)", section, k, vb)
+		case !okB:
+			d.reportf("%s %s: only in A (%s)", section, k, va)
+		case va != vb:
+			d.reportf("%s %s: %s vs %s", section, k, va, vb)
+		}
+	}
+}
+
+// traceKey identifies one lifecycle stream inside a trace: all events of one
+// (protocol, address, port) in canonical order.
+type traceKey struct {
+	proto, ip string
+	port      uint16
+}
+
+func (k traceKey) String() string {
+	if k.ip == "" {
+		if k.proto == "" {
+			return "(global)"
+		}
+		return k.proto
+	}
+	return fmt.Sprintf("%s %s:%d", k.proto, k.ip, k.port)
+}
+
+// groupByKey buckets a trace's events per lifecycle key, preserving file
+// (canonical) order inside each bucket.
+func groupByKey(evs []trace.Event) map[traceKey][]trace.Event {
+	out := make(map[traceKey][]trace.Event)
+	for i := range evs {
+		k := traceKey{evs[i].Protocol, evs[i].IP, evs[i].Port}
+		out[k] = append(out[k], evs[i])
+	}
+	return out
+}
+
+// maxKeyDiffs bounds the per-target divergence listing so a completely
+// different pair of traces stays readable.
+const maxKeyDiffs = 20
+
+// diffTraces compares two flight-recorder artifacts: meta first, then every
+// lifecycle key's event sequence.
+func diffTraces(w io.Writer, pathA, pathB string) (int, error) {
+	metaA, evsA, err := trace.ReadFile(pathA)
+	if err != nil {
+		return 0, err
+	}
+	metaB, evsB, err := trace.ReadFile(pathB)
+	if err != nil {
+		return 0, err
+	}
+	d := &differ{w: w}
+	if metaA.Binary != metaB.Binary {
+		d.reportf("binary: %s vs %s", metaA.Binary, metaB.Binary)
+	}
+	if metaA.Seed != metaB.Seed {
+		d.reportf("seed: %d vs %d", metaA.Seed, metaB.Seed)
+	}
+	if metaA.SampleOneIn != metaB.SampleOneIn {
+		d.reportf("sampling: 1-in-%d vs 1-in-%d", metaA.SampleOneIn, metaB.SampleOneIn)
+	}
+	if metaA.Events != metaB.Events {
+		d.reportf("events: %d vs %d", metaA.Events, metaB.Events)
+	}
+
+	groupsA, groupsB := groupByKey(evsA), groupByKey(evsB)
+	keys := make([]traceKey, 0, len(groupsA))
+	for k := range groupsA {
+		keys = append(keys, k)
+	}
+	for k := range groupsB {
+		if _, ok := groupsA[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.proto != b.proto {
+			return a.proto < b.proto
+		}
+		if a.ip != b.ip {
+			return a.ip < b.ip
+		}
+		return a.port < b.port
+	})
+	shown := 0
+	for _, k := range keys {
+		ga, okA := groupsA[k]
+		gb, okB := groupsB[k]
+		var line string
+		switch {
+		case !okA:
+			line = fmt.Sprintf("target %s: only in B (%d events)", k, len(gb))
+		case !okB:
+			line = fmt.Sprintf("target %s: only in A (%d events)", k, len(ga))
+		default:
+			line = diffEventSeq(k, ga, gb)
+		}
+		if line == "" {
+			continue
+		}
+		d.n++
+		if shown < maxKeyDiffs {
+			fmt.Fprintln(w, line)
+		}
+		shown++
+	}
+	if shown > maxKeyDiffs {
+		fmt.Fprintf(w, "(+%d more diverging targets)\n", shown-maxKeyDiffs)
+	}
+	return d.n, nil
+}
+
+// diffEventSeq compares one key's two event sequences and describes the
+// first divergence, or returns "" when they match.
+func diffEventSeq(k traceKey, a, b []trace.Event) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !eventsEqual(&a[i], &b[i]) {
+			aj, _ := json.Marshal(&a[i])
+			bj, _ := json.Marshal(&b[i])
+			return fmt.Sprintf("target %s: event %d diverges:\n  A: %s\n  B: %s", k, i, aj, bj)
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Sprintf("target %s: %d vs %d events", k, len(a), len(b))
+	}
+	return ""
+}
+
+// eventsEqual compares every serialized field of two events.
+func eventsEqual(a, b *trace.Event) bool {
+	return a.Kind == b.Kind && a.Protocol == b.Protocol && a.IP == b.IP &&
+		a.Port == b.Port && a.Attempt == b.Attempt && a.Day == b.Day &&
+		a.SimNS == b.SimNS && a.Count == b.Count && a.Peer == b.Peer &&
+		a.Detail == b.Detail
+}

@@ -1,0 +1,356 @@
+package main
+
+// Trace summarization: turn one flight-recorder artifact into the tables an
+// operator reads first — what latency the fabric injected, how the
+// retransmit schedule behaved, which prefixes tripped the breaker, which
+// hosts flapped, and who the loudest sources were.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"openhire/internal/core/report"
+	"openhire/internal/obs/trace"
+)
+
+// summarizeTrace prints the full digest of one trace.
+func summarizeTrace(w io.Writer, path string, meta trace.Meta, evs []trace.Event) error {
+	fmt.Fprintf(w, "trace %s: binary %s, seed %d, sampling 1-in-%d, %d events\n",
+		path, meta.Binary, meta.Seed, meta.SampleOneIn, len(evs))
+	if len(evs) == 0 {
+		return nil
+	}
+
+	kinds := make(map[trace.Kind]int)
+	for i := range evs {
+		kinds[evs[i].Kind]++
+	}
+	tk := report.NewTable("\nEvents by kind", "Kind", "Count")
+	kindNames := make([]string, 0, len(kinds))
+	for k := range kinds {
+		kindNames = append(kindNames, string(k))
+	}
+	sort.Strings(kindNames)
+	for _, k := range kindNames {
+		tk.AddRow(k, report.Comma(kinds[trace.Kind(k)]))
+	}
+	_ = tk.Render(w)
+
+	summarizeOutcomes(w, evs)
+	summarizeLatency(w, evs)
+	summarizeBackoff(w, evs)
+	summarizeBreaker(w, evs)
+	summarizeFlaps(w, evs)
+	summarizeTalkers(w, evs)
+	return nil
+}
+
+// summarizeOutcomes renders the per-protocol probe outcome table.
+func summarizeOutcomes(w io.Writer, evs []trace.Event) {
+	type row struct{ sent, answered, timeout, reset, partial, negative, abandoned int }
+	rows := make(map[string]*row)
+	for i := range evs {
+		ev := &evs[i]
+		get := func() *row {
+			r := rows[ev.Protocol]
+			if r == nil {
+				r = &row{}
+				rows[ev.Protocol] = r
+			}
+			return r
+		}
+		switch ev.Kind {
+		case trace.KindProbeSent:
+			get().sent++
+		case trace.KindProbeAnswered:
+			get().answered++
+		case trace.KindProbeTimeout:
+			get().timeout++
+		case trace.KindProbeReset:
+			get().reset++
+		case trace.KindProbePartial:
+			get().partial++
+		case trace.KindProbeNegative:
+			get().negative++
+		case trace.KindProbeAbandoned:
+			get().abandoned++
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	t := report.NewTable("\nProbe outcomes by protocol (sampled targets)",
+		"Protocol", "Sent", "Answered", "Timeout", "Reset", "Partial", "Negative", "Abandoned")
+	for _, p := range sortedKeys(rows) {
+		r := rows[p]
+		if r.sent == 0 && r.answered == 0 && r.timeout == 0 {
+			continue
+		}
+		t.AddRow(p, r.sent, r.answered, r.timeout, r.reset, r.partial, r.negative, r.abandoned)
+	}
+	if t.RowCount() > 0 {
+		_ = t.Render(w)
+	}
+}
+
+// summarizeLatency renders per-protocol percentiles of the simulated latency
+// the fault fabric attached to sampled transmissions.
+func summarizeLatency(w io.Writer, evs []trace.Event) {
+	byProto := make(map[string][]int64)
+	for i := range evs {
+		if evs[i].Kind == trace.KindProbeSent {
+			byProto[evs[i].Protocol] = append(byProto[evs[i].Protocol], evs[i].SimNS)
+		}
+	}
+	if len(byProto) == 0 {
+		return
+	}
+	t := report.NewTable("\nSimulated probe latency by protocol",
+		"Protocol", "Samples", "p50", "p90", "p99", "Max")
+	for _, p := range sortedKeys(byProto) {
+		ns := byProto[p]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		t.AddRow(p, report.Comma(len(ns)),
+			fmtNS(percentile(ns, 50)), fmtNS(percentile(ns, 90)),
+			fmtNS(percentile(ns, 99)), fmtNS(ns[len(ns)-1]))
+	}
+	_ = t.Render(w)
+}
+
+// summarizeBackoff renders the observed retransmit schedule: per attempt
+// ordinal, how many retransmissions happened and what backoff the scanner
+// chose before each.
+func summarizeBackoff(w io.Writer, evs []trace.Event) {
+	type agg struct {
+		count    int
+		sum      int64
+		min, max int64
+	}
+	byAttempt := make(map[uint32]*agg)
+	for i := range evs {
+		if evs[i].Kind != trace.KindProbeRetransmit {
+			continue
+		}
+		a := byAttempt[evs[i].Attempt]
+		if a == nil {
+			a = &agg{min: evs[i].SimNS, max: evs[i].SimNS}
+			byAttempt[evs[i].Attempt] = a
+		}
+		a.count++
+		a.sum += evs[i].SimNS
+		if evs[i].SimNS < a.min {
+			a.min = evs[i].SimNS
+		}
+		if evs[i].SimNS > a.max {
+			a.max = evs[i].SimNS
+		}
+	}
+	if len(byAttempt) == 0 {
+		return
+	}
+	attempts := make([]uint32, 0, len(byAttempt))
+	for k := range byAttempt {
+		attempts = append(attempts, k)
+	}
+	sort.Slice(attempts, func(i, j int) bool { return attempts[i] < attempts[j] })
+	t := report.NewTable("\nRetransmit/backoff schedule",
+		"After attempt", "Retransmits", "Min backoff", "Mean backoff", "Max backoff")
+	for _, at := range attempts {
+		a := byAttempt[at]
+		t.AddRow(at, report.Comma(a.count),
+			fmtNS(a.min), fmtNS(a.sum/int64(a.count)), fmtNS(a.max))
+	}
+	_ = t.Render(w)
+}
+
+// summarizeBreaker renders the circuit-breaker timeline: which /24 prefixes
+// the feed skipped and how often.
+func summarizeBreaker(w io.Writer, evs []trace.Event) {
+	type pref struct {
+		skips  int
+		protos map[string]bool
+	}
+	byPrefix := make(map[string]*pref)
+	for i := range evs {
+		if evs[i].Kind != trace.KindBreakerSkip {
+			continue
+		}
+		p := prefix24(evs[i].IP)
+		b := byPrefix[p]
+		if b == nil {
+			b = &pref{protos: make(map[string]bool)}
+			byPrefix[p] = b
+		}
+		b.skips++
+		b.protos[evs[i].Protocol] = true
+	}
+	if len(byPrefix) == 0 {
+		return
+	}
+	t := report.NewTable("\nCircuit-breaker skips by /24", "Prefix", "Skips", "Protocols")
+	for i, p := range sortedKeys(byPrefix) {
+		if i >= 15 {
+			fmt.Fprintf(w, "(+%d more prefixes)\n", len(byPrefix)-15)
+			break
+		}
+		b := byPrefix[p]
+		t.AddRow(p, report.Comma(b.skips), joinSorted(b.protos))
+	}
+	_ = t.Render(w)
+}
+
+// summarizeFlaps renders host-flap recoveries: sampled (protocol, ip, port)
+// keys whose lifecycle shows a timeout later followed by an answer — the
+// retransmit machinery pulling a result out of a lossy path.
+func summarizeFlaps(w io.Writer, evs []trace.Event) {
+	type key struct {
+		proto, ip string
+		port      uint16
+	}
+	recovered := make(map[key]uint32) // key -> answering attempt
+	timedOut := make(map[key]bool)
+	for i := range evs {
+		k := key{evs[i].Protocol, evs[i].IP, evs[i].Port}
+		switch evs[i].Kind {
+		case trace.KindProbeTimeout:
+			timedOut[k] = true
+		case trace.KindProbeAnswered:
+			if timedOut[k] {
+				recovered[k] = evs[i].Attempt
+			}
+		}
+	}
+	if len(timedOut) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nHost flaps: %d sampled targets timed out at least once; %d recovered on retransmit\n",
+		len(timedOut), len(recovered))
+	keys := make([]key, 0, len(recovered))
+	for k := range recovered {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].proto != keys[j].proto {
+			return keys[i].proto < keys[j].proto
+		}
+		if keys[i].ip != keys[j].ip {
+			return keys[i].ip < keys[j].ip
+		}
+		return keys[i].port < keys[j].port
+	})
+	for i, k := range keys {
+		if i >= 10 {
+			fmt.Fprintf(w, "  (+%d more recoveries)\n", len(keys)-10)
+			break
+		}
+		fmt.Fprintf(w, "  %s %s:%d answered on attempt %d\n", k.proto, k.ip, k.port, recovered[k])
+	}
+}
+
+// summarizeTalkers renders the loudest sampled addresses: total events and
+// carried counts (session lengths, flow packets) per IP.
+func summarizeTalkers(w io.Writer, evs []trace.Event) {
+	type talk struct {
+		events int
+		count  uint64
+	}
+	byIP := make(map[string]*talk)
+	for i := range evs {
+		if evs[i].IP == "" {
+			continue
+		}
+		t := byIP[evs[i].IP]
+		if t == nil {
+			t = &talk{}
+			byIP[evs[i].IP] = t
+		}
+		t.events++
+		t.count += evs[i].Count
+	}
+	if len(byIP) == 0 {
+		return
+	}
+	ips := sortedKeys(byIP)
+	sort.SliceStable(ips, func(i, j int) bool {
+		a, b := byIP[ips[i]], byIP[ips[j]]
+		if a.events != b.events {
+			return a.events > b.events
+		}
+		return a.count > b.count
+	})
+	t := report.NewTable("\nTop talkers (sampled addresses)", "Address", "Events", "Carried count")
+	for i, ip := range ips {
+		if i >= 10 {
+			break
+		}
+		t.AddRow(ip, report.Comma(byIP[ip].events), report.Comma(int(byIP[ip].count)))
+	}
+	_ = t.Render(w)
+}
+
+// percentile returns the pth percentile of sorted ns (nearest-rank).
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// fmtNS renders a nanosecond quantity as a rounded duration.
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Hour:
+		return d.Round(time.Minute).String()
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	}
+	return d.String()
+}
+
+// prefix24 maps a dotted IPv4 to its /24 label.
+func prefix24(ip string) string {
+	dots := 0
+	for i := 0; i < len(ip); i++ {
+		if ip[i] == '.' {
+			dots++
+			if dots == 3 {
+				return ip[:i] + ".0/24"
+			}
+		}
+	}
+	return ip
+}
+
+// sortedKeys returns a map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// joinSorted renders a string set as a comma list.
+func joinSorted(set map[string]bool) string {
+	out := ""
+	for i, k := range sortedKeys(set) {
+		if i > 0 {
+			out += ","
+		}
+		out += k
+	}
+	return out
+}

@@ -6,6 +6,13 @@
 //
 //	openhire-report [-seed N] [-quick] [-only ID[,ID...]]
 //	                [-debug-addr HOST:PORT] [-manifest FILE]
+//	                [-trace FILE] [-trace-sample N]
+//
+// -trace writes the flight recorder's JSONL trace covering whichever phases
+// the selected experiments forced: probe lifecycles for the scan leg (live,
+// via the world's OnProbe hook), classification outcomes, honeypot sessions
+// and telescope flow ingests (derived from the quiesced logs) — targets
+// sampled by pure hash of seed and address (-trace-sample).
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"openhire/internal/expr"
 	"openhire/internal/honeypot"
 	"openhire/internal/obs"
+	"openhire/internal/obs/trace"
 )
 
 func main() {
@@ -27,6 +35,8 @@ func main() {
 		only         = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live")
 		manifestPath = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
+		tracePath    = flag.String("trace", "", "write the flight recorder's JSONL lifecycle trace to this file")
+		traceSample  = flag.Uint64("trace-sample", 16, "trace one of every N target addresses (pure hash of seed+address; 1 = all)")
 	)
 	flag.Parse()
 
@@ -44,18 +54,23 @@ func main() {
 		reg    *obs.Registry
 		tracer *obs.Tracer
 	)
-	if *debugAddr != "" || *manifestPath != "" {
+	if *debugAddr != "" || *manifestPath != "" || *tracePath != "" {
 		reg = obs.NewRegistry()
 		tracer = obs.NewTracer(world.Clock)
 		world.Trace = tracer
 	}
 	if *debugAddr != "" {
-		addr, err := obs.Serve(*debugAddr, reg)
+		addr, _, err := obs.Serve(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", addr)
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder("openhire-report", *seed, *traceSample)
+		world.OnProbe = trace.ScanProbeHook(rec, world.Network, cfg.ScannerSource)
 	}
 
 	var selected []expr.Experiment
@@ -93,14 +108,35 @@ func main() {
 		}
 	}
 
-	if *manifestPath != "" {
-		// Fold in counters for exactly the phases the experiments forced:
-		// the world caches each phase, so these reads are free, and phases
-		// that never ran stay out of the manifest.
-		ran := make(map[string]bool)
-		for _, sp := range tracer.Spans() {
-			ran[sp.Name] = true
+	// The world caches each phase and the tracer names the ones that actually
+	// ran, so counters and derived trace events cover exactly the phases the
+	// experiments forced — the reads below are free, and phases that never
+	// ran stay out of the artifacts.
+	ran := make(map[string]bool)
+	for _, sp := range tracer.Spans() {
+		ran[sp.Name] = true
+	}
+	if rec != nil {
+		if ran["classify"] {
+			findings, _ := world.Classify()
+			trace.ClassifiedEvents(rec, findings)
 		}
+		if ran["attack_month"] {
+			trace.SessionEvents(rec, world.Log.Events())
+		}
+		if ran["telescope"] {
+			trace.FlowEvents(rec, world.Telescope.Flows())
+		}
+		digest, err := rec.WriteFile(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		outputDigests[*tracePath] = digest
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *tracePath, rec.Len())
+	}
+
+	if *manifestPath != "" {
 		if ran["scan"] {
 			_, stats := world.RunScan()
 			for proto, st := range stats {

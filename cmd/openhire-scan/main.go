@@ -10,6 +10,7 @@
 //	              [-faults PROFILE] [-max-attempts N] [-probe-timeout D]
 //	              [-target-budget D] [-breaker-threshold N]
 //	              [-debug-addr HOST:PORT] [-manifest FILE]
+//	              [-trace FILE] [-trace-sample N]
 //
 // The robustness knobs (-max-attempts, -probe-timeout, -target-budget,
 // -breaker-threshold) only engage on a faulted fabric: without -faults the
@@ -18,9 +19,12 @@
 //
 // -debug-addr serves /metrics, /debug/vars and /debug/pprof while the run
 // is live; -manifest writes a machine-readable run record (seed, resolved
-// flags, phase timings, counters, output digests) on exit. Both observe
-// through the existing per-worker stat shards, so instrumented runs stay
-// byte-identical to bare ones.
+// flags, phase timings, counters, output digests) on exit; -trace writes
+// the flight recorder's JSONL lifecycle trace (sent/answered/timeout/
+// retransmit/abandoned/classified per sampled target, sampled by pure hash
+// of seed and address — see -trace-sample). All observe through the
+// existing per-worker stat shards and pure-function hooks, so instrumented
+// runs stay byte-identical to bare ones.
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 	"openhire/internal/netsim"
 	"openhire/internal/netsim/faults"
 	"openhire/internal/obs"
+	"openhire/internal/obs/trace"
 )
 
 func main() {
@@ -63,6 +68,8 @@ func main() {
 		breakerThresh = flag.Int("breaker-threshold", 0, "admin-prohibited hits per /24 before the breaker skips it (requires -faults; 0 = default 8)")
 		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live")
 		manifestPath  = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
+		tracePath     = flag.String("trace", "", "write the flight recorder's JSONL lifecycle trace to this file")
+		traceSample   = flag.Uint64("trace-sample", 16, "trace one of every N target addresses (pure hash of seed+address; 1 = all)")
 	)
 	flag.Parse()
 
@@ -107,12 +114,16 @@ func main() {
 		tracer = obs.NewTracer(nil) // the scan does not advance simulated time
 	}
 	if *debugAddr != "" {
-		addr, err := obs.Serve(*debugAddr, reg)
+		addr, _, err := obs.Serve(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", addr)
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder("openhire-scan", *seed, *traceSample)
 	}
 
 	modules := scan.AllModules()
@@ -153,6 +164,10 @@ func main() {
 			progress.Add(targets)
 		}
 	}
+	// The probe hook records lifecycle events for hash-sampled targets into
+	// the recorder's shards; nil recorder means nil hook and the scanner's
+	// documented no-hook path.
+	scanCfg.OnProbe = trace.ScanProbeHook(rec, network, scanCfg.Source)
 	scanner := scan.NewScanner(scanCfg)
 
 	outputDigests := make(map[string]string)
@@ -325,6 +340,19 @@ func main() {
 		_ = ct.Render(os.Stdout)
 	}
 	span.End()
+
+	// Classification closes the scan leg's lifecycle in the trace, then the
+	// artifact is flushed (canonical order, digest into the manifest).
+	trace.ClassifiedEvents(rec, allFindings)
+	if rec != nil {
+		digest, err := rec.WriteFile(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		outputDigests[*tracePath] = digest
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *tracePath, rec.Len())
+	}
 
 	if *manifestPath != "" {
 		reg.Add("classify.findings", uint64(len(allFindings)))

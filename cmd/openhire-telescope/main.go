@@ -6,12 +6,18 @@
 //
 //	openhire-telescope [-seed N] [-scale F] [-days N] [-workers N] [-out FILE] [-format csv|bin]
 //	                   [-debug-addr HOST:PORT] [-manifest FILE]
+//	                   [-trace FILE] [-trace-sample N]
 //	openhire-telescope -rotate [-days N] [-out FILE]
 //	openhire-telescope -parse FILE
 //
 // With -rotate the capture is cut per day, the way the CAIDA pipeline rotates
 // files: each day is generated with RunDay, drained with Telescope.Drain (the
 // buffer is handed over and cleared, no copy), and written to FILE.dayNN.
+//
+// -trace writes the flight recorder's JSONL trace: one darknet.unit record
+// per finished (protocol, day) generation unit, one flow.rotate record per
+// -rotate day cut, and flow.ingest records for sources sampled by pure hash
+// of seed and address (-trace-sample), derived from the finished capture.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"openhire/internal/iot"
 	"openhire/internal/netsim"
 	"openhire/internal/obs"
+	"openhire/internal/obs/trace"
 	"openhire/internal/telescope"
 )
 
@@ -43,6 +50,8 @@ func main() {
 		rotate       = flag.Bool("rotate", false, "cut the capture per day (drain + per-day files)")
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live")
 		manifestPath = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
+		tracePath    = flag.String("trace", "", "write the flight recorder's JSONL lifecycle trace to this file")
+		traceSample  = flag.Uint64("trace-sample", 16, "trace one of every N source addresses (pure hash of seed+address; 1 = all)")
 	)
 	flag.Parse()
 
@@ -64,12 +73,16 @@ func main() {
 		progress = obs.NewProgress(os.Stderr, "generation units", 0)
 	}
 	if *debugAddr != "" {
-		addr, err := obs.Serve(*debugAddr, reg)
+		addr, _, err := obs.Serve(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", addr)
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder("openhire-telescope", *seed, *traceSample)
 	}
 	outputDigests := make(map[string]string)
 
@@ -84,12 +97,14 @@ func main() {
 		Days:      *days,
 		Workers:   *workers,
 	}
-	if reg != nil {
+	if reg != nil || rec != nil {
 		// Reported once per finished (protocol, day) unit after the worker
-		// pool joins — never from inside the generation hot path.
+		// pool joins — never from inside the generation hot path. Registry,
+		// reporter and recorder are all nil-safe.
 		cfg.OnUnit = func(proto iot.Protocol, day, flows int) {
 			reg.Add("darknet."+string(proto)+".flows", uint64(flows))
 			reg.Add("darknet.units", 1)
+			trace.DarknetUnitEvent(rec, proto, day, flows)
 			progress.Add(1)
 		}
 	}
@@ -97,7 +112,8 @@ func main() {
 	fmt.Printf("generating %d day(s) of telescope traffic at scale %.2g ...\n", *days, *scale)
 
 	if *rotate {
-		runRotated(gen, tel, *days, *out, *format, reg, tracer, outputDigests)
+		runRotated(gen, tel, *days, *out, *format, reg, tracer, rec, outputDigests)
+		writeTrace(rec, *tracePath, outputDigests)
 		writeManifest(*manifestPath, *seed, reg, tracer, outputDigests)
 		progress.Done()
 		return
@@ -110,6 +126,7 @@ func main() {
 
 	all := tel.Flows()
 	observeFlows(reg, all)
+	trace.FlowEvents(rec, all)
 	t8 := report.NewTable("\nTelescope traffic by protocol", "Protocol", "Packets", "Flows", "Unique IPs")
 	for _, s := range telescope.AggregateByProtocol(all) {
 		t8.AddRow(string(s.Protocol), s.Packets, s.Flows, s.UniqueIPs)
@@ -127,8 +144,23 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s records to %s (%s)\n", report.Comma(len(all)), *out, *format)
 	}
+	writeTrace(rec, *tracePath, outputDigests)
 	writeManifest(*manifestPath, *seed, reg, tracer, outputDigests)
 	progress.Done()
+}
+
+// writeTrace flushes the flight recorder artifact and records its digest.
+func writeTrace(rec *trace.Recorder, path string, digests map[string]string) {
+	if rec == nil {
+		return
+	}
+	digest, err := rec.WriteFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	digests[path] = digest
+	fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", path, rec.Len())
 }
 
 // observeFlows folds the finished capture into the registry: flow/packet
@@ -173,7 +205,7 @@ func writeManifest(path string, seed uint64, reg *obs.Registry, tracer *obs.Trac
 // grows past a single day's footprint. Drain hands over the live records —
 // the rotation contract — so nothing is copied on the way to disk.
 func runRotated(gen *attack.DarknetGenerator, tel *telescope.Telescope, days int, out, format string,
-	reg *obs.Registry, tracer *obs.Tracer, digests map[string]string) {
+	reg *obs.Registry, tracer *obs.Tracer, rec *trace.Recorder, digests map[string]string) {
 	total := 0
 	var allStats []*telescope.FlowTuple
 	for day := 0; day < days; day++ {
@@ -181,6 +213,7 @@ func runRotated(gen *attack.DarknetGenerator, tel *telescope.Telescope, days int
 		gen.RunDay(day)
 		span.End()
 		flows := tel.Drain()
+		trace.RotateEvent(rec, day, len(flows))
 		total += len(flows)
 		fmt.Printf("day %02d: %s aggregated flows\n", day, report.Comma(len(flows)))
 		if out != "" {
@@ -198,6 +231,7 @@ func runRotated(gen *attack.DarknetGenerator, tel *telescope.Telescope, days int
 		allStats = append(allStats, flows...)
 	}
 	observeFlows(reg, allStats)
+	trace.FlowEvents(rec, allStats)
 	fmt.Printf("captured %s aggregated flows across %d day(s)\n", report.Comma(total), days)
 	t8 := report.NewTable("\nTelescope traffic by protocol", "Protocol", "Packets", "Flows", "Unique IPs")
 	for _, s := range telescope.AggregateByProtocol(allStats) {

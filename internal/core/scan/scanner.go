@@ -150,6 +150,62 @@ type Config struct {
 	// must not block; leaving it nil — the default — keeps the feed loop
 	// exactly as fast and the scan byte-identical to an unobserved run.
 	Progress func(targets uint64)
+
+	// OnProbe, when set, receives one ProbeEvent per lifecycle moment of
+	// every probed target: transmission, outcome, retransmit scheduling,
+	// abandonment, and feed-side breaker skips. It is called from worker
+	// goroutines (and from the single-threaded feed for breaker skips), so
+	// implementations must be safe for concurrent use and must not block.
+	// The hook only reads values the loop has already computed — outcomes
+	// and backoff delays are pure functions of (seed, target, attempt) — so
+	// a hooked run produces byte-identical results and stats to a bare one;
+	// nil (the default) keeps the loop exactly as before the hook existed.
+	OnProbe func(ProbeEvent)
+}
+
+// ProbeEventKind names one lifecycle moment in a target's retransmit loop.
+type ProbeEventKind uint8
+
+// Probe lifecycle events, in the order one target can emit them.
+const (
+	// ProbeSent marks a transmission leaving the scanner (Attempt is the
+	// retransmission ordinal, 0 for the first transmission).
+	ProbeSent ProbeEventKind = iota
+	// ProbeAnswered marks an OutcomeOK conversation: a Result was emitted.
+	ProbeAnswered
+	// ProbeTimedOut marks an attempt lost or outlasting the per-attempt
+	// patience (Sim carries ProbeTimeout).
+	ProbeTimedOut
+	// ProbeReset marks a conversation torn down mid-stream.
+	ProbeReset
+	// ProbePartial marks a tarpitted conversation: banner prefix only.
+	ProbePartial
+	// ProbeNegative marks a true negative: dark address, closed port, or a
+	// clean no-answer conversation.
+	ProbeNegative
+	// ProbeRetransmit marks a follow-up transmission being scheduled after
+	// the timed-out Attempt (Sim carries the backoff delay before it).
+	ProbeRetransmit
+	// ProbeAbandoned marks the retry loop giving up — attempt cap, target
+	// budget, or cancellation (Sim carries the target's total simulated
+	// spend).
+	ProbeAbandoned
+	// ProbeBreakerSkip marks the feed dropping a whole address inside a
+	// circuit-broken /24 (Port is 0: the decision is per-address).
+	ProbeBreakerSkip
+)
+
+// ProbeEvent is one lifecycle event delivered to Config.OnProbe.
+type ProbeEvent struct {
+	Kind     ProbeEventKind
+	Protocol iot.Protocol
+	IP       netsim.IPv4
+	Port     uint16
+	Attempt  uint32
+	// Sim is the simulated duration attached to the event where one exists:
+	// the per-attempt patience for timeouts, the backoff delay for
+	// retransmits, the target's cumulative spend for abandons.
+	Sim time.Duration
 }
 
 // Stats summarizes one protocol scan. Probed counts transmissions (like
@@ -335,6 +391,11 @@ func (s *Scanner) Run(ctx context.Context, module ProbeModule, emit func(*Result
 
 	it := NewAddressIterator(s.cfg.Prefix, s.cfg.Seed, s.cfg.Blocklist, s.cfg.Shard, s.cfg.Shards)
 	ports := module.Ports()
+	trace := s.cfg.OnProbe
+	var proto iot.Protocol
+	if trace != nil {
+		proto = module.Protocol()
+	}
 	batch := make([]target, 0, targetBatchSize)
 feed:
 	for {
@@ -344,6 +405,9 @@ feed:
 		}
 		if breaker != nil && breaker.skip(ip) {
 			breakerSkipped += uint64(len(ports))
+			if trace != nil {
+				trace(ProbeEvent{Kind: ProbeBreakerSkip, Protocol: proto, IP: ip})
+			}
 			continue
 		}
 		for _, port := range ports {
@@ -399,7 +463,19 @@ func (s *Scanner) probeTarget(ctx context.Context, module ProbeModule, t target,
 	dst := netsim.Endpoint{IP: t.ip, Port: t.port}
 	spec := ProbeSpec{Timeout: s.cfg.ProbeTimeout}
 	var spent time.Duration
+	trace := s.cfg.OnProbe
+	var proto iot.Protocol
+	if trace != nil {
+		proto = module.Protocol()
+	}
+	event := func(kind ProbeEventKind, sim time.Duration) {
+		trace(ProbeEvent{Kind: kind, Protocol: proto, IP: t.ip, Port: t.port,
+			Attempt: spec.Attempt, Sim: sim})
+	}
 	for {
+		if trace != nil {
+			event(ProbeSent, 0)
+		}
 		res, out := module.Probe(ctx, s.cfg.Network, s.cfg.Source, dst, spec)
 		shard.probed++
 		switch out {
@@ -408,26 +484,48 @@ func (s *Scanner) probeTarget(ctx context.Context, module ProbeModule, t target,
 			if emit != nil {
 				emit(res)
 			}
+			if trace != nil {
+				event(ProbeAnswered, 0)
+			}
 			return
 		case OutcomeReset:
 			shard.resets++
+			if trace != nil {
+				event(ProbeReset, 0)
+			}
 			return
 		case OutcomePartial:
 			shard.partials++
+			if trace != nil {
+				event(ProbePartial, 0)
+			}
 			return
 		case OutcomeTimeout:
 			shard.timeouts++
-			spent += s.cfg.ProbeTimeout + s.backoffDelay(t.ip, t.port, spec.Attempt)
+			backoff := s.backoffDelay(t.ip, t.port, spec.Attempt)
+			spent += s.cfg.ProbeTimeout + backoff
+			if trace != nil {
+				event(ProbeTimedOut, s.cfg.ProbeTimeout)
+			}
 			if int(spec.Attempt)+1 >= maxAttempts || spent > s.cfg.TargetBudget || ctx.Err() != nil {
+				if trace != nil {
+					event(ProbeAbandoned, spent)
+				}
 				return
 			}
 			shard.retransmits++
+			if trace != nil {
+				event(ProbeRetransmit, backoff)
+			}
 			if limiter != nil && limiter.reserve(ctx, 1) == 0 {
 				return // canceled while throttled
 			}
 			spec.Attempt++
 		default:
 			shard.negatives++
+			if trace != nil {
+				event(ProbeNegative, 0)
+			}
 			return
 		}
 	}

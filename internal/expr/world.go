@@ -101,6 +101,11 @@ type World struct {
 	// nil-safe methods and never branch on it.
 	Trace *obs.Tracer
 
+	// OnProbe, when non-nil, is threaded into the scan phase's
+	// scan.Config.OnProbe (same zero-perturbation contract: observation
+	// only, the probe stream is unchanged). Set it before RunScan.
+	OnProbe func(scan.ProbeEvent)
+
 	scanOnce    sync.Once
 	scanResults map[iot.Protocol][]*scan.Result
 	scanStats   map[iot.Protocol]scan.Stats
@@ -172,6 +177,7 @@ func (w *World) RunScan() (map[iot.Protocol][]*scan.Result, map[iot.Protocol]sca
 			Prefix:  w.Cfg.UniversePrefix,
 			Seed:    w.Cfg.Seed,
 			Workers: w.Cfg.Workers,
+			OnProbe: w.OnProbe,
 		})
 		w.scanResults, w.scanStats = s.RunAllParallel(context.Background(), scan.AllModules())
 	})

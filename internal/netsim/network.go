@@ -227,6 +227,20 @@ func (n *Network) Faults() FaultModel {
 	return nil
 }
 
+// PlanFor replays the installed fault model's decision for one probe at the
+// current simulated time. FaultModel implementations are pure functions of
+// (their seed, the arguments), so out-of-band consumers — the flight
+// recorder annotates sampled probes with the latency and pathology the
+// fabric injected — can read the plan without touching the probe path or
+// perturbing the run. The second return is false on a perfect network.
+func (n *Network) PlanFor(src IPv4, dst Endpoint, transport Transport, attempt uint32) (FaultPlan, bool) {
+	fm := n.Faults()
+	if fm == nil {
+		return FaultPlan{}, false
+	}
+	return fm.PlanProbe(src, dst, transport, attempt, n.clock.Now()), true
+}
+
 // netState is one immutable snapshot of the network's registrations.
 type netState struct {
 	// providers is sorted most-specific (longest prefix) first; within

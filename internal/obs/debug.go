@@ -6,25 +6,36 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
-// publishOnce guards the process-global expvar name: tests (and a binary
-// restarting its server) must not panic on a duplicate Publish.
-var publishOnce sync.Once
+// publishOnce guards the process-global expvar name: Publish panics on a
+// duplicate, so the "obs" var is registered exactly once per process. The
+// var reads through currentReg, so it always reflects the registry of the
+// most recent Serve call — a second Serve with a fresh registry is not
+// pinned to the first one's snapshots.
+var (
+	publishOnce sync.Once
+	currentReg  atomic.Pointer[Registry]
+)
 
 // Serve starts the debug endpoint on addr (e.g. "localhost:6060") and
-// returns the bound listener address. The mux exposes:
+// returns the bound listener address plus a closer that shuts the server
+// down. The mux exposes:
 //
-//	/metrics      — the registry snapshot as JSON
-//	/debug/vars   — expvar (cmdline, memstats, and the registry under "obs")
-//	/debug/pprof/ — the standard pprof handlers
+//	/metrics             — the registry snapshot as JSON
+//	/metrics?format=prom — the snapshot in Prometheus text exposition format
+//	/debug/vars          — expvar (cmdline, memstats, and the registry under "obs")
+//	/debug/pprof/        — the standard pprof handlers
 //
-// The server runs on its own goroutine for the life of the process; the
-// pipeline never blocks on it, and scraping it reads snapshots, not live
-// shards, so it cannot perturb a run.
-func Serve(addr string, r *Registry) (string, error) {
+// The server runs on its own goroutine until the closer is called (the
+// binaries let it live for the process); the pipeline never blocks on it,
+// and scraping it reads snapshots, not live shards, so it cannot perturb a
+// run.
+func Serve(addr string, r *Registry) (string, func() error, error) {
+	currentReg.Store(r)
 	publishOnce.Do(func() {
-		expvar.Publish("obs", expvar.Func(func() any { return r.Snapshot() }))
+		expvar.Publish("obs", expvar.Func(func() any { return currentReg.Load().Snapshot() }))
 	})
 
 	mux := http.NewServeMux()
@@ -38,9 +49,9 @@ func Serve(addr string, r *Registry) (string, error) {
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), srv.Close, nil
 }

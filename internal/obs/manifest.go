@@ -8,6 +8,7 @@ import (
 	"hash"
 	"io"
 	"os"
+	"runtime/debug"
 )
 
 // Manifest is one run's machine-readable ground truth: the seed and resolved
@@ -26,6 +27,9 @@ type Manifest struct {
 	// Config is the fully resolved flag set: every flag, default or not,
 	// with its final string value.
 	Config map[string]string `json:"config,omitempty"`
+	// Build pins the third leg of the "(seed, config, build)" purity claim:
+	// two manifests that differ on equal seed and config must differ here.
+	Build *BuildInfo `json:"build,omitempty"`
 	// Phases are the tracer's spans in completion order.
 	Phases []SpanRecord `json:"phases,omitempty"`
 	// Counters, Gauges and Histograms mirror the registry snapshot.
@@ -42,8 +46,45 @@ func NewManifest(binary string, seed uint64) *Manifest {
 		Binary:  binary,
 		Seed:    seed,
 		Config:  make(map[string]string),
+		Build:   readBuildInfo(),
 		Outputs: make(map[string]string),
 	}
+}
+
+// BuildInfo identifies the build that produced a run: toolchain, module
+// version, and VCS state. Every field is constant for a given binary, so two
+// runs of the same build carry identical build sections and a manifest diff
+// that reaches them has isolated a build difference.
+type BuildInfo struct {
+	GoVersion string `json:"go_version,omitempty"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"module_version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
+}
+
+// readBuildInfo extracts the embedded build metadata. Binaries built with
+// module and VCS stamping get all fields; `go test` binaries at least the
+// toolchain version. Returns nil only when the runtime embeds nothing.
+func readBuildInfo() *BuildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return nil
+	}
+	out := &BuildInfo{
+		GoVersion: bi.GoVersion,
+		Module:    bi.Main.Path,
+		Version:   bi.Main.Version,
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
 }
 
 // RecordFlags snapshots the resolved configuration: every flag's final value

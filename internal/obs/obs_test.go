@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -140,6 +141,90 @@ func TestProgressThrottleAndDone(t *testing.T) {
 	nilP.Done() // must not panic
 }
 
+// TestProgressDoneInsideThrottle pins the final-line guarantee: even when
+// every Add lands inside the throttle window (so nothing was printed yet),
+// Done must still emit one completion line — and only once.
+func TestProgressDoneInsideThrottle(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "scan", 100)
+	p.interval = time.Hour // throttle swallows every Add
+	p.Add(100)
+	if buf.Len() != 0 {
+		t.Fatalf("throttled Add emitted a line:\n%s", buf.String())
+	}
+	p.Done()
+	out := buf.String()
+	if !strings.Contains(out, "scan: 100/100 (100.0%) (done)") {
+		t.Fatalf("missing completion line in:\n%q", out)
+	}
+	p.Done() // idempotent: no second line
+	if got := strings.Count(buf.String(), "(done)"); got != 1 {
+		t.Fatalf("Done emitted %d completion lines, want 1:\n%s", got, buf.String())
+	}
+}
+
+// TestProgressUnknownTotal pins the total==0 guard: lines must omit the
+// percentage entirely rather than dividing by zero.
+func TestProgressUnknownTotal(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "units", 0)
+	p.interval = 0
+	p.Add(3)
+	p.Done()
+	out := buf.String()
+	if out == "" {
+		t.Fatal("no progress lines emitted")
+	}
+	if strings.Contains(out, "%") || strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("zero-total line leaked a percentage:\n%q", out)
+	}
+	if !strings.Contains(out, "units: 3 (done)") {
+		t.Fatalf("missing count line in:\n%q", out)
+	}
+}
+
+// TestHistogramSnapshotDeterminism pins the fixed-bucket contract: the same
+// multiset of observations produces byte-identical snapshots regardless of
+// observation order or the number of goroutines feeding the histogram.
+func TestHistogramSnapshotDeterminism(t *testing.T) {
+	durations := make([]time.Duration, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		durations = append(durations, time.Duration(i*i)*time.Millisecond)
+	}
+	snapshotWith := func(workers int, reverse bool) []byte {
+		h := NewHistogram(DefaultBuckets)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(durations); i += workers {
+					idx := i
+					if reverse {
+						idx = len(durations) - 1 - i
+					}
+					h.Observe(durations[idx])
+				}
+			}(w)
+		}
+		wg.Wait()
+		data, err := json.Marshal(h.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	want := snapshotWith(1, false)
+	for _, workers := range []int{1, 7, 32} {
+		for _, reverse := range []bool{false, true} {
+			if got := snapshotWith(workers, reverse); !bytes.Equal(got, want) {
+				t.Fatalf("snapshot diverged at workers=%d reverse=%v:\n%s\n----\n%s",
+					workers, reverse, got, want)
+			}
+		}
+	}
+}
+
 func TestManifestDeterministicJSON(t *testing.T) {
 	build := func() []byte {
 		m := NewManifest("openhire-scan", 2021)
@@ -207,35 +292,97 @@ func TestDigestWriterMatchesDigest(t *testing.T) {
 	}
 }
 
+// httpGet fetches one debug endpoint and returns the body.
+func httpGet(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
 func TestServeDebugEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Add("scan.probed", 9)
-	addr, err := Serve("127.0.0.1:0", r)
+	addr, closeSrv, err := Serve("127.0.0.1:0", r)
 	if err != nil {
 		t.Skipf("cannot listen on loopback in this environment: %v", err)
 	}
-	get := func(path string) string {
-		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
-		if err != nil {
-			t.Fatalf("GET %s: %v", path, err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
-		}
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return string(body)
-	}
-	if body := get("/metrics"); !strings.Contains(body, `"scan.probed": 9`) {
+	defer closeSrv()
+	if body := httpGet(t, addr, "/metrics"); !strings.Contains(body, `"scan.probed": 9`) {
 		t.Fatalf("/metrics missing counter:\n%s", body)
 	}
-	if body := get("/debug/vars"); !strings.Contains(body, `"obs"`) {
+	if body := httpGet(t, addr, "/debug/vars"); !strings.Contains(body, `"obs"`) {
 		t.Fatalf("/debug/vars missing published registry:\n%s", body)
 	}
-	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+	if body := httpGet(t, addr, "/debug/pprof/cmdline"); len(body) == 0 {
 		t.Fatal("/debug/pprof/cmdline empty")
+	}
+	if body := httpGet(t, addr, "/metrics?format=prom"); !strings.Contains(body, "scan_probed 9") {
+		t.Fatalf("/metrics?format=prom missing counter:\n%s", body)
+	}
+}
+
+// TestServeRebindAfterClose is the regression test for the second-Serve bug:
+// the expvar "obs" var used to be pinned to the first registry ever served,
+// so a later Serve (new registry, new port) kept exporting stale data. Serve
+// now returns a closer and binds expvar to the *current* registry.
+func TestServeRebindAfterClose(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Add("first.counter", 1)
+	addr1, close1, err := Serve("127.0.0.1:0", r1)
+	if err != nil {
+		t.Skipf("cannot listen on loopback in this environment: %v", err)
+	}
+	if body := httpGet(t, addr1, "/debug/vars"); !strings.Contains(body, "first.counter") {
+		t.Fatalf("first server missing its registry:\n%s", body)
+	}
+	if err := close1(); err != nil {
+		t.Fatalf("close first server: %v", err)
+	}
+
+	r2 := NewRegistry()
+	r2.Add("second.counter", 2)
+	addr2, close2, err := Serve("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatalf("second Serve failed: %v", err)
+	}
+	defer close2()
+	body := httpGet(t, addr2, "/debug/vars")
+	if !strings.Contains(body, "second.counter") {
+		t.Fatalf("expvar still pinned to a stale registry; /debug/vars:\n%s", body)
+	}
+	if strings.Contains(body, "first.counter") {
+		t.Fatalf("expvar exports the closed server's registry; /debug/vars:\n%s", body)
+	}
+	if body := httpGet(t, addr2, "/metrics"); !strings.Contains(body, `"second.counter": 2`) {
+		t.Fatalf("second server serves wrong registry:\n%s", body)
+	}
+}
+
+// TestManifestBuildInfo pins the build-stamp satellite: manifests must carry
+// the Go toolchain version (always available via runtime/debug) and the
+// stamp must be identical between two manifests from one process.
+func TestManifestBuildInfo(t *testing.T) {
+	a, b := NewManifest("x", 1), NewManifest("x", 1)
+	if a.Build == nil {
+		t.Fatal("manifest has no build info")
+	}
+	if a.Build.GoVersion == "" {
+		t.Fatal("build info missing Go version")
+	}
+	aj, _ := json.Marshal(a.Build)
+	bj, _ := json.Marshal(b.Build)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("build info not deterministic:\n%s\n----\n%s", aj, bj)
 	}
 }

@@ -25,6 +25,7 @@ type Progress struct {
 	n     uint64
 	last  time.Time
 	start time.Time
+	done  bool
 }
 
 // defaultInterval is the minimum wall time between progress lines.
@@ -54,24 +55,36 @@ func (p *Progress) Add(n uint64) {
 	p.mu.Unlock()
 }
 
-// Done emits the final count unconditionally.
+// Done emits the final completion line unconditionally — even when the last
+// Add landed inside the throttle window, a finished run always ends with a
+// "(done)" line — and marks the reporter finished. Calling Done again is a
+// no-op, so shared shutdown paths can all call it safely.
 func (p *Progress) Done() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
-	p.emit(time.Now())
+	if !p.done {
+		p.done = true
+		p.emit(time.Now())
+	}
 	p.mu.Unlock()
 }
 
-// emit writes one line; callers hold p.mu.
+// emit writes one line; callers hold p.mu. The percentage is only rendered
+// with a known nonzero total: total == 0 means "unknown", and dividing by it
+// would print NaN on every line.
 func (p *Progress) emit(now time.Time) {
 	elapsed := now.Sub(p.start).Round(time.Millisecond)
+	suffix := ""
+	if p.done {
+		suffix = " (done)"
+	}
 	if p.total > 0 {
-		fmt.Fprintf(p.w, "%s: %d/%d (%.1f%%) in %s\n",
-			p.label, p.n, p.total, 100*float64(p.n)/float64(p.total), elapsed)
+		fmt.Fprintf(p.w, "%s: %d/%d (%.1f%%)%s in %s\n",
+			p.label, p.n, p.total, 100*float64(p.n)/float64(p.total), suffix, elapsed)
 	} else {
-		fmt.Fprintf(p.w, "%s: %d in %s\n", p.label, p.n, elapsed)
+		fmt.Fprintf(p.w, "%s: %d%s in %s\n", p.label, p.n, suffix, elapsed)
 	}
 }
 

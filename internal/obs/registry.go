@@ -145,12 +145,20 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// handler serves the registry as indented JSON — the /metrics endpoint.
-func (r *Registry) handler(w http.ResponseWriter, _ *http.Request) {
+// handler serves the registry — the /metrics endpoint. The default body is
+// indented JSON; ?format=prom switches to the Prometheus text exposition
+// format for scrapers.
+func (r *Registry) handler(w http.ResponseWriter, req *http.Request) {
+	s := r.Snapshot()
+	if req != nil && req.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(r.Snapshot())
+	_ = enc.Encode(s)
 }
 
 // DefaultBuckets are the fixed simulated-time histogram boundaries:

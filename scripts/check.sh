@@ -9,15 +9,29 @@
 #      parallel darknet generation) — the parallel-vs-sequential equivalence
 #      tests run under the detector here
 #   4. the observability gate: the zero-perturbation equivalence tests
-#      (instrumented runs — registry, tracer, progress and day/unit hooks —
-#      byte-identical to bare runs) under the race detector
+#      (instrumented runs — registry, tracer, progress, day/unit hooks and
+#      the flight recorder — byte-identical to bare runs) under the race
+#      detector; includes the trace determinism tests (identical JSONL
+#      across worker counts)
 #   5. the chaos gate: the fault-model equivalence tests (zero-fault noop,
 #      cross-worker determinism, ±2% calibrated classification drift) under
 #      the race detector, plus a short fuzz smoke over the Telnet and MQTT
-#      parsers (seed corpus + 10 fresh inputs each)
-#   6. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
+#      parsers (seed corpus + 10 fresh inputs each) — skipped with --fast
+#   6. the inspect smoke: build openhire-scan + openhire-inspect, run the
+#      scan leg twice with the same seed (traced) plus once bare, and
+#      require empty manifest/trace self-diffs, byte-identical result
+#      artifacts with tracing on and off, and a working summarize/prom
+#   7. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
+#
+# Usage: check.sh [--fast]
+#   --fast skips the fuzz smokes (step 5's second half), nothing else.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+if [ "${1:-}" = "--fast" ]; then
+	FAST=1
+fi
 
 echo "==> gofmt -l (all tracked Go files)"
 unformatted=$(gofmt -l . | grep -v '^\.git/' || true)
@@ -37,7 +51,7 @@ echo "==> go test -race (hot-path packages)"
 go test -race ./internal/netsim/... ./internal/core/scan/... \
 	./internal/telescope/... ./internal/attack/... ./internal/honeypot/...
 
-echo "==> observability gate: zero-perturbation equivalence under -race"
+echo "==> observability gate: zero-perturbation + trace determinism under -race"
 go test -race ./internal/obs/... ./internal/expr/
 
 echo "==> chaos gate: fault-model equivalence under -race"
@@ -45,13 +59,56 @@ go test -race -run 'TestChaos|TestBackoff|TestScanCancel' \
 	./internal/core/scan/ ./internal/core/classify/
 go test -race ./internal/netsim/faults/
 
-echo "==> chaos gate: parser fuzz smoke (10 iterations per target)"
-for target in FuzzSplitStream FuzzEscapeRoundTrip; do
-	go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 10x ./internal/protocols/telnet/
-done
-for target in FuzzReadPacket FuzzTopicMatches; do
-	go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 10x ./internal/protocols/mqtt/
-done
+if [ "$FAST" = "0" ]; then
+	echo "==> chaos gate: parser fuzz smoke (10 iterations per target)"
+	for target in FuzzSplitStream FuzzEscapeRoundTrip; do
+		go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 10x ./internal/protocols/telnet/
+	done
+	for target in FuzzReadPacket FuzzTopicMatches; do
+		go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 10x ./internal/protocols/mqtt/
+	done
+else
+	echo "==> chaos gate: parser fuzz smoke skipped (--fast)"
+fi
+
+echo "==> inspect smoke: fixed-seed run self-diffs clean, tracing is zero-perturbation"
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE/" ./cmd/openhire-scan ./cmd/openhire-inspect
+# Flag values are recorded verbatim in the manifest config section, so every
+# run uses relative artifact paths from its own directory — identical flags,
+# identical manifests.
+SCAN_FLAGS="-seed 7 -prefix 100.0.0.0/20 -boost 8 -workers 19 -faults calibrated -out results.jsonl"
+mkdir "$SMOKE/a" "$SMOKE/b" "$SMOKE/bare"
+(cd "$SMOKE/a" && "$SMOKE/openhire-scan" $SCAN_FLAGS -trace t.jsonl -trace-sample 4 -manifest m.json >stdout.txt 2>/dev/null)
+(cd "$SMOKE/b" && "$SMOKE/openhire-scan" $SCAN_FLAGS -trace t.jsonl -trace-sample 4 -manifest m.json >stdout.txt 2>/dev/null)
+(cd "$SMOKE/bare" && "$SMOKE/openhire-scan" $SCAN_FLAGS >stdout.txt 2>/dev/null)
+# Two same-seed runs: manifests and traces must self-diff empty.
+"$SMOKE/openhire-inspect" diff "$SMOKE/a/m.json" "$SMOKE/b/m.json"
+"$SMOKE/openhire-inspect" diff "$SMOKE/a/t.jsonl" "$SMOKE/b/t.jsonl"
+# Zero perturbation: the result artifact is byte-identical with tracing on
+# and off, and stdout matches once wall-clock noise is stripped — the
+# duration tokens themselves plus table padding/rules, whose widths track
+# the longest duration string in the Elapsed column.
+cmp "$SMOKE/a/results.jsonl" "$SMOKE/bare/results.jsonl"
+strip_wall() {
+	sed -E 's/[0-9]+(\.[0-9]+)?(ns|µs|ms|s)\b//g; s/-+/-/g; s/ +/ /g; s/ +$//' "$1"
+}
+if ! diff <(strip_wall "$SMOKE/a/stdout.txt") <(strip_wall "$SMOKE/bare/stdout.txt") >/dev/null; then
+	echo "inspect smoke: traced stdout differs from bare run beyond wall-clock" >&2
+	diff <(strip_wall "$SMOKE/a/stdout.txt") <(strip_wall "$SMOKE/bare/stdout.txt") >&2 || true
+	exit 1
+fi
+# The analysis side must run clean on its own artifacts.
+"$SMOKE/openhire-inspect" summarize "$SMOKE/a/t.jsonl" >/dev/null
+"$SMOKE/openhire-inspect" summarize "$SMOKE/a/m.json" >/dev/null
+"$SMOKE/openhire-inspect" prom "$SMOKE/a/m.json" >/dev/null
+# And a seeded difference must be caught (exit 1).
+(cd "$SMOKE/b" && "$SMOKE/openhire-scan" -seed 8 -prefix 100.0.0.0/20 -boost 8 -workers 19 -faults calibrated -out results.jsonl -trace t2.jsonl -trace-sample 4 -manifest m2.json >/dev/null 2>&1)
+if "$SMOKE/openhire-inspect" diff "$SMOKE/a/m.json" "$SMOKE/b/m2.json" >/dev/null; then
+	echo "inspect smoke: diff failed to flag a different-seed manifest" >&2
+	exit 1
+fi
 
 echo "==> go test ./... (tier-1 gate)"
 go test ./...
