@@ -1,6 +1,6 @@
 # Developer entry points. `make check` is the gate every PR must pass.
 
-.PHONY: check check-fast build test race chaos bench-scan bench-telescope
+.PHONY: check check-fast build test race chaos bench-scan bench-telescope bench-campaign
 
 check:
 	./scripts/check.sh
@@ -44,3 +44,16 @@ bench-scan:
 bench-telescope:
 	go test -run '^$$' -bench 'BenchmarkDarknetDay|BenchmarkCampaignReplay' -benchtime 20x ./internal/attack/
 	go test -run '^$$' -bench 'BenchmarkTelescopeObserve|BenchmarkTelescopeRecord' ./internal/telescope/
+
+# bench-campaign reproduces the conversation-engine numbers recorded in
+# BENCH_campaign.json. Record the min over the repeated campaign runs — this
+# is a single-core host with wall-clock variance. `make bench-campaign
+# BENCHTIME=1x COUNT=1` is the one-iteration smoke scripts/check.sh --fast
+# runs to keep the benchmarks compiling and executing.
+BENCHTIME ?= 1s
+COUNT ?= 6
+bench-campaign:
+	go test -run '^$$' -bench 'BenchmarkCampaignReplay' -benchmem \
+		-benchtime $(BENCHTIME) -count $(COUNT) ./internal/attack/
+	go test -run '^$$' -bench 'BenchmarkConversationEngine' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/netsim/

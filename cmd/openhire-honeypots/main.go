@@ -7,6 +7,7 @@
 //	openhire-honeypots [-seed N] [-intensity F] [-workers N] [-csv]
 //	                   [-debug-addr HOST:PORT] [-manifest FILE]
 //	                   [-trace FILE] [-trace-sample N]
+//	                   [-cpuprofile FILE] [-memprofile FILE]
 //
 // -trace writes the flight recorder's JSONL trace: campaign day boundaries
 // plus session open/command/close lifecycles derived per (source, honeypot,
@@ -46,8 +47,16 @@ func main() {
 		manifestPath = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
 		tracePath    = flag.String("trace", "", "write the flight recorder's JSONL lifecycle trace to this file")
 		traceSample  = flag.Uint64("trace-sample", 16, "trace one of every N source addresses (pure hash of seed+address; 1 = all)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the replay to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (post-GC live memory) to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	clock := netsim.NewSimClock(netsim.ExperimentStart)
 	network := netsim.NewNetwork(clock)
@@ -111,6 +120,12 @@ func main() {
 	reg.AddAll("campaign", stats.Counters())
 	fmt.Printf("replayed %s attack conversations in %s\n",
 		report.Comma(stats.EventsRun), stats.Elapsed.Round(1000000))
+	// Profiles cover exactly the replay: the CPU capture stops (and the live
+	// heap is written) before the reporting tail below.
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	events := log.Events()
 	// Sessions are derived from the quiesced log's canonical order — the

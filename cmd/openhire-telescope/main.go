@@ -7,6 +7,7 @@
 //	openhire-telescope [-seed N] [-scale F] [-days N] [-workers N] [-out FILE] [-format csv|bin]
 //	                   [-debug-addr HOST:PORT] [-manifest FILE]
 //	                   [-trace FILE] [-trace-sample N]
+//	                   [-cpuprofile FILE] [-memprofile FILE]
 //	openhire-telescope -rotate [-days N] [-out FILE]
 //	openhire-telescope -parse FILE
 //
@@ -52,12 +53,20 @@ func main() {
 		manifestPath = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
 		tracePath    = flag.String("trace", "", "write the flight recorder's JSONL lifecycle trace to this file")
 		traceSample  = flag.Uint64("trace-sample", 16, "trace one of every N source addresses (pure hash of seed+address; 1 = all)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the generation to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (post-GC live memory) to this file")
 	)
 	flag.Parse()
 
 	if *parse != "" {
 		parseFile(*parse)
 		return
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	// Observability stack: nil unless asked for; every hook below is a
@@ -113,6 +122,10 @@ func main() {
 
 	if *rotate {
 		runRotated(gen, tel, *days, *out, *format, reg, tracer, rec, outputDigests)
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		writeTrace(rec, *tracePath, outputDigests)
 		writeManifest(*manifestPath, *seed, reg, tracer, outputDigests)
 		progress.Done()
@@ -122,6 +135,12 @@ func main() {
 	span := tracer.Start("generate")
 	flows := gen.Run()
 	span.End()
+	// Profiles cover exactly the generation: the CPU capture stops (and the
+	// live heap is written) before the aggregation and dump tail below.
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("captured %s aggregated flows\n", report.Comma(flows))
 
 	all := tel.Flows()

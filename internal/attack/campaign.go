@@ -166,6 +166,10 @@ func (st Stats) Counters() map[string]uint64 {
 // receives its scaled share of events with the calibrated type mix and
 // source classes. Events within a day run concurrently; days advance the
 // simulation clock sequentially so Figure 8's series is faithful.
+// genPool recycles per-job PRNG sources; every job reseeds its source from
+// the plan, so recycling cannot leak state between jobs.
+var genPool = sync.Pool{New: func() any { return prng.New(0) }}
+
 func (c *Campaign) Run(ctx context.Context) Stats {
 	start := time.Now()
 	var stats Stats
@@ -177,40 +181,33 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 		dst   netsim.IPv4
 		seed  uint64
 	}
-	// Each worker owns a FIFO queue and jobs are routed by (source, protocol
-	// shard) — the honeypot flood heuristic's counter key — so all events of
-	// one key execute on one worker, in schedule order. The logs' *content*
-	// (including which events the heuristic upgrades to DoS) is therefore a
-	// pure function of the plan, independent of worker count; only arrival
-	// order varies, which honeypot.SortEventsCanonical factors out.
-	workers := c.cfg.Workers
-	queues := make([]chan job, workers)
-	var wg sync.WaitGroup
+	// Jobs run on the netsim conversation engine: hash-of-(src,dst) shards,
+	// each a single-threaded FIFO lane. The honeypot flood heuristic's
+	// counter key (honeypot instance = dst, protocol, source, day) is strictly
+	// finer than the (src, dst) routing key, so all events of one counter key
+	// execute on one shard, in schedule order. The logs' *content* (including
+	// which events the heuristic upgrades to DoS) is therefore a pure
+	// function of the plan, independent of shard count; only arrival order
+	// varies, which honeypot.SortEventsCanonical factors out. Dials made
+	// inside a job also land on the shard's conversation arena, so the whole
+	// dialogue recycles shard-local state instead of allocating.
+	engine := netsim.NewConvEngine(c.cfg.Workers)
 	// dayWG drains in-flight jobs at day boundaries so every event is
 	// stamped with the day it was scheduled for — Figure 8's daily series
 	// and the multistage stage ordering depend on it.
 	var dayWG sync.WaitGroup
 	var runCount atomic.Int64
-	for w := 0; w < workers; w++ {
-		queues[w] = make(chan job, 64)
-		wg.Add(1)
-		go func(q chan job) {
-			defer wg.Done()
-			gen := prng.New(0) // reseeded per job; one allocation per worker
-			for j := range q {
-				gen.Reseed(j.seed)
-				_ = c.exec.Execute(ctx, j.typ, j.proto, j.src, j.dst, gen)
-				runCount.Add(1)
-				dayWG.Done()
-			}
-		}(queues[w])
-	}
 	dispatch := func(j job) {
 		dayWG.Add(1)
-		h := (uint64(j.src)<<8 | uint64(protocolShard[j.proto])) * 0x9e3779b97f4a7c15
-		select {
-		case queues[(h^h>>32)%uint64(workers)] <- j:
-		case <-ctx.Done():
+		accepted := engine.Submit(ctx, j.src, j.dst, func(jctx context.Context) {
+			gen := genPool.Get().(*prng.Source)
+			gen.Reseed(j.seed)
+			_ = c.exec.Execute(jctx, j.typ, j.proto, j.src, j.dst, gen)
+			genPool.Put(gen)
+			runCount.Add(1)
+			dayWG.Done()
+		})
+		if !accepted { // context cancelled before the shard took the job
 			dayWG.Done()
 		}
 	}
@@ -286,10 +283,7 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 			c.cfg.OnDay(day, stats.EventsPlanned, int(runCount.Load()))
 		}
 	}
-	for _, q := range queues {
-		close(q)
-	}
-	wg.Wait()
+	engine.Close()
 	c.cfg.Network.Quiesce() // the log is complete once Run returns
 	// Leave the clock at the end of the month.
 	if err := c.cfg.Clock.Set(DayStart(ExperimentDays)); err != nil {
@@ -309,19 +303,20 @@ func isDoSSpike(day int) bool {
 	return false
 }
 
+// sampleTypeOrder fixes the iteration order for determinism.
+var sampleTypeOrder = [...]honeypot.AttackType{
+	honeypot.AttackScan, honeypot.AttackBruteForce, honeypot.AttackDictionary,
+	honeypot.AttackMalware, honeypot.AttackPoisoning, honeypot.AttackDoS,
+	honeypot.AttackReflection, honeypot.AttackExploit, honeypot.AttackWebScrape,
+}
+
 // sampleType draws an attack type from a mix.
 func sampleType(src *prng.Source, mix TypeMix) honeypot.AttackType {
-	// Stable iteration order for determinism.
-	types := []honeypot.AttackType{
-		honeypot.AttackScan, honeypot.AttackBruteForce, honeypot.AttackDictionary,
-		honeypot.AttackMalware, honeypot.AttackPoisoning, honeypot.AttackDoS,
-		honeypot.AttackReflection, honeypot.AttackExploit, honeypot.AttackWebScrape,
-	}
-	weights := make([]float64, len(types))
-	for i, t := range types {
+	var weights [len(sampleTypeOrder)]float64
+	for i, t := range sampleTypeOrder {
 		weights[i] = mix[t]
 	}
-	return types[src.WeightedChoice(weights)]
+	return sampleTypeOrder[src.WeightedChoice(weights[:])]
 }
 
 // pickSource draws a source address appropriate for the attack type:

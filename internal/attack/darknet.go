@@ -237,6 +237,16 @@ func (g *DarknetGenerator) RunDay(day int) int {
 
 // runUnits executes the given (protocol, day) units on the worker pool.
 func (g *DarknetGenerator) runUnits(units []int) int {
+	// Pre-size the flow table from the planned volume so ingest skips the
+	// doubling rehashes of a cold table. The per-unit estimate mirrors
+	// generateUnit's chunk sizing (mean PacketCnt ≈ 32.5, /28 leaves slack);
+	// flows already captured (the accumulating, non-rotating path) stay
+	// counted so Reserve only ever widens.
+	est := 0
+	for _, u := range units {
+		est += int(g.states[u/g.cfg.Days].dailyPackets / 28)
+	}
+	g.cfg.Telescope.Reserve(g.cfg.Telescope.Len() + est)
 	workers := g.cfg.Workers
 	if workers > len(units) {
 		workers = len(units)

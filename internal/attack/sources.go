@@ -2,7 +2,9 @@ package attack
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"openhire/internal/geo"
 	"openhire/internal/intel"
@@ -212,38 +214,80 @@ func (s *Sources) DeriveInfected() []netsim.IPv4 {
 	if s.universe != nil && s.infected == nil {
 		prefix := s.universe.Config().Prefix
 		label := prng.HashString("infected")
-		for i := uint64(0); i < prefix.Size(); i++ {
-			ip := prefix.Nth(i)
+
+		// Every per-address decision is a pure function of (seed, ip), so the
+		// walk parallelizes with bit-identical output: chunks are merged in
+		// address order, exactly the sequence the serial loop produced.
+		type pick struct {
+			ip netsim.IPv4
+			t  InfectedTargets
+		}
+		decide := func(ip netsim.IPv4) (InfectedTargets, bool) {
 			misconfigured, exposed := s.exposureOf(ip)
 			if !exposed {
-				continue
+				return InfectedTargets{}, false
 			}
 			h := s.src.Hash64(label, uint64(ip))
 			roll2 := prng.New(s.src.Hash64(label, uint64(ip), 2)).Float64()
 			u := float64(h>>11) / (1 << 53)
-			var t InfectedTargets
 			switch {
 			case misconfigured && u < InfectedShare:
-				t = InfectedTargets{Honeypots: true, Telescope: true}
+				t := InfectedTargets{Honeypots: true, Telescope: true}
 				switch {
 				case roll2 < InfectedHoneypotOnly:
 					t = InfectedTargets{Honeypots: true}
 				case roll2 < InfectedHoneypotOnly+InfectedTelescopeOnly:
 					t = InfectedTargets{Telescope: true}
 				}
+				return t, true
 			case !misconfigured && u < ConfiguredInfectedShare:
-				t = InfectedTargets{Honeypots: true, Telescope: true, Configured: true}
+				t := InfectedTargets{Honeypots: true, Telescope: true, Configured: true}
 				switch {
 				case roll2 < ConfiguredHoneypotOnly:
 					t = InfectedTargets{Honeypots: true, Configured: true}
 				case roll2 < ConfiguredHoneypotOnly+ConfiguredTelescopeOnly:
 					t = InfectedTargets{Telescope: true, Configured: true}
 				}
-			default:
+				return t, true
+			}
+			return InfectedTargets{}, false
+		}
+
+		size := prefix.Size()
+		workers := uint64(runtime.GOMAXPROCS(0))
+		if workers > size {
+			workers = 1
+		}
+		chunk := (size + workers - 1) / workers
+		results := make([][]pick, workers)
+		var wg sync.WaitGroup
+		for w := uint64(0); w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > size {
+				hi = size
+			}
+			if lo >= hi {
 				continue
 			}
-			s.infected = append(s.infected, ip)
-			s.infectedAt[ip] = t
+			wg.Add(1)
+			go func(w, lo, hi uint64) {
+				defer wg.Done()
+				var picks []pick
+				for i := lo; i < hi; i++ {
+					ip := prefix.Nth(i)
+					if t, ok := decide(ip); ok {
+						picks = append(picks, pick{ip: ip, t: t})
+					}
+				}
+				results[w] = picks
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, picks := range results {
+			for _, p := range picks {
+				s.infected = append(s.infected, p.ip)
+				s.infectedAt[p.ip] = p.t
+			}
 		}
 		sort.Slice(s.infected, func(i, j int) bool { return s.infected[i] < s.infected[j] })
 	}
@@ -253,16 +297,7 @@ func (s *Sources) DeriveInfected() []netsim.IPv4 {
 // exposureOf reports whether ip exposes any scanned protocol and whether it
 // is misconfigured on at least one.
 func (s *Sources) exposureOf(ip netsim.IPv4) (misconfigured, exposed bool) {
-	for _, p := range iot.ScannedProtocols {
-		spec, ok := s.universe.Spec(ip, p)
-		if !ok {
-			continue
-		}
-		exposed = true
-		if spec.Misconfig != iot.MisconfigNone {
-			misconfigured = true
-		}
-	}
+	exposed, misconfigured = s.universe.ExposureAny(ip)
 	return misconfigured, exposed
 }
 

@@ -93,6 +93,7 @@ type exposureEntry struct {
 	ph      uint64  // prng.HashString of the protocol's label
 	density float64 // exposureDensity × DensityBoost, clamped to 1
 	ext     bool    // extension (future-work) protocol
+	shares  []classShare
 }
 
 // NewUniverse builds a Universe.
@@ -122,6 +123,7 @@ func NewUniverse(cfg UniverseConfig) *Universe {
 		u.exposure = append(u.exposure, exposureEntry{
 			proto: p, ph: prng.HashString(string(p)),
 			density: clampDensity(exposureDensity[p] * cfg.DensityBoost),
+			shares:  misconfigShares[p],
 		})
 	}
 	for _, p := range ExtensionProtocols {
@@ -170,6 +172,43 @@ func (u *Universe) Spec(ip netsim.IPv4, p Protocol) (DeviceSpec, bool) {
 		return DeviceSpec{}, false
 	}
 	return u.specFrom(ip, p, prng.HashString(string(p)), clampDensity(density*u.cfg.DensityBoost))
+}
+
+// ExposureAny reports whether ip exposes at least one scanned protocol and
+// whether any exposed endpoint is misconfigured. It draws from exactly the
+// hash streams Spec uses for the same decisions — the exposure roll and the
+// misconfiguration class roll — but skips the model choice and credential
+// synthesis that dominate full spec derivation, which the infected-set walk
+// over the whole prefix never looks at.
+func (u *Universe) ExposureAny(ip netsim.IPv4) (exposed, misconfigured bool) {
+	if !u.cfg.Prefix.Contains(ip) {
+		return false, false
+	}
+	pre := u.src.HashPrefix(labelExposed, uint64(ip))
+	for i := range u.exposure {
+		e := &u.exposure[i]
+		if e.ext {
+			continue
+		}
+		h := prng.Hash64From(pre, e.ph)
+		if float64(h>>11)/(1<<53) >= e.density {
+			continue
+		}
+		exposed = true
+		if misconfigured {
+			continue
+		}
+		cls := prng.New(u.src.Hash64(labelClass, uint64(ip), e.ph))
+		roll := cls.Float64()
+		for _, cs := range e.shares {
+			if roll < cs.share {
+				misconfigured = true
+				break
+			}
+			roll -= cs.share
+		}
+	}
+	return exposed, misconfigured
 }
 
 // specFrom is Spec with the protocol hash and boost-applied density already

@@ -247,8 +247,8 @@ func NewConnPair(client, server Endpoint) (net.Conn, net.Conn) {
 // with dialTime, for driving StreamHandlers directly in protocol tests.
 func NewServiceConnPair(client, server Endpoint, dialTime time.Time) (*ServiceConn, *ServiceConn) {
 	cc, sc := NewConnPair(client, server)
-	return &ServiceConn{conn: cc.(*conn), DialTime: dialTime},
-		&ServiceConn{conn: sc.(*conn), DialTime: dialTime}
+	return &ServiceConn{Conn: cc, DialTime: dialTime},
+		&ServiceConn{Conn: sc, DialTime: dialTime}
 }
 
 func (c *conn) Read(p []byte) (int, error) { return c.read.read(p) }

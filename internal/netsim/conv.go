@@ -1,0 +1,409 @@
+package netsim
+
+// conv.go is the execution core of the discrete-event conversation engine.
+//
+// A conversation is a client↔server dialogue over the simulated fabric. Both
+// parties are deterministic simulations, so nothing is gained by running them
+// concurrently: the engine executes the whole dialogue synchronously on the
+// dialing goroutine. The server side is a resumable party — either a native
+// state machine (Stepper) or a blocking StreamHandler multiplexed onto a
+// parked, reusable coroutine worker — that runs in bursts: after the dial and
+// after every client write or close, the server party runs until it either
+// needs more client input or finishes. Between bursts the client owns the
+// conversation exclusively.
+//
+// The payoff is twofold. First, time: when the client reads with an empty
+// buffer and the server is parked awaiting input, no data can ever arrive
+// within that read, so a read deadline is reported exceeded immediately
+// instead of being slept out on the wall clock — the waits that dominated
+// BenchmarkCampaignReplay vanish. Second, churn: conversation state (buffers,
+// mutex, party scratch) lives in slab-pooled conv objects that reset and
+// recycle, and blocking handlers reuse parked coroutine workers, so a dial
+// costs no goroutine spawn and no channel allocation.
+//
+// Byte-stream semantics replicate the retired goroutine-per-dial pipe pair
+// exactly: reads drain buffered data before reporting EOF or deadlines,
+// broken pipes beat buffered data, a close half-closes both directions, and
+// injected stream faults (tarpit truncation, mid-stream reset) trip on the
+// same server-write byte budgets with the same partial-write returns.
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// convBufRetain caps the buffer capacity a pooled conversation keeps across
+// recycles; a flood conversation's oversized slab is dropped for the GC
+// rather than pinned forever.
+const convBufRetain = 64 << 10
+
+// convBuf is one direction of an engine conversation: an unbounded byte
+// queue guarded by the owning conversation's mutex. Unlike the retired
+// pipeBuffer it never blocks a writer — the reader always runs to quiescence
+// before the writer resumes, so backpressure has no one to wake.
+type convBuf struct {
+	data   []byte
+	off    int
+	closed bool // write side closed: reads drain then report io.EOF
+	broken bool // torn down: reads and writes fail immediately
+}
+
+func (b *convBuf) size() int { return len(b.data) - b.off }
+
+func (b *convBuf) readInto(p []byte) int {
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	if b.off == len(b.data) {
+		b.data = b.data[:0]
+		b.off = 0
+	}
+	return n
+}
+
+// take appends all buffered bytes to dst and empties the queue.
+func (b *convBuf) take(dst []byte) []byte {
+	dst = append(dst, b.data[b.off:]...)
+	b.data = b.data[:0]
+	b.off = 0
+	return dst
+}
+
+func (b *convBuf) write(p []byte) {
+	b.data = append(b.data, p...)
+}
+
+func (b *convBuf) reset() {
+	if cap(b.data) > convBufRetain {
+		b.data = nil
+	} else {
+		b.data = b.data[:0]
+	}
+	b.off = 0
+	b.closed = false
+	b.broken = false
+}
+
+// serverParty is the resumable server side of a conversation.
+type serverParty interface {
+	// resume runs the server until it parks awaiting client input or
+	// finishes. It must be called only from the conversation's driving
+	// (client) goroutine, never with the conversation mutex held.
+	resume()
+	// finished reports whether the handler has returned and the framework
+	// close has run.
+	finished() bool
+}
+
+// conv is one pooled conversation: the two payload queues, the injected
+// stream fault, and the server party. The mutex guards the queues and
+// endpoint deadlines; it is held only inside individual I/O operations, so
+// cross-conversation writers (an MQTT broker fanning a publish out to another
+// session) never deadlock against a running party.
+type conv struct {
+	mu  sync.Mutex
+	c2s convBuf // client → server payload
+	s2c convBuf // server → client payload
+
+	// gen is bumped when the conversation is released for reuse; endpoint
+	// handles carry the generation they were dialed with and go inert on a
+	// mismatch, so client code holding a closed connection can never touch a
+	// recycled conversation.
+	gen uint64
+
+	n     *Network
+	party serverParty
+	owner *convShard // arena that owns this object; nil = global pool
+
+	// clientSC receives the fault flags when the stream fault trips.
+	clientSC *ServiceConn
+
+	// fault is the stream pathology applied to server writes, mirroring the
+	// retired streamFault byte-budget semantics.
+	fault struct {
+		active    bool
+		reset     bool
+		tripped   bool
+		remaining int
+	}
+}
+
+// runServer resumes the server party after a client action. One resume
+// suffices: the party runs until it parks on an empty input queue (which only
+// the next client action can refill) or finishes.
+func (cv *conv) runServer() {
+	if p := cv.party; p != nil && !p.finished() {
+		p.resume()
+	}
+}
+
+// maybeRelease recycles the conversation once both sides are done with it:
+// the client has closed and the server party has finished. A party parked
+// forever by a handler that ignores EOF keeps the conversation alive (and
+// Quiesce waiting) — the same leak the goroutine path had.
+func (cv *conv) maybeRelease() {
+	if cv.party == nil || !cv.party.finished() {
+		return
+	}
+	cv.mu.Lock()
+	cv.gen++
+	cv.c2s.reset()
+	cv.s2c.reset()
+	cv.party = nil
+	cv.clientSC = nil
+	cv.fault.active = false
+	cv.fault.reset = false
+	cv.fault.tripped = false
+	cv.fault.remaining = 0
+	owner := cv.owner
+	cv.mu.Unlock()
+	if owner != nil {
+		owner.putConv(cv)
+	} else {
+		globalConvPool.Put(cv)
+	}
+}
+
+// globalConvPool recycles conversations dialed outside an engine shard (the
+// scan leg's worker goroutines, tests).
+var globalConvPool = sync.Pool{New: func() any { return &conv{} }}
+
+// convPair bundles the four per-dial objects — both endpoint handles and
+// both ServiceConn wrappers — into one allocation. They share a lifetime
+// (per dial, never pooled), so one slab beats four mallocs on the hot path.
+type convPair struct {
+	clientCC convConn
+	serverCC convConn
+	clientSC ServiceConn
+	serverSC ServiceConn
+}
+
+// convConn is one endpoint handle of an engine conversation. Handles are
+// allocated per dial — never pooled — so the fault flags and deadlines they
+// carry stay valid after the conversation object itself is recycled.
+type convConn struct {
+	cv     *conv
+	gen    uint64
+	client bool
+	local  Endpoint
+	remote Endpoint
+
+	// Deadlines and the closed flag are guarded by cv.mu: MQTT fanout writes
+	// arrive from other conversations' goroutines.
+	readDL  time.Time
+	writeDL time.Time
+	closed  bool
+
+	// sc is the ServiceConn wrapping this endpoint (set at dial). The server
+	// endpoint's writes raise fault flags on the peer client's sc.
+	sc *ServiceConn
+}
+
+// readBuf is the queue this endpoint reads from.
+func (c *convConn) readBuf() *convBuf {
+	if c.client {
+		return &c.cv.s2c
+	}
+	return &c.cv.c2s
+}
+
+// writeBuf is the queue this endpoint writes to.
+func (c *convConn) writeBuf() *convBuf {
+	if c.client {
+		return &c.cv.c2s
+	}
+	return &c.cv.s2c
+}
+
+// Read mirrors the retired pipeBuffer order exactly: broken pipe first, then
+// buffered data, then EOF, then the deadline. The difference is the final
+// arm: where the pipe would block, the engine knows the server is parked
+// awaiting input, so no data can arrive within this read — a set deadline is
+// reported exceeded immediately (the give-up the deadline models), and a
+// blocking read with no deadline is a guaranteed deadlock, reported loudly.
+func (c *convConn) Read(p []byte) (int, error) {
+	cv := c.cv
+	cv.mu.Lock()
+	for {
+		if c.gen != cv.gen {
+			cv.mu.Unlock()
+			return 0, io.EOF
+		}
+		buf := c.readBuf()
+		if buf.broken {
+			cv.mu.Unlock()
+			return 0, io.ErrClosedPipe
+		}
+		if buf.size() > 0 {
+			n := buf.readInto(p)
+			cv.mu.Unlock()
+			return n, nil
+		}
+		if buf.closed {
+			cv.mu.Unlock()
+			return 0, io.EOF
+		}
+		if c.client {
+			if !c.readDL.IsZero() {
+				// The server is parked awaiting input, so no data can arrive
+				// within this read: whether the deadline has already passed
+				// or would be slept out, the outcome is the same — report it
+				// exceeded now, without consulting the wall clock.
+				cv.mu.Unlock()
+				return 0, os.ErrDeadlineExceeded
+			}
+			cv.mu.Unlock()
+			panic("netsim: conversation client read would block forever " +
+				"(no buffered data, server parked awaiting input, no read deadline set)")
+		}
+		if !c.readDL.IsZero() && !time.Now().Before(c.readDL) {
+			cv.mu.Unlock()
+			return 0, os.ErrDeadlineExceeded
+		}
+		// Server side (coroutine party): park until the client acts.
+		park := cv.party.(*coroParty).w
+		cv.mu.Unlock()
+		park.parkRead()
+		cv.mu.Lock()
+	}
+}
+
+func (c *convConn) Write(p []byte) (int, error) {
+	cv := c.cv
+	cv.mu.Lock()
+	if c.gen != cv.gen {
+		cv.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	if !c.client && cv.fault.active {
+		return c.faultWriteLocked(p) // unlocks
+	}
+	n, err := c.writeLocked(p)
+	cv.mu.Unlock()
+	if err == nil && c.client {
+		cv.runServer()
+	}
+	return n, err
+}
+
+// writeLocked appends to the outgoing queue with the retired pipe's error
+// order: torn-down or half-closed pipe first, then the write deadline.
+func (c *convConn) writeLocked(p []byte) (int, error) {
+	buf := c.writeBuf()
+	if buf.broken || buf.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if !c.writeDL.IsZero() && !time.Now().Before(c.writeDL) {
+		return 0, os.ErrDeadlineExceeded
+	}
+	buf.write(p)
+	return len(p), nil
+}
+
+// faultWriteLocked is the engine translation of streamFault.write: pass
+// server-written bytes through until the budget is spent, then trip the
+// pathology. Called with cv.mu held; unlocks before returning.
+func (c *convConn) faultWriteLocked(p []byte) (int, error) {
+	cv := c.cv
+	if cv.fault.tripped {
+		cv.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	allow := len(p)
+	trip := false
+	if allow >= cv.fault.remaining {
+		allow = cv.fault.remaining
+		trip = true
+		cv.fault.tripped = true
+	}
+	cv.fault.remaining -= allow
+	var n int
+	var err error
+	if allow > 0 {
+		n, err = c.writeLocked(p[:allow])
+	}
+	if !trip {
+		cv.mu.Unlock()
+		return n, err
+	}
+	sc := cv.clientSC
+	if cv.fault.reset {
+		// RST: both directions torn down, in-flight data discarded.
+		cv.s2c.broken, cv.s2c.data, cv.s2c.off = true, nil, 0
+		cv.c2s.broken, cv.c2s.data, cv.c2s.off = true, nil, 0
+		cv.mu.Unlock()
+		if sc != nil {
+			sc.faultReset.Store(true)
+		}
+	} else {
+		// Tarpit cut: the prefix already written stays readable, then EOF.
+		cv.s2c.closed = true
+		cv.mu.Unlock()
+		if sc != nil {
+			sc.faultTruncated.Store(true)
+		}
+	}
+	return n, io.ErrClosedPipe
+}
+
+// Close half-closes both directions, exactly as the retired conn did: the
+// peer's pending data stays readable (FIN semantics) and its writes start
+// failing. Closing the client side additionally runs the server party to
+// completion — the conversation is fully processed and logged by the time
+// Close returns — and recycles the conversation object.
+func (c *convConn) Close() error {
+	cv := c.cv
+	cv.mu.Lock()
+	if c.gen != cv.gen || c.closed {
+		cv.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.writeBuf().closed = true
+	c.readBuf().closed = true
+	cv.mu.Unlock()
+	if c.client {
+		cv.runServer()
+		cv.maybeRelease()
+	}
+	return nil
+}
+
+// abort tears the conversation down in both directions, discarding buffers
+// (RST semantics), then closes.
+func (c *convConn) abort() {
+	cv := c.cv
+	cv.mu.Lock()
+	if c.gen == cv.gen {
+		cv.s2c.broken, cv.s2c.data, cv.s2c.off = true, nil, 0
+		cv.c2s.broken, cv.c2s.data, cv.c2s.off = true, nil, 0
+	}
+	cv.mu.Unlock()
+	_ = c.Close()
+}
+
+func (c *convConn) LocalAddr() net.Addr  { return simAddr{transport: TCP, ep: c.local} }
+func (c *convConn) RemoteAddr() net.Addr { return simAddr{transport: TCP, ep: c.remote} }
+
+func (c *convConn) SetDeadline(t time.Time) error {
+	c.cv.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.cv.mu.Unlock()
+	return nil
+}
+
+func (c *convConn) SetReadDeadline(t time.Time) error {
+	c.cv.mu.Lock()
+	c.readDL = t
+	c.cv.mu.Unlock()
+	return nil
+}
+
+func (c *convConn) SetWriteDeadline(t time.Time) error {
+	c.cv.mu.Lock()
+	c.writeDL = t
+	c.cv.mu.Unlock()
+	return nil
+}

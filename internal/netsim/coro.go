@@ -1,0 +1,125 @@
+package netsim
+
+// coro.go multiplexes blocking StreamHandlers onto pooled coroutine workers.
+//
+// Handlers that have not (yet) been converted to native steppers still run
+// their ordinary blocking Serve loop — but instead of a fresh goroutine per
+// dial, the engine checks a parked worker out of a global freelist and
+// ping-pongs control with it over unbuffered channels. Exactly one of the two
+// goroutines (client driver, worker) is runnable at any instant, and every
+// handoff is a channel operation, so execution is deterministic and every
+// memory access on the conversation is ordered — the race detector sees a
+// clean happens-before chain with zero extra synchronization.
+//
+// A worker goroutine is created on first use and parks between conversations;
+// steady-state dials allocate nothing and spawn nothing. The freelist is an
+// explicit mutex-guarded stack rather than a sync.Pool: a dropped pool entry
+// would orphan a parked goroutine forever.
+
+import (
+	"context"
+	"sync"
+)
+
+type coroJob struct {
+	handler StreamHandler
+	ctx     context.Context
+	sconn   *ServiceConn
+	party   *coroParty
+}
+
+// coroWorker is a reusable goroutine that runs one blocking handler at a
+// time. All three channels are unbuffered: sends are rendezvous points that
+// transfer the single "runnable" token between driver and worker.
+type coroWorker struct {
+	jobs   chan coroJob
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+func newCoroWorker() *coroWorker {
+	w := &coroWorker{
+		jobs:   make(chan coroJob),
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *coroWorker) loop() {
+	for job := range w.jobs {
+		job.handler.Serve(job.ctx, job.sconn)
+		_ = job.sconn.Close()
+		job.party.done = true
+		w.yield <- struct{}{}
+	}
+}
+
+// parkRead blocks the worker until the driver resumes it. Called from the
+// server endpoint's Read when no input is buffered.
+func (w *coroWorker) parkRead() {
+	w.yield <- struct{}{}
+	<-w.resume
+}
+
+var coroFree struct {
+	mu   sync.Mutex
+	list []*coroWorker
+}
+
+func getCoroWorker() *coroWorker {
+	coroFree.mu.Lock()
+	if n := len(coroFree.list); n > 0 {
+		w := coroFree.list[n-1]
+		coroFree.list = coroFree.list[:n-1]
+		coroFree.mu.Unlock()
+		return w
+	}
+	coroFree.mu.Unlock()
+	return newCoroWorker()
+}
+
+func putCoroWorker(w *coroWorker) {
+	coroFree.mu.Lock()
+	coroFree.list = append(coroFree.list, w)
+	coroFree.mu.Unlock()
+}
+
+// coroParty adapts a blocking StreamHandler to the serverParty interface.
+// done is written by the worker goroutine and read by the driver, but every
+// write happens before a yield-channel send and every read after the
+// receive, so it needs no atomics.
+type coroParty struct {
+	w       *coroWorker
+	n       *Network
+	pending coroJob // handed to the worker on first resume
+	started bool
+	done    bool
+}
+
+func newCoroParty(ctx context.Context, n *Network, handler StreamHandler, sconn *ServiceConn) *coroParty {
+	p := &coroParty{w: getCoroWorker(), n: n}
+	p.pending = coroJob{handler: handler, ctx: ctx, sconn: sconn, party: p}
+	return p
+}
+
+func (p *coroParty) resume() {
+	if p.done {
+		return
+	}
+	if !p.started {
+		p.started = true
+		p.w.jobs <- p.pending
+		p.pending = coroJob{}
+	} else {
+		p.w.resume <- struct{}{}
+	}
+	<-p.w.yield
+	if p.done {
+		putCoroWorker(p.w)
+		p.n.handlers.Done()
+	}
+}
+
+func (p *coroParty) finished() bool { return p.done }

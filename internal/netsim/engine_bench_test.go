@@ -1,0 +1,109 @@
+package netsim
+
+// engine_bench_test.go measures the conversation engine's per-dialogue cost
+// in isolation: one banner + ping/echo exchange per conversation, submitted
+// through the sharded run queues. The stepper variant runs the server as a
+// native state machine (zero per-dial goroutines); the coro variant runs the
+// same dialogue as a blocking handler multiplexed onto pooled coroutine
+// workers, which is the compatibility path for unconverted handlers.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// echoStepper answers the opening banner and echoes every client batch.
+type echoStepper struct{}
+
+func (echoStepper) Step(c *ServerConv, ev ConvEvent) StepVerdict {
+	switch ev {
+	case EvOpen:
+		_, _ = c.Write([]byte("hello\n"))
+		return StepMore
+	case EvData:
+		in := c.Input()
+		_, _ = c.Write(in)
+		c.Consume(len(in))
+		return StepMore
+	default:
+		return StepDone
+	}
+}
+
+// echoStepHandler is the StepProvider form: Dial runs the stepper natively.
+type echoStepHandler struct{}
+
+func (echoStepHandler) Serve(ctx context.Context, conn *ServiceConn) {
+	ServeStepper(ctx, conn, echoStepper{})
+}
+func (echoStepHandler) NewStepper() Stepper { return echoStepper{} }
+
+// echoBlockingHandler is the same dialogue as a plain blocking handler,
+// forcing the coroutine-worker compatibility path.
+type echoBlockingHandler struct{}
+
+func (echoBlockingHandler) Serve(_ context.Context, c *ServiceConn) {
+	if _, err := c.Write([]byte("hello\n")); err != nil {
+		return
+	}
+	buf := make([]byte, 256)
+	for {
+		_ = c.SetReadDeadline(time.Now().Add(time.Second))
+		n, err := c.Read(buf)
+		if n > 0 {
+			if _, werr := c.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func benchConversationEngine(b *testing.B, handler StreamHandler, shards int) {
+	n := singleHostNetwork(handler, nil)
+	dst := Endpoint{IP: MustParseIPv4("10.0.0.1"), Port: 7}
+	e := NewConvEngine(shards)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := IPv4(0xC0000200 + uint32(i%251))
+		e.Submit(ctx, src, dst.IP, func(jctx context.Context) {
+			conn, err := n.Dial(jctx, src, dst, ProbeOptions{})
+			if err != nil {
+				return
+			}
+			_ = conn.SetDeadline(time.Now().Add(time.Second))
+			scratch := GetScratch()
+			buf := *scratch
+			_, _ = conn.Read(buf) // banner
+			_, _ = conn.Write([]byte("ping\n"))
+			_, _ = conn.Read(buf) // echo
+			PutScratch(scratch)
+			_ = conn.Close()
+		})
+	}
+	e.Close()
+	b.StopTimer()
+	n.Quiesce()
+}
+
+// BenchmarkConversationEngine is the engine's per-conversation cost floor:
+// dial, banner, one request/response round trip, close.
+func BenchmarkConversationEngine(b *testing.B) {
+	b.Run("stepper/shards=1", func(b *testing.B) {
+		benchConversationEngine(b, echoStepHandler{}, 1)
+	})
+	b.Run("stepper/shards=8", func(b *testing.B) {
+		benchConversationEngine(b, echoStepHandler{}, 8)
+	})
+	b.Run("coro/shards=1", func(b *testing.B) {
+		benchConversationEngine(b, echoBlockingHandler{}, 1)
+	})
+	b.Run("coro/shards=8", func(b *testing.B) {
+		benchConversationEngine(b, echoBlockingHandler{}, 8)
+	})
+}

@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"context"
+	"fmt"
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,25 +37,61 @@ func (f DatagramHandlerFunc) HandleDatagram(from Endpoint, payload []byte) []byt
 	return f(from, payload)
 }
 
-// ServiceConn is the connection type handed to stream handlers. It embeds the
-// in-memory conn and carries the simulated timestamp of the dial, letting
-// services log events in simulation time.
+// ServiceConn is the connection type handed to stream handlers and returned
+// by Dial. It wraps the transport endpoint (an engine conversation endpoint,
+// or a pipe conn for NewServiceConnPair test fixtures) and carries the
+// simulated timestamp of the dial, letting services log events in simulation
+// time. ServiceConns are allocated per dial and never pooled, so the fault
+// flags below remain readable after Close even though the conversation
+// object underneath has been recycled.
 type ServiceConn struct {
-	*conn
+	net.Conn
 	DialTime time.Time
 	// RTT is the simulated round-trip latency the fault model assigned to
 	// the dial (zero when no fault model is installed).
 	RTT time.Duration
+
+	faultTruncated atomic.Bool
+	faultReset     atomic.Bool
 }
 
 // FaultTruncated reports whether the peer's stream was cut by a tarpit
 // pathology: the bytes read so far are a genuine prefix of the banner, but
 // the rest never arrived inside any read window.
-func (c *ServiceConn) FaultTruncated() bool { return c.conn.faultTruncated.Load() }
+func (c *ServiceConn) FaultTruncated() bool {
+	if c.faultTruncated.Load() {
+		return true
+	}
+	if lc, ok := c.Conn.(*conn); ok {
+		return lc.faultTruncated.Load()
+	}
+	return false
+}
 
 // FaultReset reports whether the conversation was torn down mid-stream by an
 // injected TCP RST.
-func (c *ServiceConn) FaultReset() bool { return c.conn.faultReset.Load() }
+func (c *ServiceConn) FaultReset() bool {
+	if c.faultReset.Load() {
+		return true
+	}
+	if lc, ok := c.Conn.(*conn); ok {
+		return lc.faultReset.Load()
+	}
+	return false
+}
+
+// Abort tears the connection down in both directions, discarding buffers.
+// It models a RST.
+func (c *ServiceConn) Abort() {
+	switch t := c.Conn.(type) {
+	case *conn:
+		t.Abort()
+	case *convConn:
+		t.abort()
+	default:
+		_ = c.Conn.Close()
+	}
+}
 
 // Host describes a simulated machine: which ports answer, and how.
 // Implementations must be safe for concurrent use; the lazily derived IoT
@@ -195,9 +233,13 @@ type Network struct {
 	// sender does not specify one.
 	DefaultTTL uint8
 
-	// handlers tracks in-flight connection-handler goroutines so Quiesce
-	// can wait for the server side of every conversation to finish.
+	// handlers tracks in-flight conversation server parties so Quiesce can
+	// wait for the server side of every conversation to finish.
 	handlers sync.WaitGroup
+
+	// quiescing flags an in-progress Quiesce so a racing Dial — always a
+	// caller bug — fails loudly instead of landing its tail late.
+	quiescing atomic.Bool
 
 	// faults, when non-nil, injects deterministic network pathologies into
 	// every probe. Behind an atomic pointer so installing a model does not
@@ -415,9 +457,19 @@ func (n *Network) SynProbe(src Endpoint, dst Endpoint, opts ProbeOptions) bool {
 	return h.StreamService(dst.Port) != nil
 }
 
-// Dial establishes a TCP-like connection from src to dst. The returned conn
-// is served by the destination host's handler in a new goroutine.
+// Dial establishes a TCP-like connection from src to dst. The conversation
+// runs on the discrete-event engine: the destination host's handler executes
+// inline, resumed on this goroutine after the dial and after every client
+// write or close, with no per-dial goroutine or channel churn. Handlers that
+// implement StepProvider run as native state machines; others are
+// multiplexed onto pooled coroutine workers. Either way the blocking client
+// API is unchanged.
 func (n *Network) Dial(ctx context.Context, src IPv4, dst Endpoint, opts ProbeOptions) (*ServiceConn, error) {
+	if n.quiescing.Load() {
+		panic(fmt.Sprintf("netsim: Dial(%v -> %v) raced Network.Quiesce: the caller must fence "+
+			"all dialers (wait out its worker pool / engine Drain) before quiescing, or the tail "+
+			"of in-flight conversations lands after the boundary the logs are bucketed by", src, dst))
+	}
 	n.stats.Dials.Add(1)
 	now := n.clock.Now()
 	ttl := opts.TTL
@@ -454,20 +506,43 @@ func (n *Network) Dial(ctx context.Context, src IPv4, dst Endpoint, opts ProbeOp
 	n.stats.DialsOK.Add(1)
 	n.emit(ProbeEvent{Time: now, Src: srcEP, Dst: dst, Transport: TCP, Kind: ProbeACK, TTL: ttl})
 
-	clientNC, serverNC := NewConnPair(srcEP, dst)
-	client := &ServiceConn{conn: clientNC.(*conn), DialTime: now, RTT: plan.Latency}
-	server := &ServiceConn{conn: serverNC.(*conn), DialTime: now, RTT: plan.Latency}
-	if plan.ResetAfter > 0 {
-		server.conn.sf = &streamFault{remaining: plan.ResetAfter, reset: true, peer: client.conn}
-	} else if plan.TruncateAfter > 0 {
-		server.conn.sf = &streamFault{remaining: plan.TruncateAfter, peer: client.conn}
+	// Acquire a recycled conversation: from the owning engine shard's arena
+	// when dialing inside a shard job, else from the global pool.
+	sh, _ := ctx.Value(shardCtxKey{}).(*convShard)
+	var cv *conv
+	if sh != nil {
+		cv = sh.getConv()
+	} else {
+		cv = globalConvPool.Get().(*conv)
 	}
+	cv.n = n
+	cv.owner = sh
+	if plan.ResetAfter > 0 {
+		cv.fault.active, cv.fault.reset, cv.fault.remaining = true, true, plan.ResetAfter
+	} else if plan.TruncateAfter > 0 {
+		cv.fault.active, cv.fault.remaining = true, plan.TruncateAfter
+	}
+
+	pair := &convPair{
+		clientCC: convConn{cv: cv, gen: cv.gen, client: true, local: srcEP, remote: dst},
+		serverCC: convConn{cv: cv, gen: cv.gen, client: false, local: dst, remote: srcEP},
+	}
+	client, server := &pair.clientSC, &pair.serverSC
+	client.Conn, client.DialTime, client.RTT = &pair.clientCC, now, plan.Latency
+	server.Conn, server.DialTime, server.RTT = &pair.serverCC, now, plan.Latency
+	pair.clientCC.sc = client
+	pair.serverCC.sc = server
+	cv.clientSC = client
+
 	n.handlers.Add(1)
-	go func() {
-		defer n.handlers.Done()
-		defer server.Close()
-		handler.Serve(ctx, server)
-	}()
+	if sp, ok := handler.(StepProvider); ok {
+		cv.party = newStepperParty(n, sp.NewStepper(), cv, server)
+	} else {
+		cv.party = newCoroParty(ctx, n, handler, server)
+	}
+	// Run the server's opening burst (negotiation, banner, first prompt) so
+	// the client's first read finds it buffered.
+	cv.runServer()
 	return client, nil
 }
 
@@ -476,9 +551,13 @@ func (n *Network) Dial(ctx context.Context, src IPv4, dst Endpoint, opts ProbeOp
 // finished processing (and logging) it; callers that read observation logs —
 // or advance the simulation clock past a time boundary the logs are bucketed
 // by — must quiesce first or the tail of the conversation lands late. The
-// caller must ensure no new Dials race with the wait.
+// caller must ensure no new Dials race with the wait: a racing Dial panics
+// with a diagnostic rather than silently landing its conversation tail on
+// the wrong side of the boundary.
 func (n *Network) Quiesce() {
+	n.quiescing.Store(true)
 	n.handlers.Wait()
+	n.quiescing.Store(false)
 }
 
 // QueryOutcome explains a silent Query. A real scanner can distinguish a

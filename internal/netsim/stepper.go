@@ -1,0 +1,197 @@
+package netsim
+
+// stepper.go defines the resumable step-function form of a conversation
+// server. A Stepper is the non-blocking dual of StreamHandler.Serve: instead
+// of looping over blocking reads, it is fed discrete events — the dial, each
+// batch of client bytes, the client's half-close, a torn pipe — and consumes
+// input incrementally from a ServerConv, carrying partial-parse state (half a
+// Telnet line, a truncated MQTT fixed header) across calls in its own fields.
+//
+// Handlers that implement StepProvider run natively on the engine: no
+// coroutine worker, no parked goroutine, just a method call per client
+// action. ServeStepper adapts a Stepper back to a blocking loop so the same
+// state machine also serves the classic Serve path (protocol-level tests
+// drive handlers over plain pipe connections).
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+)
+
+// ConvEvent is one input event delivered to a Stepper.
+type ConvEvent uint8
+
+// Conversation events, in lifecycle order.
+const (
+	// EvOpen fires once, immediately after the dial completes. Banners and
+	// negotiation bytes are written here.
+	EvOpen ConvEvent = iota
+	// EvData fires when client bytes are available. The stepper consumes as
+	// much of ServerConv.Input as it can parse and leaves any partial tail.
+	EvData
+	// EvEOF fires when the client has closed its write side and every
+	// delivered byte has been offered; no more input will ever arrive.
+	// Input may still hold an unparseable partial tail.
+	EvEOF
+	// EvBroken fires when the transport was torn down (mid-stream reset);
+	// pending input was discarded.
+	EvBroken
+)
+
+// StepVerdict is a Stepper's report after handling one event.
+type StepVerdict uint8
+
+// Step verdicts.
+const (
+	// StepMore: the conversation continues; deliver further events.
+	StepMore StepVerdict = iota
+	// StepDone: the session is over (handler returned, in blocking terms).
+	// The framework closes the server side of the conversation.
+	StepDone
+)
+
+// Stepper is a resumable conversation server: Step is called once per
+// ConvEvent and must never block. After returning StepDone (or after EvEOF /
+// EvBroken, which are always final) Step is not called again.
+type Stepper interface {
+	Step(c *ServerConv, ev ConvEvent) StepVerdict
+}
+
+// StepProvider is implemented by StreamHandlers that can also mint their
+// per-session state machine. Network.Dial prefers this path: a fresh Stepper
+// per conversation, executed inline with zero goroutines.
+type StepProvider interface {
+	StreamHandler
+	NewStepper() Stepper
+}
+
+// ServerConv is the server's view of one engine conversation: the pending
+// input bytes and the write/metadata surface of the underlying connection.
+type ServerConv struct {
+	sc  *ServiceConn
+	in  []byte
+	off int
+}
+
+// Input returns the bytes received from the client and not yet consumed.
+func (c *ServerConv) Input() []byte { return c.in[c.off:] }
+
+// Consume marks the first n bytes of Input as processed.
+func (c *ServerConv) Consume(n int) {
+	c.off += n
+	if c.off >= len(c.in) {
+		c.in = c.in[:0]
+		c.off = 0
+	}
+}
+
+func (c *ServerConv) avail() int { return len(c.in) - c.off }
+
+// Write sends bytes to the client, subject to the conversation's injected
+// stream fault — a tripped tarpit or reset surfaces here as io.ErrClosedPipe,
+// exactly as it did on the blocking path.
+func (c *ServerConv) Write(p []byte) (int, error) { return c.sc.Write(p) }
+
+// Conn exposes the underlying connection for metadata (DialTime, RTT,
+// remote address).
+func (c *ServerConv) Conn() *ServiceConn { return c.sc }
+
+// DialTime is the simulated time the conversation was dialed.
+func (c *ServerConv) DialTime() time.Time { return c.sc.DialTime }
+
+// RemoteIP reports the client's simulated address.
+func (c *ServerConv) RemoteIP() (IPv4, bool) { return RemoteIPv4(c.sc) }
+
+// stepperParty drives a native Stepper as the server side of an engine
+// conversation. All fields are touched only by the conversation's driving
+// goroutine.
+type stepperParty struct {
+	n      *Network
+	s      Stepper
+	sc     *ServerConv
+	cv     *conv
+	opened bool
+	done   bool
+}
+
+func newStepperParty(n *Network, s Stepper, cv *conv, sconn *ServiceConn) *stepperParty {
+	return &stepperParty{n: n, s: s, sc: &ServerConv{sc: sconn}, cv: cv}
+}
+
+// resume delivers every event implied by the conversation's current state:
+// the one-time open, pending client bytes, then EOF or a torn pipe. Exactly
+// one client action precedes each resume, so a single EvData pass sees all
+// pending input.
+func (p *stepperParty) resume() {
+	if p.done {
+		return
+	}
+	if !p.opened {
+		p.opened = true
+		if p.s.Step(p.sc, EvOpen) == StepDone {
+			p.finish()
+			return
+		}
+	}
+	cv := p.cv
+	cv.mu.Lock()
+	p.sc.in = cv.c2s.take(p.sc.in)
+	broken := cv.c2s.broken
+	closed := cv.c2s.closed
+	cv.mu.Unlock()
+	if broken {
+		p.s.Step(p.sc, EvBroken)
+		p.finish()
+		return
+	}
+	if p.sc.avail() > 0 {
+		if p.s.Step(p.sc, EvData) == StepDone {
+			p.finish()
+			return
+		}
+	}
+	if closed {
+		p.s.Step(p.sc, EvEOF)
+		p.finish()
+	}
+}
+
+// finish mirrors the blocking path's post-Serve framework close.
+func (p *stepperParty) finish() {
+	p.done = true
+	_ = p.sc.sc.Close()
+	p.n.handlers.Done()
+}
+
+func (p *stepperParty) finished() bool { return p.done }
+
+// ServeStepper adapts a Stepper to the blocking StreamHandler contract: it
+// loops over conn reads and feeds the resulting events. Handlers implement
+// Serve as a one-liner over their NewStepper so protocol tests driving plain
+// pipe connections exercise the very same state machine the engine runs.
+func ServeStepper(ctx context.Context, conn *ServiceConn, s Stepper) {
+	sc := &ServerConv{sc: conn}
+	if s.Step(sc, EvOpen) == StepDone {
+		return
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			sc.in = append(sc.in, buf[:n]...)
+			if s.Step(sc, EvData) == StepDone {
+				return
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				s.Step(sc, EvEOF)
+			} else {
+				s.Step(sc, EvBroken)
+			}
+			return
+		}
+	}
+}

@@ -12,7 +12,10 @@
 // lazily without materializing billions of hosts.
 package prng
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // golden is the 64-bit golden-ratio increment used by SplitMix64.
 const golden = 0x9e3779b97f4a7c15
@@ -68,6 +71,28 @@ func (s *Source) Derive(labels ...uint64) *Source {
 // for one-shot decisions (e.g. "does a host exist at this IP?").
 func (s *Source) Hash64(labels ...uint64) uint64 {
 	h := s.seed
+	for _, l := range labels {
+		h = mix(h ^ (l + golden))
+	}
+	return mix(h + golden)
+}
+
+// HashPrefix folds labels into the intermediate chaining value Hash64 would
+// carry after the same labels. Callers hashing many values that share a
+// common label prefix (the exposure walk hashes every address against every
+// protocol) fold the prefix once and finish each hash with Hash64From.
+func (s *Source) HashPrefix(labels ...uint64) uint64 {
+	h := s.seed
+	for _, l := range labels {
+		h = mix(h ^ (l + golden))
+	}
+	return h
+}
+
+// Hash64From completes a Hash64 from a HashPrefix chaining value; for any
+// split of the label list, Hash64From(HashPrefix(a...), b...) ==
+// Hash64(a..., b...).
+func Hash64From(h uint64, labels ...uint64) uint64 {
 	for _, l := range labels {
 		h = mix(h ^ (l + golden))
 	}
@@ -215,9 +240,24 @@ func (s *Source) WeightedChoice(weights []float64) int {
 // precomputed table when called through a Zipfian, but this convenience
 // method recomputes the normalizer and is intended for small n.
 func (s *Source) Zipf(n int, alpha float64) int {
+	k := zipfKey{n: n, alpha: alpha}
+	if z, ok := zipfCache.Load(k); ok {
+		return z.(*Zipfian).Sample(s)
+	}
 	z := NewZipfian(n, alpha)
+	zipfCache.Store(k, z)
 	return z.Sample(s)
 }
+
+// zipfCache memoizes the (deterministic) CDF tables: the campaign hot path
+// draws from a handful of fixed (n, alpha) shapes millions of times, and
+// rebuilding the table costs n Pow calls plus an allocation per draw.
+type zipfKey struct {
+	n     int
+	alpha float64
+}
+
+var zipfCache sync.Map
 
 // Zipfian is a precomputed Zipf sampler over ranks [0, n).
 type Zipfian struct {

@@ -65,7 +65,8 @@ type ServerConfig struct {
 
 // Server is a CoAP resource server implementing netsim.DatagramHandler.
 type Server struct {
-	cfg ServerConfig
+	cfg      ServerConfig
+	coreLink string // /.well-known/core rendering; cfg.Resources is immutable
 
 	mu     sync.Mutex
 	values map[string][]byte // live resource values (poisoning mutates these)
@@ -80,13 +81,8 @@ func NewServer(cfg ServerConfig) *Server {
 	for _, r := range cfg.Resources {
 		s.values[r.Path] = append([]byte(nil), r.Value...)
 	}
-	return s
-}
-
-// CoreLinkFormat renders the RFC 6690 link list for /.well-known/core.
-func (s *Server) CoreLinkFormat() string {
-	entries := make([]string, 0, len(s.cfg.Resources))
-	for _, r := range s.cfg.Resources {
+	entries := make([]string, 0, len(cfg.Resources))
+	for _, r := range cfg.Resources {
 		e := "<" + r.Path + ">"
 		if r.Type != "" {
 			e += `;rt="` + r.Type + `"`
@@ -97,8 +93,14 @@ func (s *Server) CoreLinkFormat() string {
 		entries = append(entries, e)
 	}
 	sort.Strings(entries)
-	return strings.Join(entries, ",")
+	s.coreLink = strings.Join(entries, ",")
+	return s
 }
+
+// CoreLinkFormat returns the RFC 6690 link list for /.well-known/core,
+// rendered once at construction (resources never change after NewServer;
+// poisoning mutates live values, not the resource list).
+func (s *Server) CoreLinkFormat() string { return s.coreLink }
 
 // Value returns the live value of a resource path.
 func (s *Server) Value(path string) ([]byte, bool) {

@@ -89,8 +89,10 @@ func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
 		}
 	}()
 	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
-	w := bufio.NewWriter(conn)
-	r := bufio.NewReader(conn)
+	w := netsim.GetWriter(conn)
+	defer netsim.PutWriter(w)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 	reply := func(line string) bool {
 		_, _ = w.WriteString(line + "\r\n")
 		return w.Flush() == nil

@@ -11,6 +11,7 @@ package http
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -98,25 +99,42 @@ func (resp *Response) Write(w io.Writer, serverHeader string) error {
 	if text == "" {
 		text = "Unknown"
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", resp.Status, text)
+	scratch := netsim.GetScratch()
+	b := (*scratch)[:0]
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(resp.Status), 10)
+	b = append(b, ' ')
+	b = append(b, text...)
+	b = append(b, "\r\n"...)
 	if serverHeader != "" {
-		fmt.Fprintf(&b, "Server: %s\r\n", serverHeader)
+		b = append(b, "Server: "...)
+		b = append(b, serverHeader...)
+		b = append(b, "\r\n"...)
 	}
-	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(resp.Body))
-	keys := make([]string, 0, len(resp.Headers))
-	for k := range resp.Headers {
-		keys = append(keys, k)
+	b = append(b, "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(len(resp.Body)), 10)
+	b = append(b, "\r\n"...)
+	if len(resp.Headers) > 0 {
+		keys := make([]string, 0, len(resp.Headers))
+		for k := range resp.Headers {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b = append(b, k...)
+			b = append(b, ": "...)
+			b = append(b, resp.Headers[k]...)
+			b = append(b, "\r\n"...)
+		}
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "%s: %s\r\n", k, resp.Headers[k])
-	}
-	b.WriteString("\r\n")
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	b = append(b, "\r\n"...)
+	_, err := w.Write(b)
+	*scratch = b[:0]
+	netsim.PutScratch(scratch)
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(resp.Body)
+	_, err = w.Write(resp.Body)
 	return err
 }
 
@@ -162,34 +180,161 @@ func NewServer(cfg ServerConfig) *Server {
 	return &Server{cfg: cfg}
 }
 
-// Serve implements netsim.StreamHandler.
+// Serve implements netsim.StreamHandler by running the same state machine
+// NewStepper hands to the discrete-event engine over blocking reads.
 func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
-	remote, _ := netsim.RemoteIPv4(conn)
 	_ = conn.SetDeadline(time.Now().Add(15 * time.Second))
-	r := bufio.NewReader(conn)
-	for served := 0; served < s.cfg.MaxRequestsPerConn; served++ {
-		req, err := ReadRequest(r)
-		if err != nil {
-			return
+	netsim.ServeStepper(ctx, conn, s.NewStepper())
+}
+
+// NewStepper implements netsim.StepProvider: a fresh per-session state
+// machine for the conversation engine.
+func (s *Server) NewStepper() netsim.Stepper { return &serverStepper{s: s} }
+
+// serverStepper request-parse states.
+const (
+	rqLine   uint8 = iota // awaiting the request line
+	rqHeader              // awaiting a header line (empty line ends headers)
+	rqBody                // awaiting Content-Length body bytes
+)
+
+// serverStepper is one keep-alive HTTP session as a resumable state machine:
+// an incremental ReadRequest whose parse errors and response writes land at
+// exactly the points the classic blocking loop returned.
+type serverStepper struct {
+	s      *Server
+	remote netsim.IPv4
+	line   []byte // partial input line
+	req    *Request
+	need   int // body bytes still outstanding
+	state  uint8
+	served int
+}
+
+// Step implements netsim.Stepper.
+func (t *serverStepper) Step(c *netsim.ServerConv, ev netsim.ConvEvent) netsim.StepVerdict {
+	switch ev {
+	case netsim.EvOpen:
+		t.remote, _ = c.RemoteIP()
+		if t.s.cfg.MaxRequestsPerConn <= 0 {
+			return netsim.StepDone
 		}
-		ev := Event{Time: conn.DialTime, Remote: remote, Method: req.Method,
-			Path: req.Path, BodySize: len(req.Body)}
-		if s.cfg.LoginPath != "" && req.Path == s.cfg.LoginPath && req.Method == "POST" {
-			form := ParseForm(string(req.Body))
-			ev.Username = form["username"]
-			ev.Password = form["password"]
-		}
-		if s.cfg.OnEvent != nil {
-			s.cfg.OnEvent(ev)
-		}
-		resp := s.route(req)
-		if err := resp.Write(conn, s.cfg.ServerHeader); err != nil {
-			return
-		}
-		if strings.EqualFold(req.Headers["connection"], "close") {
-			return
+		return netsim.StepMore
+	case netsim.EvData:
+		return t.feed(c)
+	default:
+		// EvEOF / EvBroken: ReadRequest would have errored out of the loop.
+		return netsim.StepDone
+	}
+}
+
+// feed advances the incremental request parser as far as the buffered input
+// allows, dispatching each completed request.
+func (t *serverStepper) feed(c *netsim.ServerConv) netsim.StepVerdict {
+	for {
+		switch t.state {
+		case rqLine:
+			line, ok := t.feedLine(c)
+			if !ok {
+				return netsim.StepMore
+			}
+			fields := strings.Fields(strings.TrimSpace(line))
+			if len(fields) != 3 {
+				return netsim.StepDone // malformed request line
+			}
+			t.req = &Request{Method: fields[0], Path: fields[1], Proto: fields[2],
+				Headers: make(map[string]string)}
+			t.state = rqHeader
+
+		case rqHeader:
+			line, ok := t.feedLine(c)
+			if !ok {
+				return netsim.StepMore
+			}
+			h := strings.TrimRight(line, "\r\n")
+			if h != "" {
+				if colon := strings.IndexByte(h, ':'); colon >= 0 {
+					t.req.Headers[strings.ToLower(strings.TrimSpace(h[:colon]))] = strings.TrimSpace(h[colon+1:])
+				}
+				continue
+			}
+			// Blank line: headers done, read the body if one is declared.
+			t.need = 0
+			if cl := t.req.Headers["content-length"]; cl != "" {
+				n, err := strconv.Atoi(cl)
+				if err != nil || n < 0 || n > maxBodySize {
+					return netsim.StepDone // bad content-length
+				}
+				t.req.Body = make([]byte, 0, n)
+				t.need = n
+			}
+			t.state = rqBody
+
+		case rqBody:
+			if t.need > 0 {
+				in := c.Input()
+				if len(in) > t.need {
+					in = in[:t.need]
+				}
+				t.req.Body = append(t.req.Body, in...)
+				c.Consume(len(in))
+				t.need -= len(in)
+				if t.need > 0 {
+					return netsim.StepMore
+				}
+			}
+			if t.dispatch(c) == netsim.StepDone {
+				return netsim.StepDone
+			}
 		}
 	}
+}
+
+// dispatch handles one fully parsed request: event, route, response write.
+func (t *serverStepper) dispatch(c *netsim.ServerConv) netsim.StepVerdict {
+	s := t.s
+	req := t.req
+	ev := Event{Time: c.DialTime(), Remote: t.remote, Method: req.Method,
+		Path: req.Path, BodySize: len(req.Body)}
+	if s.cfg.LoginPath != "" && req.Path == s.cfg.LoginPath && req.Method == "POST" {
+		form := ParseForm(string(req.Body))
+		ev.Username = form["username"]
+		ev.Password = form["password"]
+	}
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(ev)
+	}
+	resp := s.route(req)
+	if err := resp.Write(c, s.cfg.ServerHeader); err != nil {
+		return netsim.StepDone
+	}
+	if strings.EqualFold(req.Headers["connection"], "close") {
+		return netsim.StepDone
+	}
+	t.served++
+	if t.served >= s.cfg.MaxRequestsPerConn {
+		return netsim.StepDone
+	}
+	t.req = nil
+	t.state = rqLine
+	return netsim.StepMore
+}
+
+// feedLine consumes input toward one '\n'-terminated line, carrying partial
+// lines across batches. ok is false when input ran out mid-line.
+func (t *serverStepper) feedLine(c *netsim.ServerConv) (string, bool) {
+	in := c.Input()
+	for i, b := range in {
+		if b == '\n' {
+			c.Consume(i + 1)
+			line := string(t.line)
+			t.line = t.line[:0]
+			return line, true
+		}
+		t.line = append(t.line, b)
+	}
+	c.Consume(len(in))
+	return "", false
 }
 
 func (s *Server) route(req *Request) *Response {
@@ -272,9 +417,18 @@ func Do(conn net.Conn, method, path string, body []byte, timeout time.Duration) 
 		timeout = 5 * time.Second
 	}
 	_ = conn.SetDeadline(time.Now().Add(timeout))
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: target\r\nContent-Length: %d\r\n\r\n", method, path, len(body))
-	if _, err := io.WriteString(conn, b.String()); err != nil {
+	scratch := netsim.GetScratch()
+	b := (*scratch)[:0]
+	b = append(b, method...)
+	b = append(b, ' ')
+	b = append(b, path...)
+	b = append(b, " HTTP/1.1\r\nHost: target\r\nContent-Length: "...)
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, "\r\n\r\n"...)
+	_, err := conn.Write(b)
+	*scratch = b
+	netsim.PutScratch(scratch)
+	if err != nil {
 		return nil, err
 	}
 	if len(body) > 0 {
@@ -282,40 +436,81 @@ func Do(conn net.Conn, method, path string, body []byte, timeout time.Duration) 
 			return nil, err
 		}
 	}
-	return ReadResponse(bufio.NewReader(conn))
+	br := netsim.GetReader(conn)
+	resp, err := ReadResponse(br)
+	netsim.PutReader(br)
+	return resp, err
+}
+
+// readLine returns one '\n'-terminated chunk as a transient slice into r's
+// buffer, valid only until the next read. Lines longer than the buffer fall
+// back to an allocated copy, preserving ReadString semantics.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		buf := append([]byte(nil), line...)
+		for err == bufio.ErrBufferFull {
+			line, err = r.ReadSlice('\n')
+			buf = append(buf, line...)
+		}
+		return buf, err
+	}
+	return line, err
+}
+
+// headerKeyIntern short-circuits the lowercase conversion for the header
+// names the simulated servers actually emit, avoiding a per-header
+// allocation on the client parse path.
+var headerKeyIntern = map[string]string{
+	"Server": "server", "server": "server",
+	"Content-Length": "content-length", "content-length": "content-length",
+	"Content-Type": "content-type", "content-type": "content-type",
+	"Connection": "connection", "connection": "connection",
+	"Location": "location", "location": "location",
+	"WWW-Authenticate": "www-authenticate", "www-authenticate": "www-authenticate",
+}
+
+// canonHeaderKey lowercases a trimmed header name exactly as
+// strings.ToLower(strings.TrimSpace(...)) did, interning common names.
+func canonHeaderKey(b []byte) string {
+	b = bytes.TrimSpace(b)
+	if k, ok := headerKeyIntern[string(b)]; ok {
+		return k
+	}
+	return strings.ToLower(string(b))
 }
 
 // ReadResponse parses one response.
 func ReadResponse(r *bufio.Reader) (*Response, error) {
-	line, err := r.ReadString('\n')
+	line, err := readLine(r)
 	if err != nil {
 		return nil, err
 	}
-	fields := strings.Fields(strings.TrimSpace(line))
-	if len(fields) < 2 || !strings.HasPrefix(fields[0], "HTTP/") {
-		return nil, fmt.Errorf("http: malformed status line %q", strings.TrimSpace(line))
+	fields := bytes.Fields(bytes.TrimSpace(line))
+	if len(fields) < 2 || !bytes.HasPrefix(fields[0], []byte("HTTP/")) {
+		return nil, fmt.Errorf("http: malformed status line %q", bytes.TrimSpace(line))
 	}
-	status, err := strconv.Atoi(fields[1])
+	status, err := strconv.Atoi(string(fields[1]))
 	if err != nil {
 		return nil, err
 	}
 	resp := &Response{Status: status, Headers: make(map[string]string)}
 	length := 0
 	for {
-		h, err := r.ReadString('\n')
+		h, err := readLine(r)
 		if err != nil {
 			return nil, err
 		}
-		h = strings.TrimRight(h, "\r\n")
-		if h == "" {
+		h = bytes.TrimRight(h, "\r\n")
+		if len(h) == 0 {
 			break
 		}
-		colon := strings.IndexByte(h, ':')
+		colon := bytes.IndexByte(h, ':')
 		if colon < 0 {
 			continue
 		}
-		key := strings.ToLower(strings.TrimSpace(h[:colon]))
-		val := strings.TrimSpace(h[colon+1:])
+		key := canonHeaderKey(h[:colon])
+		val := string(bytes.TrimSpace(h[colon+1:]))
 		resp.Headers[key] = val
 		if key == "content-length" {
 			if length, err = strconv.Atoi(val); err != nil || length < 0 || length > maxBodySize {

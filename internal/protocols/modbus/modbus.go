@@ -110,7 +110,8 @@ func (s *Server) SetRegister(addr int, v uint16) {
 func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
 	remote, _ := netsim.RemoteIPv4(conn)
 	_ = conn.SetDeadline(time.Now().Add(20 * time.Second))
-	r := bufio.NewReader(conn)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 	for i := 0; i < 256; i++ {
 		req, err := ReadRequest(r)
 		if err != nil {
@@ -269,7 +270,8 @@ func roundTrip(conn net.Conn, function byte, data []byte, timeout time.Duration)
 	if _, err := conn.Write(BuildRequest(1, 1, function, data)); err != nil {
 		return nil, err
 	}
-	r := bufio.NewReader(conn)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 	hdr := make([]byte, 7)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err

@@ -129,68 +129,178 @@ func (b *Broker) emit(ev Event) {
 	}
 }
 
-// Serve implements netsim.StreamHandler: one MQTT session per connection.
+// Serve implements netsim.StreamHandler by running the same state machine
+// NewStepper hands to the discrete-event engine over blocking reads.
 func (b *Broker) Serve(ctx context.Context, conn *netsim.ServiceConn) {
-	remote, _ := netsim.RemoteIPv4(conn)
-	s := &session{conn: conn, remote: remote}
 	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	netsim.ServeStepper(ctx, conn, b.NewStepper())
+}
 
-	pkt, err := ReadPacket(conn)
-	if err != nil || pkt.Type != CONNECT {
-		return
-	}
-	code := b.authenticate(pkt)
-	b.emit(Event{
-		Time: conn.DialTime, Kind: EventConnect, Remote: remote,
-		ClientID: pkt.ClientID, Username: pkt.Username, Password: pkt.Password,
-		Code: code,
-	})
-	if err := s.send(&Packet{Type: CONNACK, ReturnCode: code}); err != nil {
-		return
-	}
-	if code != ConnAccepted {
-		return
-	}
+// NewStepper implements netsim.StepProvider: a fresh per-session state
+// machine for the conversation engine.
+func (b *Broker) NewStepper() netsim.Stepper { return &brokerStepper{b: b} }
 
-	b.mu.Lock()
-	b.subs[s] = make(map[string]bool)
-	b.mu.Unlock()
-	defer func() {
+// brokerStepper is one MQTT session as a resumable state machine: an
+// incremental packet framer (fixed header byte, remaining-length varint,
+// body) plus the broker's packet dispatch. Session registration and
+// deregistration happen at the same points the classic blocking loop hit
+// them, so cross-session fanout sees an identical subscriber set.
+type brokerStepper struct {
+	b         *Broker
+	s         *session
+	connected bool // CONNECT accepted and session registered in b.subs
+	publishes int
+	// Packet framer state, carried across input batches.
+	hdr    byte
+	hdrOk  bool
+	length int
+	shift  uint
+	lenCnt int
+	lenOk  bool
+}
+
+// Step implements netsim.Stepper.
+func (t *brokerStepper) Step(c *netsim.ServerConv, ev netsim.ConvEvent) netsim.StepVerdict {
+	switch ev {
+	case netsim.EvOpen:
+		remote, _ := c.RemoteIP()
+		t.s = &session{conn: c.Conn(), remote: remote}
+		return netsim.StepMore
+	case netsim.EvData:
+		for {
+			pkt, ready, fatal := t.nextPacket(c)
+			if fatal { // framing or decode error: ReadPacket would have failed
+				return t.finish()
+			}
+			if !ready {
+				return netsim.StepMore
+			}
+			if t.handlePacket(c, pkt) == netsim.StepDone {
+				return t.finish()
+			}
+		}
+	default:
+		// EvEOF / EvBroken: a blocking ReadPacket would have errored out.
+		return t.finish()
+	}
+}
+
+// nextPacket advances the framer over the buffered input. ready reports a
+// complete, decoded packet; fatal reports a framing or decode error that
+// ends the session.
+func (t *brokerStepper) nextPacket(c *netsim.ServerConv) (pkt *Packet, ready, fatal bool) {
+	in := c.Input()
+	i := 0
+	if !t.hdrOk {
+		if i >= len(in) {
+			c.Consume(i)
+			return nil, false, false
+		}
+		t.hdr, t.hdrOk = in[i], true
+		i++
+	}
+	for !t.lenOk {
+		if i >= len(in) {
+			c.Consume(i)
+			return nil, false, false
+		}
+		bb := in[i]
+		i++
+		t.length |= int(bb&0x7f) << t.shift
+		t.lenCnt++
+		if bb&0x80 == 0 {
+			t.lenOk = true
+			break
+		}
+		if t.lenCnt == 4 { // continuation bit on the 4th byte: ErrMalformed
+			c.Consume(i)
+			return nil, false, true
+		}
+		t.shift += 7
+	}
+	if t.length > maxRemainingLength {
+		c.Consume(i)
+		return nil, false, true
+	}
+	if len(in)-i < t.length {
+		c.Consume(i)
+		return nil, false, false
+	}
+	body := in[i : i+t.length]
+	hdr := t.hdr
+	c.Consume(i + t.length)
+	t.hdrOk, t.lenOk, t.length, t.shift, t.lenCnt = false, false, 0, 0, 0
+	p, err := decode(hdr, body)
+	if err != nil {
+		return nil, false, true
+	}
+	return p, true, false
+}
+
+// handlePacket dispatches one decoded packet exactly as the blocking session
+// loop did.
+func (t *brokerStepper) handlePacket(c *netsim.ServerConv, pkt *Packet) netsim.StepVerdict {
+	b := t.b
+	if !t.connected {
+		if pkt.Type != CONNECT {
+			return netsim.StepDone
+		}
+		code := b.authenticate(pkt)
+		b.emit(Event{
+			Time: c.DialTime(), Kind: EventConnect, Remote: t.s.remote,
+			ClientID: pkt.ClientID, Username: pkt.Username, Password: pkt.Password,
+			Code: code,
+		})
+		if err := t.s.send(&Packet{Type: CONNACK, ReturnCode: code}); err != nil {
+			return netsim.StepDone
+		}
+		if code != ConnAccepted {
+			return netsim.StepDone
+		}
 		b.mu.Lock()
-		delete(b.subs, s)
+		b.subs[t.s] = make(map[string]bool)
 		b.mu.Unlock()
-	}()
-
-	publishes := 0
-	for {
-		pkt, err := ReadPacket(conn)
-		if err != nil {
-			return
-		}
-		switch pkt.Type {
-		case SUBSCRIBE:
-			b.handleSubscribe(s, pkt, conn.DialTime)
-		case UNSUBSCRIBE:
-			b.mu.Lock()
-			for _, f := range pkt.TopicFilter {
-				delete(b.subs[s], f)
-			}
-			b.mu.Unlock()
-			_ = s.send(&Packet{Type: UNSUBACK, PacketID: pkt.PacketID})
-		case PUBLISH:
-			publishes++
-			if b.cfg.MaxPublishesPerConn > 0 && publishes > b.cfg.MaxPublishesPerConn {
-				return
-			}
-			b.handlePublish(s, pkt, conn.DialTime)
-		case PINGREQ:
-			_ = s.send(&Packet{Type: PINGRESP})
-		case DISCONNECT:
-			return
-		default:
-			return // protocol violation
-		}
+		t.connected = true
+		return netsim.StepMore
 	}
+	switch pkt.Type {
+	case SUBSCRIBE:
+		b.handleSubscribe(t.s, pkt, c.DialTime())
+	case UNSUBSCRIBE:
+		b.mu.Lock()
+		for _, f := range pkt.TopicFilter {
+			delete(b.subs[t.s], f)
+		}
+		b.mu.Unlock()
+		_ = t.s.send(&Packet{Type: UNSUBACK, PacketID: pkt.PacketID})
+	case PUBLISH:
+		t.publishes++
+		if b.cfg.MaxPublishesPerConn > 0 && t.publishes > b.cfg.MaxPublishesPerConn {
+			return netsim.StepDone
+		}
+		b.handlePublish(t.s, pkt, c.DialTime())
+	case PINGREQ:
+		_ = t.s.send(&Packet{Type: PINGRESP})
+	case DISCONNECT:
+		return netsim.StepDone
+	default:
+		return netsim.StepDone // protocol violation
+	}
+	return netsim.StepMore
+}
+
+// finish deregisters the session (the blocking loop's deferred cleanup) and
+// ends the conversation. Fanout from other sessions observes the same
+// subscriber set transitions as before: registered from CONNACK acceptance
+// until session end.
+func (t *brokerStepper) finish() netsim.StepVerdict {
+	if t.connected {
+		t.b.mu.Lock()
+		delete(t.b.subs, t.s)
+		t.b.mu.Unlock()
+		t.connected = false
+	}
+	return netsim.StepDone
 }
 
 func (b *Broker) authenticate(pkt *Packet) ConnackCode {

@@ -116,7 +116,8 @@ func readTPKT(r *bufio.Reader) ([]byte, error) {
 func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
 	remote, _ := netsim.RemoteIPv4(conn)
 	_ = conn.SetDeadline(time.Now().Add(20 * time.Second))
-	r := bufio.NewReader(conn)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 
 	// COTP connection setup.
 	payload, err := readTPKT(r)
@@ -209,7 +210,8 @@ func Connect(conn net.Conn, timeout time.Duration) error {
 	if _, err := conn.Write(BuildConnect()); err != nil {
 		return err
 	}
-	r := bufio.NewReader(conn)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 	payload, err := readTPKT(r)
 	if err != nil {
 		return err
@@ -235,7 +237,9 @@ func ReadModule(conn net.Conn, timeout time.Duration) (string, error) {
 	if _, err := conn.Write(BuildJob(FuncRead)); err != nil {
 		return "", err
 	}
-	payload, err := readTPKT(bufio.NewReader(conn))
+	br := netsim.GetReader(conn)
+	defer netsim.PutReader(br)
+	payload, err := readTPKT(br)
 	if err != nil {
 		return "", err
 	}

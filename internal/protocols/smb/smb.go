@@ -137,7 +137,8 @@ func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
 		}
 	}()
 	_ = conn.SetDeadline(time.Now().Add(20 * time.Second))
-	r := bufio.NewReader(conn)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 
 	for i := 0; i < 16; i++ {
 		msg, err := readNetbios(r, s.cfg.MaxPayload)
@@ -242,7 +243,9 @@ func Probe(conn net.Conn, timeout time.Duration) (string, error) {
 	if _, err := conn.Write(BuildNegotiate("NT LM 0.12", "SMB 2.002")); err != nil {
 		return "", err
 	}
-	msg, err := readNetbios(bufio.NewReader(conn), 1<<16)
+	br := netsim.GetReader(conn)
+	defer netsim.PutReader(br)
+	msg, err := readNetbios(br, 1<<16)
 	if err != nil {
 		return "", err
 	}

@@ -14,7 +14,6 @@
 package ssh
 
 import (
-	"bufio"
 	"context"
 	"net"
 	"strings"
@@ -76,75 +75,150 @@ func NewServer(cfg Config) *Server {
 	return &Server{cfg: cfg}
 }
 
-// Serve implements netsim.StreamHandler.
+// Serve implements netsim.StreamHandler by running the same state machine
+// NewStepper hands to the discrete-event engine over blocking reads.
 func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
-	remote, _ := netsim.RemoteIPv4(conn)
-	ev := Event{Time: conn.DialTime, Remote: remote}
-	defer func() {
-		if s.cfg.OnEvent != nil {
-			s.cfg.OnEvent(ev)
-		}
-	}()
 	_ = conn.SetDeadline(time.Now().Add(15 * time.Second))
+	netsim.ServeStepper(ctx, conn, s.NewStepper())
+}
 
-	if _, err := conn.Write([]byte(s.cfg.Version + "\r\n")); err != nil {
-		return
-	}
-	r := bufio.NewReader(conn)
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return
-	}
-	ev.ClientVersion = strings.TrimSpace(line)
-	if !strings.HasPrefix(ev.ClientVersion, "SSH-") {
-		return // not an SSH client; banner grab ends here
-	}
+// NewStepper implements netsim.StepProvider: a fresh per-session state
+// machine for the conversation engine.
+func (s *Server) NewStepper() netsim.Stepper { return &serverStepper{s: s} }
 
-	for len(ev.Attempts) < s.cfg.MaxAttempts {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return
+// serverStepper session states.
+const (
+	stVersion uint8 = iota // awaiting the client identification string
+	stAuth                 // awaiting a "user password" line
+	stShell                // awaiting a shell command line
+)
+
+// serverStepper is one SSH session as a resumable state machine. Writes land
+// at exactly the points the classic blocking loop wrote ("denied\n",
+// "granted\n", "$ \n"), so faulted transports cut sessions at identical
+// byte offsets.
+type serverStepper struct {
+	s       *Server
+	ev      Event
+	line    []byte // partial input line
+	state   uint8
+	emitted bool
+}
+
+// Step implements netsim.Stepper.
+func (t *serverStepper) Step(c *netsim.ServerConv, ev netsim.ConvEvent) netsim.StepVerdict {
+	switch ev {
+	case netsim.EvOpen:
+		t.ev.Time = c.DialTime()
+		if ip, ok := c.RemoteIP(); ok {
+			t.ev.Remote = ip
 		}
+		if _, err := c.Write([]byte(t.s.cfg.Version + "\r\n")); err != nil {
+			return t.finish()
+		}
+		return netsim.StepMore
+	case netsim.EvData:
+		for {
+			line, ok := t.feedLine(c)
+			if !ok {
+				return netsim.StepMore
+			}
+			if t.handleLine(c, line) == netsim.StepDone {
+				return netsim.StepDone
+			}
+		}
+	default:
+		// EvEOF / EvBroken: a blocking read would have errored out here.
+		return t.finish()
+	}
+}
+
+// handleLine advances the session by one completed input line.
+func (t *serverStepper) handleLine(c *netsim.ServerConv, line string) netsim.StepVerdict {
+	s := t.s
+	switch t.state {
+	case stVersion:
+		t.ev.ClientVersion = strings.TrimSpace(line)
+		if !strings.HasPrefix(t.ev.ClientVersion, "SSH-") {
+			return t.finish() // not an SSH client; banner grab ends here
+		}
+		if len(t.ev.Attempts) >= s.cfg.MaxAttempts {
+			return t.finish()
+		}
+		t.state = stAuth
+
+	case stAuth:
 		fields := strings.SplitN(strings.TrimSpace(line), " ", 2)
 		cred := Credential{Username: fields[0]}
 		if len(fields) == 2 {
 			cred.Password = fields[1]
 		}
-		ev.Attempts = append(ev.Attempts, cred)
+		t.ev.Attempts = append(t.ev.Attempts, cred)
 		ok := s.cfg.AcceptAll
 		if want, exists := s.cfg.Credentials[cred.Username]; exists && want == cred.Password {
 			ok = true
 		}
 		if !ok {
-			if _, err := conn.Write([]byte("denied\n")); err != nil {
-				return
+			if _, err := c.Write([]byte("denied\n")); err != nil {
+				return t.finish()
 			}
-			continue
+			if len(t.ev.Attempts) >= s.cfg.MaxAttempts {
+				return t.finish()
+			}
+			break
 		}
-		ev.Success = true
-		if _, err := conn.Write([]byte("granted\n")); err != nil {
-			return
+		t.ev.Success = true
+		if _, err := c.Write([]byte("granted\n")); err != nil {
+			return t.finish()
 		}
+		t.state = stShell
+
+	case stShell:
 		// Shell phase: log commands until exit.
-		for len(ev.Commands) < 64 {
-			cl, err := r.ReadString('\n')
-			if err != nil {
-				return
-			}
-			cmd := strings.TrimSpace(cl)
-			if cmd == "" {
-				continue
-			}
-			ev.Commands = append(ev.Commands, cmd)
-			if cmd == "exit" {
-				return
-			}
-			if _, err := conn.Write([]byte("$ \n")); err != nil {
-				return
-			}
+		cmd := strings.TrimSpace(line)
+		if cmd == "" {
+			break
 		}
-		return
+		t.ev.Commands = append(t.ev.Commands, cmd)
+		if cmd == "exit" {
+			return t.finish()
+		}
+		if _, err := c.Write([]byte("$ \n")); err != nil {
+			return t.finish()
+		}
+		if len(t.ev.Commands) >= 64 {
+			return t.finish()
+		}
 	}
+	return netsim.StepMore
+}
+
+// feedLine consumes input toward one '\n'-terminated line, carrying partial
+// lines across batches. ok is false when input ran out mid-line.
+func (t *serverStepper) feedLine(c *netsim.ServerConv) (string, bool) {
+	in := c.Input()
+	for i, b := range in {
+		if b == '\n' {
+			c.Consume(i + 1)
+			line := string(t.line)
+			t.line = t.line[:0]
+			return line, true
+		}
+		t.line = append(t.line, b)
+	}
+	c.Consume(len(in))
+	return "", false
+}
+
+// finish emits the session event exactly once and ends the conversation.
+func (t *serverStepper) finish() netsim.StepVerdict {
+	if !t.emitted {
+		t.emitted = true
+		if t.s.cfg.OnEvent != nil {
+			t.s.cfg.OnEvent(t.ev)
+		}
+	}
+	return netsim.StepDone
 }
 
 // GrabBanner reads the server identification string — the scan probe.
@@ -153,7 +227,9 @@ func GrabBanner(conn net.Conn, timeout time.Duration) (string, error) {
 		timeout = 3 * time.Second
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(timeout))
-	line, err := bufio.NewReader(conn).ReadString('\n')
+	br := netsim.GetReader(conn)
+	line, err := br.ReadString('\n')
+	netsim.PutReader(br)
 	if err != nil && line == "" {
 		return "", err
 	}
@@ -179,7 +255,9 @@ func Attempt(conn net.Conn, user, pass string, timeout time.Duration) (bool, err
 	if _, err := conn.Write([]byte(user + " " + pass + "\n")); err != nil {
 		return false, err
 	}
-	resp, err := bufio.NewReader(conn).ReadString('\n')
+	br := netsim.GetReader(conn)
+	resp, err := br.ReadString('\n')
+	netsim.PutReader(br)
 	if err != nil {
 		return false, err
 	}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"openhire/internal/netsim"
 )
 
 // Banner is the result of a passive Telnet banner grab: the negotiation
@@ -39,7 +41,9 @@ func Grab(ctx context.Context, conn net.Conn, readWindow time.Duration) (Banner,
 	}
 
 	var raw []byte
-	buf := make([]byte, 4096)
+	scratch := netsim.GetScratch()
+	defer netsim.PutScratch(scratch)
+	buf := *scratch
 	for len(raw) < 64<<10 {
 		if ctx.Err() != nil {
 			break
@@ -136,13 +140,15 @@ func Exec(conn net.Conn, cmd string, timeout time.Duration) (string, error) {
 		return "", err
 	}
 	var out []byte
-	buf := make([]byte, 1024)
+	scratch := netsim.GetScratch()
+	defer netsim.PutScratch(scratch)
+	buf := (*scratch)[:1024] // read in the same chunk sizes as before pooling
 	for {
 		n, err := conn.Read(buf)
 		if n > 0 {
 			data, _ := SplitStream(buf[:n])
 			out = append(out, data...)
-			if containsAny(string(out), "$ ", "# ", "> ") {
+			if containsAny(out, "$ ", "# ", "> ") {
 				break
 			}
 		}
@@ -162,7 +168,9 @@ func awaitSubstring(ctx context.Context, conn net.Conn, needles ...string) error
 // awaitAny reads until one of the needles appears, returning which.
 func awaitAny(ctx context.Context, conn net.Conn, needles ...string) (string, error) {
 	var seen []byte
-	buf := make([]byte, 1024)
+	scratch := netsim.GetScratch()
+	defer netsim.PutScratch(scratch)
+	buf := (*scratch)[:1024] // read in the same chunk sizes as before pooling
 	for {
 		if ctx.Err() != nil {
 			return "", ctx.Err()
@@ -177,7 +185,7 @@ func awaitAny(ctx context.Context, conn net.Conn, needles ...string) (string, er
 			}
 			seen = append(seen, data...)
 			for _, needle := range needles {
-				if needle != "" && indexOf(string(seen), needle) >= 0 {
+				if needle != "" && indexOf(seen, needle) >= 0 {
 					return needle, nil
 				}
 			}
@@ -188,7 +196,7 @@ func awaitAny(ctx context.Context, conn net.Conn, needles ...string) (string, er
 	}
 }
 
-func containsAny(s string, needles ...string) bool {
+func containsAny(s []byte, needles ...string) bool {
 	for _, n := range needles {
 		if n != "" && indexOf(s, n) >= 0 {
 			return true
@@ -197,9 +205,9 @@ func containsAny(s string, needles ...string) bool {
 	return false
 }
 
-func indexOf(s, sub string) int {
+func indexOf(s []byte, sub string) int {
 	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
+		if string(s[i:i+len(sub)]) == sub {
 			return i
 		}
 	}

@@ -1,7 +1,6 @@
 package telnet
 
 import (
-	"bufio"
 	"context"
 	"strings"
 	"time"
@@ -102,148 +101,247 @@ func (s *Server) expand(p string) string {
 	return strings.ReplaceAll(p, "%h", s.cfg.Hostname)
 }
 
-// Serve implements netsim.StreamHandler.
+// Serve implements netsim.StreamHandler by driving the session state machine
+// over blocking reads — the same machine NewStepper hands to the discrete-
+// event engine, so both execution paths produce identical byte streams and
+// session events.
 func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
-	ev := Event{Time: conn.DialTime}
-	if ip, ok := netsim.RemoteIPv4(conn); ok {
-		ev.Remote = ip
-	}
-	defer func() {
-		if s.cfg.OnEvent != nil {
-			s.cfg.OnEvent(ev)
-		}
-	}()
-
-	w := bufio.NewWriter(conn)
-	r := bufio.NewReader(conn)
 	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	netsim.ServeStepper(ctx, conn, s.NewStepper())
+}
 
+// NewStepper implements netsim.StepProvider: a fresh per-session state
+// machine for the conversation engine.
+func (s *Server) NewStepper() netsim.Stepper { return &serverStepper{s: s} }
+
+// serverStepper session states.
+const (
+	stLogin uint8 = iota // awaiting username line
+	stPass               // awaiting password line
+	stShell              // awaiting shell command line
+)
+
+// IAC-filter states carried across input batches.
+const (
+	iacNone   uint8 = iota
+	iacVerb         // consumed IAC, awaiting verb
+	iacOption       // consumed IAC + DO/DONT/WILL/WONT, awaiting option byte
+)
+
+// serverStepper is one Telnet session as a resumable state machine. Output
+// accumulates in out and is flushed at exactly the points the classic
+// blocking loop called Flush, so write errors (tripped stream faults) cut
+// the session at identical byte offsets.
+type serverStepper struct {
+	s        *Server
+	ev       Event
+	out      []byte // pending response bytes, flushed at prompt boundaries
+	line     []byte // partial input line
+	state    uint8
+	iacState uint8
+	user     string
+	attempt  int
+	emitted  bool
+}
+
+// Step implements netsim.Stepper.
+func (t *serverStepper) Step(c *netsim.ServerConv, ev netsim.ConvEvent) netsim.StepVerdict {
+	switch ev {
+	case netsim.EvOpen:
+		return t.open(c)
+	case netsim.EvData:
+		for {
+			line, ok := t.feedLine(c)
+			if !ok {
+				return netsim.StepMore
+			}
+			if t.handleLine(c, line) == netsim.StepDone {
+				return netsim.StepDone
+			}
+		}
+	default:
+		// EvEOF / EvBroken: a blocking readLine would have errored out of
+		// the session loop here.
+		return t.finish()
+	}
+}
+
+// open sends negotiation, banner and the first prompt.
+func (t *serverStepper) open(c *netsim.ServerConv) netsim.StepVerdict {
+	t.ev.Time = c.DialTime()
+	if ip, ok := c.RemoteIP(); ok {
+		t.ev.Remote = ip
+	}
+	s := t.s
 	// Option negotiation first: these raw bytes are exactly what ZGrab's
 	// banner capture records, and what honeypot fingerprinting matches on.
 	switch {
 	case s.cfg.RawNegotiation != nil:
-		_, _ = w.Write(s.cfg.RawNegotiation)
+		t.out = append(t.out, s.cfg.RawNegotiation...)
 	case s.cfg.NegotiateOptions:
-		_, _ = w.Write(Negotiate(WILL, OptEcho))
-		_, _ = w.Write(Negotiate(WILL, OptSuppressGoAhead))
+		t.out = append(t.out, Negotiate(WILL, OptEcho)...)
+		t.out = append(t.out, Negotiate(WILL, OptSuppressGoAhead)...)
 	}
 	if s.cfg.PreLoginBanner != "" {
-		_, _ = w.WriteString(s.expand(s.cfg.PreLoginBanner))
+		t.out = append(t.out, s.expand(s.cfg.PreLoginBanner)...)
 	}
-
-	authed := false
 	switch s.cfg.Auth {
 	case AuthNone, AuthNoneRoot:
-		authed = true
-		ev.LoginOK = true
+		t.ev.LoginOK = true
+		t.state = stShell
+		t.out = append(t.out, s.expand(s.cfg.ShellPrompt)...)
 	case AuthLogin:
-		for attempt := 0; attempt < s.cfg.MaxLoginAttempts; attempt++ {
-			_, _ = w.WriteString(s.expand(s.cfg.LoginPrompt))
-			if w.Flush() != nil {
-				return
-			}
-			user, err := readLine(r, &ev)
-			if err != nil {
-				return
-			}
-			_, _ = w.WriteString(s.expand(s.cfg.PasswordPrompt))
-			if w.Flush() != nil {
-				return
-			}
-			pass, err := readLine(r, &ev)
-			if err != nil {
-				return
-			}
-			ev.Username, ev.Password = user, pass
-			want, ok := s.cfg.Credentials[user]
-			if s.cfg.AcceptAll || (ok && want == pass) {
-				authed = true
-				ev.LoginOK = true
-				break
-			}
-			_, _ = w.WriteString("\r\nLogin incorrect\r\n")
-		}
+		t.state = stLogin
+		t.out = append(t.out, s.expand(s.cfg.LoginPrompt)...)
 	}
-	if !authed {
-		_ = w.Flush()
-		return
+	if !t.flush(c) {
+		return t.finish()
 	}
+	return netsim.StepMore
+}
 
-	// Shell loop: echo a prompt, consume a command, reply.
-	for {
-		_, _ = w.WriteString(s.expand(s.cfg.ShellPrompt))
-		if w.Flush() != nil {
-			return
+// handleLine advances the session by one completed input line.
+func (t *serverStepper) handleLine(c *netsim.ServerConv, line string) netsim.StepVerdict {
+	s := t.s
+	switch t.state {
+	case stLogin:
+		t.user = line
+		t.out = append(t.out, s.expand(s.cfg.PasswordPrompt)...)
+		if !t.flush(c) {
+			return t.finish()
 		}
-		line, err := readLine(r, &ev)
-		if err != nil {
-			return
+		t.state = stPass
+
+	case stPass:
+		t.ev.Username, t.ev.Password = t.user, line
+		want, ok := s.cfg.Credentials[t.user]
+		t.attempt++
+		if s.cfg.AcceptAll || (ok && want == line) {
+			t.ev.LoginOK = true
+			t.state = stShell
+			t.out = append(t.out, s.expand(s.cfg.ShellPrompt)...)
+			if !t.flush(c) {
+				return t.finish()
+			}
+			break
 		}
+		t.out = append(t.out, "\r\nLogin incorrect\r\n"...)
+		if t.attempt >= s.cfg.MaxLoginAttempts {
+			t.flush(c)
+			return t.finish()
+		}
+		t.out = append(t.out, s.expand(s.cfg.LoginPrompt)...)
+		if !t.flush(c) {
+			return t.finish()
+		}
+		t.state = stLogin
+
+	case stShell:
 		cmd := strings.TrimSpace(line)
 		if cmd == "" {
-			continue
+			t.out = append(t.out, s.expand(s.cfg.ShellPrompt)...)
+			if !t.flush(c) {
+				return t.finish()
+			}
+			break
 		}
-		ev.Commands = append(ev.Commands, cmd)
+		t.ev.Commands = append(t.ev.Commands, cmd)
 		switch cmd {
 		case "exit", "quit", "logout":
-			_ = w.Flush()
-			return
+			t.flush(c)
+			return t.finish()
 		default:
 			if out, ok := s.cfg.CommandOutput[cmd]; ok {
-				_, _ = w.WriteString(out)
+				t.out = append(t.out, out...)
 				if !strings.HasSuffix(out, "\n") {
-					_, _ = w.WriteString("\r\n")
+					t.out = append(t.out, "\r\n"...)
 				}
 			} else {
 				name := cmd
 				if sp := strings.IndexByte(name, ' '); sp > 0 {
 					name = name[:sp]
 				}
-				_, _ = w.WriteString("-sh: " + name + ": not found\r\n")
+				t.out = append(t.out, "-sh: "+name+": not found\r\n"...)
 			}
 		}
-		if len(ev.Commands) >= 64 { // bound runaway sessions
-			return
+		if len(t.ev.Commands) >= 64 { // bound runaway sessions
+			// The blocking loop returned here before its next Flush, so the
+			// final command's output was never delivered; drop it the same way.
+			t.out = t.out[:0]
+			return t.finish()
+		}
+		t.out = append(t.out, s.expand(s.cfg.ShellPrompt)...)
+		if !t.flush(c) {
+			return t.finish()
 		}
 	}
+	return netsim.StepMore
 }
 
-// readLine reads one CR/LF-terminated line, filtering IAC negotiation and
-// accounting raw bytes into the event.
-func readLine(r *bufio.Reader, ev *Event) (string, error) {
-	var line []byte
-	for {
-		b, err := r.ReadByte()
-		if err != nil {
-			return "", err
-		}
-		ev.RawBytes++
-		if b == IAC {
-			// Consume a client negotiation command (verb + option).
-			verb, err := r.ReadByte()
-			if err != nil {
-				return "", err
-			}
-			ev.RawBytes++
-			switch verb {
+// feedLine consumes input toward one CR/LF-terminated line, filtering IAC
+// negotiation and accounting raw bytes, carrying partial-line and partial-
+// IAC state across batches. ok is false when input ran out mid-line.
+func (t *serverStepper) feedLine(c *netsim.ServerConv) (string, bool) {
+	in := c.Input()
+	n := 0
+	for _, b := range in {
+		n++
+		t.ev.RawBytes++
+		switch {
+		case t.iacState == iacVerb:
+			switch b {
 			case DO, DONT, WILL, WONT:
-				if _, err := r.ReadByte(); err != nil {
-					return "", err
-				}
-				ev.RawBytes++
+				t.iacState = iacOption
 			case IAC:
-				line = append(line, IAC)
+				t.line = append(t.line, IAC)
+				t.iacState = iacNone
+			default:
+				t.iacState = iacNone
 			}
-			continue
-		}
-		if b == '\n' {
-			return strings.TrimRight(string(line), "\r"), nil
-		}
-		if b != '\r' {
-			line = append(line, b)
-		}
-		if len(line) > 512 {
-			return string(line), nil
+		case t.iacState == iacOption:
+			t.iacState = iacNone
+		case b == IAC:
+			t.iacState = iacVerb
+		case b == '\n':
+			c.Consume(n)
+			line := string(t.line)
+			t.line = t.line[:0]
+			return line, true
+		default:
+			if b != '\r' {
+				t.line = append(t.line, b)
+			}
+			if len(t.line) > 512 {
+				// Overlong line: hand it over without consuming a terminator.
+				c.Consume(n)
+				line := string(t.line)
+				t.line = t.line[:0]
+				return line, true
+			}
 		}
 	}
+	c.Consume(n)
+	return "", false
+}
+
+// flush delivers the pending output in one write, reporting false on a dead
+// or faulted transport (the blocking loop's Flush-error returns).
+func (t *serverStepper) flush(c *netsim.ServerConv) bool {
+	if len(t.out) == 0 {
+		return true
+	}
+	_, err := c.Write(t.out)
+	t.out = t.out[:0]
+	return err == nil
+}
+
+// finish emits the session event exactly once and ends the conversation.
+func (t *serverStepper) finish() netsim.StepVerdict {
+	if !t.emitted {
+		t.emitted = true
+		if t.s.cfg.OnEvent != nil {
+			t.s.cfg.OnEvent(t.ev)
+		}
+	}
+	return netsim.StepDone
 }

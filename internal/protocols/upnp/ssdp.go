@@ -136,9 +136,10 @@ func (d *Device) DescriptionXML() string {
 	return b.String()
 }
 
+var xmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
 func xmlEscape(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return xmlEscaper.Replace(s)
 }
 
 // ResponseHeaders parses an SSDP response into its headers (upper-cased

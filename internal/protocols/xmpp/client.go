@@ -1,10 +1,11 @@
 package xmpp
 
 import (
-	"bufio"
 	"net"
 	"strings"
 	"time"
+
+	"openhire/internal/netsim"
 )
 
 // ProbeBanner performs the paper's XMPP banner grab: open a stream, read the
@@ -18,7 +19,8 @@ func ProbeBanner(conn net.Conn, domain string, timeout time.Duration) (string, F
 	if _, err := conn.Write([]byte(StreamOpen(domain))); err != nil {
 		return "", Features{}, err
 	}
-	r := bufio.NewReader(conn)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 	banner, err := readElement(r, "</stream:features>")
 	if err != nil && banner == "" {
 		return "", Features{}, err
@@ -36,7 +38,8 @@ func Authenticate(conn net.Conn, mechanism, user, pass string, timeout time.Dura
 	if _, err := conn.Write([]byte(AuthRequest(mechanism, user, pass))); err != nil {
 		return false, err
 	}
-	r := bufio.NewReader(conn)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 	resp, err := readElement(r, "/>")
 	if err != nil {
 		return false, err
@@ -56,7 +59,8 @@ func SendStanza(conn net.Conn, stanza string, window time.Duration) (string, err
 		return "", err
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(window))
-	r := bufio.NewReader(conn)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 	resp, err := readElement(r, "/>", "</iq>", "</message>")
 	if err != nil && resp == "" {
 		return "", err

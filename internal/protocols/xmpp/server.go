@@ -72,7 +72,8 @@ func (s *Server) emit(ev Event) {
 func (s *Server) Serve(ctx context.Context, conn *netsim.ServiceConn) {
 	remote, _ := netsim.RemoteIPv4(conn)
 	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
-	r := bufio.NewReader(conn)
+	r := netsim.GetReader(conn)
+	defer netsim.PutReader(r)
 
 	// Wait for the client's stream header.
 	if _, err := readElement(r, ">"); err != nil {

@@ -34,8 +34,23 @@ func BenchmarkTelescopeObserve(b *testing.B) {
 // BenchmarkTelescopeRecord measures the direct statistical-ingest path the
 // darknet generator uses.
 func BenchmarkTelescopeRecord(b *testing.B) {
+	benchTelescopeRecord(b, false)
+}
+
+// BenchmarkTelescopeRecordReserved is the same ingest with the shard indexes
+// pre-sized from the flow-count hint, isolating the rehash cost that Reserve
+// removes from the generator's hot loop.
+func BenchmarkTelescopeRecordReserved(b *testing.B) {
+	benchTelescopeRecord(b, true)
+}
+
+func benchTelescopeRecord(b *testing.B, reserve bool) {
 	tel := New(netsim.MustParsePrefix("44.0.0.0/8"), nil)
+	if reserve {
+		tel.Reserve(b.N)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ft := sampleFlow()
 		ft.SrcIP = netsim.IPv4(i % 100000)

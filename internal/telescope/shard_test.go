@@ -190,3 +190,56 @@ func TestFlowsCSVStableAcrossSnapshots(t *testing.T) {
 		t.Fatal("two snapshots of the same capture serialized differently")
 	}
 }
+
+// TestReservePreSizesWithoutChangingCapture pins the Reserve contract: a
+// pre-sized table must produce the byte-identical capture as a cold one, the
+// pre-sized shards must not rehash during ingest when the hint covers the
+// load, and Reserve never shrinks an index that is already wider.
+func TestReservePreSizesWithoutChangingCapture(t *testing.T) {
+	prefix := netsim.MustParsePrefix("44.0.0.0/8")
+	const flows = 100_000
+
+	feed := func(tel *Telescope) {
+		for i := 0; i < flows; i++ {
+			ft := sampleFlow()
+			ft.SrcIP = netsim.IPv4(uint32(i)*2654435761 + 7)
+			ft.SrcPort = uint16(i)
+			tel.Record(ft)
+		}
+	}
+
+	cold := New(prefix, nil)
+	feed(cold)
+
+	warm := New(prefix, nil)
+	warm.Reserve(flows)
+	sized := make([]int, numShards)
+	for i := range warm.shards {
+		sized[i] = len(warm.shards[i].slots)
+	}
+	feed(warm)
+	for i := range warm.shards {
+		if got := len(warm.shards[i].slots); got != sized[i] {
+			t.Fatalf("shard %d rehashed during ingest: %d slots, reserved %d", i, got, sized[i])
+		}
+	}
+
+	dump := func(tel *Telescope) []byte {
+		var buf bytes.Buffer
+		for _, ft := range tel.Flows() {
+			if err := ft.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	if a, b := dump(cold), dump(warm); !bytes.Equal(a, b) {
+		t.Fatal("pre-sized capture serialized differently from cold capture")
+	}
+
+	wide := len(warm.shards[0].slots)
+	warm.Reserve(1)
+	if got := len(warm.shards[0].slots); got != wide {
+		t.Fatalf("Reserve with a small hint shrank shard 0: %d slots, was %d", got, wide)
+	}
+}

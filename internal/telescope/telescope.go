@@ -167,6 +167,33 @@ func (s *flowShard) grow(size uint64) {
 	}
 }
 
+// Reserve pre-sizes the flow table for an expected number of distinct flows,
+// spreading the hint evenly across shards and sizing each slot index so the
+// expected entries stay under the 3/4 load factor insert enforces. Producers
+// that know their volume up front (the darknet generator plans flow counts
+// per day before emitting anything) skip the doubling rehashes a cold table
+// pays while filling; growth past the hint still works exactly as before —
+// grow rehashes the shard in place at double the size. Reserve never
+// shrinks, and calling it on a populated telescope only ever widens shards.
+func (t *Telescope) Reserve(flows int) {
+	if flows <= 0 {
+		return
+	}
+	per := uint64(flows)/numShards + 1
+	size := uint64(512)
+	for size*3 < per*4 {
+		size *= 2
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		if uint64(len(s.slots)) < size {
+			s.grow(size)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Observe implements netsim.Observer.
 func (t *Telescope) Observe(ev netsim.ProbeEvent) {
 	if !t.prefix.Contains(ev.Dst.IP) {

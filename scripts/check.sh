@@ -24,7 +24,9 @@
 #   7. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
 #
 # Usage: check.sh [--fast]
-#   --fast skips the fuzz smokes (step 5's second half), nothing else.
+#   --fast skips the fuzz smokes (step 5's second half) and instead runs a
+#   one-iteration campaign/conversation-engine benchmark smoke, so the
+#   bench-campaign harness stays compiling and executable in the inner loop.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,6 +71,8 @@ if [ "$FAST" = "0" ]; then
 	done
 else
 	echo "==> chaos gate: parser fuzz smoke skipped (--fast)"
+	echo "==> bench smoke: campaign + conversation engine benchmarks, 1 iteration"
+	make --no-print-directory bench-campaign BENCHTIME=1x COUNT=1 >/dev/null
 fi
 
 echo "==> inspect smoke: fixed-seed run self-diffs clean, tracing is zero-perturbation"
