@@ -1,6 +1,6 @@
 # Developer entry points. `make check` is the gate every PR must pass.
 
-.PHONY: check check-fast build test race chaos bench-scan bench-telescope bench-campaign
+.PHONY: check check-fast build test race chaos crash bench-scan bench-telescope bench-campaign
 
 check:
 	./scripts/check.sh
@@ -34,6 +34,14 @@ chaos:
 	for target in FuzzReadPacket FuzzTopicMatches; do \
 		go test -run "^$$target\$$" -fuzz "^$$target\$$" -fuzztime 10x ./internal/protocols/mqtt/ || exit 1; \
 	done
+
+# crash runs the kill-and-resume gate: checkpoint container round-trip and
+# corruption rejection, per-leg resume property tests, and the crashpoint
+# sweep — each leg binary killed at every registered durable-state
+# transition, resumed, and byte-compared against an uninterrupted golden
+# run — all under the race detector.
+crash:
+	go test -race -count=1 ./internal/checkpoint/...
 
 # bench-scan reproduces the hot-path numbers recorded in BENCH_scan.json.
 bench-scan:

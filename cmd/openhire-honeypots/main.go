@@ -5,6 +5,7 @@
 // Usage:
 //
 //	openhire-honeypots [-seed N] [-intensity F] [-workers N] [-csv]
+//	                   [-checkpoint DIR] [-resume]
 //	                   [-debug-addr HOST:PORT] [-manifest FILE]
 //	                   [-trace FILE] [-trace-sample N]
 //	                   [-cpuprofile FILE] [-memprofile FILE]
@@ -13,19 +14,35 @@
 // plus session open/command/close lifecycles derived per (source, honeypot,
 // protocol, day) from the canonical event log after the replay quiesces —
 // sources sampled by pure hash of seed and address (-trace-sample).
+//
+// -checkpoint commits the campaign scheduler's position and the canonical
+// event log after every simulated day (at the OnDay barrier, once the day's
+// jobs have drained and the fabric quiesced); -resume continues a killed
+// replay from the last committed day. SIGINT/SIGTERM finish the in-flight
+// day, flush the reports accumulated so far, and exit 0 with the manifest
+// recording interrupted: true.
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"openhire/internal/attack"
 	"openhire/internal/attack/malware"
+	"openhire/internal/checkpoint"
+	"openhire/internal/checkpoint/atomicio"
+	"openhire/internal/checkpoint/crashpoint"
 	"openhire/internal/core/report"
 	"openhire/internal/geo"
 	"openhire/internal/honeypot"
@@ -35,6 +52,26 @@ import (
 	"openhire/internal/obs"
 	"openhire/internal/obs/trace"
 )
+
+// honeypotCheckpoint is the attack leg's durable state, committed inside the
+// campaign's OnDay barrier where the scheduler is single-threaded and every
+// worker has drained. The seeded world (pools, multistage plans, intel
+// services) is rebuilt by replaying construction, so the state is just the
+// scheduler position plus the event log accumulated so far.
+type honeypotCheckpoint struct {
+	// Campaign is the scheduler's resumable position.
+	Campaign attack.CampaignResume `json:"campaign"`
+	// Events is the honeypot log in canonical order, as a JSONL document —
+	// the export wire format. Canonical order makes the checkpoint bytes a
+	// pure function of the plan (arrival order is scheduling noise), and log
+	// restoration is insensitive to append order for the same reason every
+	// log consumer is.
+	Events string `json:"events,omitempty"`
+	// TraceEvents is the flight recorder's dump at commit time.
+	TraceEvents []trace.SavedEvent `json:"trace_events,omitempty"`
+	// Checkpoints records every checkpoint committed before this one.
+	Checkpoints []obs.CheckpointRecord `json:"checkpoints,omitempty"`
+}
 
 func main() {
 	var (
@@ -49,8 +86,14 @@ func main() {
 		traceSample  = flag.Uint64("trace-sample", 16, "trace one of every N source addresses (pure hash of seed+address; 1 = all)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the replay to this file")
 		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (post-GC live memory) to this file")
+		ckptDir      = flag.String("checkpoint", "", "checkpoint resumable replay state into this directory at every day boundary")
+		resume       = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint DIR (fresh start if none exists)")
 	)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -93,11 +136,107 @@ func main() {
 		rec = trace.NewRecorder("openhire-honeypots", *seed, *traceSample)
 	}
 
+	// First SIGINT/SIGTERM stops the replay at a day boundary (checkpointed
+	// runs commit first), flushes the reports accumulated so far, and exits 0
+	// with interrupted:true in the manifest; a second one force-quits.
+	var interrupted atomic.Bool
+	ctx, cancelRun := context.WithCancel(context.Background())
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "interrupt: draining replay and flushing (^C again to force quit)")
+		interrupted.Store(true)
+		if *ckptDir == "" {
+			cancelRun() // checkpointed runs cancel inside OnDay, post-commit
+		}
+		<-sigCh
+		os.Exit(130)
+	}()
+
 	rdns := geo.NewRDNS(*seed)
 	gn := intel.NewGreyNoise(*seed, 0.81)
 	vt := intel.NewVirusTotal()
 	sources := attack.NewSources(*seed, nil, rdns, gn)
-	campaign := attack.NewCampaign(attack.CampaignConfig{
+
+	// Resume: reload the scheduler position, replay the committed days'
+	// events into the log (append order is free — every consumer works on
+	// time-major or canonical order), and restore the flight recorder and
+	// day gauges.
+	ckptState := &honeypotCheckpoint{}
+	var resumeState *attack.CampaignResume
+	if *resume {
+		recd, err := checkpoint.Load(*ckptDir, "honeypots", *seed, ckptState)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: a fresh start.
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		default:
+			recd.Name = fmt.Sprintf("day%02d", len(ckptState.Checkpoints))
+			ckptState.Checkpoints = append(ckptState.Checkpoints, recd)
+			resumeState = &ckptState.Campaign
+			evs, err := honeypot.ImportJSONL(strings.NewReader(ckptState.Events))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "checkpoint events:", err)
+				os.Exit(1)
+			}
+			for _, ev := range evs {
+				log.Append(ev)
+			}
+			ckptState.Events = ""
+			rec.RestoreEvents(ckptState.TraceEvents)
+			ckptState.TraceEvents = nil
+			if d := resumeState.NextDay; d > 0 {
+				reg.SetGauge("campaign.day", float64(d-1))
+				reg.SetGauge("campaign.events_planned", float64(resumeState.EventsPlanned))
+				reg.SetGauge("campaign.events_run", float64(resumeState.EventsRun))
+				progress.Add(uint64(d))
+			}
+			fmt.Fprintf(os.Stderr, "resumed at day %02d with %s events\n",
+				resumeState.NextDay, report.Comma(log.Len()))
+		}
+	}
+
+	baseHook := dayHook(reg, progress, rec)
+	var campaign *attack.Campaign
+	onDay := baseHook
+	if *ckptDir != "" {
+		// Commit at the OnDay barrier: the scheduler is single-threaded here,
+		// the day's jobs have drained, and the fabric has quiesced, so the
+		// scheduler position plus the canonical log is the complete state.
+		onDay = func(day, planned, run int) {
+			if baseHook != nil {
+				baseHook(day, planned, run)
+			}
+			ckptState.Campaign = campaign.SchedulerState(day, planned, run)
+			canonical := log.Events()
+			honeypot.SortEventsCanonical(canonical)
+			var buf bytes.Buffer
+			if err := honeypot.ExportJSONL(&buf, canonical); err != nil {
+				fmt.Fprintln(os.Stderr, "checkpoint:", err)
+				os.Exit(1)
+			}
+			ckptState.Events = buf.String()
+			ckptState.TraceEvents = rec.DumpEvents()
+			name := fmt.Sprintf("day%02d", len(ckptState.Checkpoints))
+			recd, err := checkpoint.Save(*ckptDir, "honeypots", name, *seed, ckptState)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "checkpoint:", err)
+				os.Exit(1)
+			}
+			ckptState.Events = ""
+			ckptState.TraceEvents = nil
+			ckptState.Checkpoints = append(ckptState.Checkpoints, recd)
+			crashpoint.Here(crashpoint.SiteCampaignDayCommit)
+			if interrupted.Load() {
+				cancelRun() // state is durable; stop before the next day
+			}
+		}
+	}
+
+	campaign = attack.NewCampaign(attack.CampaignConfig{
 		Seed:       *seed,
 		Network:    network,
 		Honeypots:  pots,
@@ -109,11 +248,12 @@ func main() {
 		GreyNoise:  gn,
 		VirusTotal: vt,
 		RDNS:       rdns,
-		OnDay:      dayHook(reg, progress, rec),
+		OnDay:      onDay,
+		Resume:     resumeState,
 	})
 	fmt.Printf("\nreplaying attack month at intensity %.4f ...\n", *intensity)
 	span := tracer.Start("attack_month")
-	stats := campaign.Run(context.Background())
+	stats := campaign.Run(ctx)
 	span.End()
 	progress.Done()
 	campaign.RegisterIntel()
@@ -234,6 +374,7 @@ func main() {
 			os.Exit(1)
 		}
 		outputDigests[*tracePath] = digest
+		crashpoint.Here(crashpoint.SiteHoneypotTraceWritten)
 		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *tracePath, rec.Len())
 	}
 
@@ -242,6 +383,8 @@ func main() {
 		m.RecordFlags(flag.CommandLine)
 		m.FromTracer(tracer)
 		m.FromRegistry(reg)
+		m.Checkpoints = ckptState.Checkpoints
+		m.Interrupted = interrupted.Load()
 		for name, digest := range outputDigests {
 			m.AddOutput(name, digest)
 		}
@@ -249,6 +392,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		crashpoint.Here(crashpoint.SiteHoneypotManifestWritten)
 		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifestPath)
 	}
 }
@@ -285,27 +429,23 @@ func exportDaily(dir string, events []honeypot.Event, digests map[string]string)
 	byDay, keys := honeypot.PartitionByDay(canonical)
 	for _, day := range keys {
 		path := filepath.Join(dir, "attacks-"+day+".jsonl")
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		var w io.Writer = f
 		var dw *obs.DigestWriter
 		if digests != nil {
 			dw = obs.NewDigestWriter()
-			w = io.MultiWriter(f, dw)
 		}
-		err = honeypot.ExportJSONL(w, byDay[day])
-		cerr := f.Close()
+		err := atomicio.WriteFile(path, func(w io.Writer) error {
+			if dw != nil {
+				w = io.MultiWriter(w, dw)
+			}
+			return honeypot.ExportJSONL(w, byDay[day])
+		})
 		if err != nil {
 			return err
-		}
-		if cerr != nil {
-			return cerr
 		}
 		if dw != nil {
 			digests[path] = dw.Sum()
 		}
+		crashpoint.Here(crashpoint.SiteHoneypotExportWritten)
 	}
 	fmt.Printf("exported %d day files to %s\n", len(keys), dir)
 	return nil

@@ -87,7 +87,28 @@ func diffManifests(w io.Writer, pathA, pathB string) (int, error) {
 	diffStringMaps(d, "gauge", stringify(a.Gauges), stringify(b.Gauges))
 	diffStringMaps(d, "histogram", stringify(a.Histograms), stringify(b.Histograms))
 	diffStringMaps(d, "output", a.Outputs, b.Outputs)
+	if a.Interrupted != b.Interrupted {
+		d.reportf("interrupted: %v vs %v", a.Interrupted, b.Interrupted)
+	}
+	diffCheckpoints(d, a.Checkpoints, b.Checkpoints)
 	return d.n, nil
+}
+
+// diffCheckpoints compares the committed checkpoint sequences position by
+// position. Checkpoint bytes are pure functions of (seed, config, cadence
+// point) — independent of kill history — so two runs of the same input must
+// agree on every record they both reached.
+func diffCheckpoints(d *differ, a, b []obs.CheckpointRecord) {
+	if len(a) != len(b) {
+		d.reportf("checkpoints: %d vs %d committed", len(a), len(b))
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			aj, _ := json.Marshal(a[i])
+			bj, _ := json.Marshal(b[i])
+			d.reportf("checkpoint[%d]: %s vs %s", i, aj, bj)
+		}
+	}
 }
 
 // diffBuild compares the build stamps field by field.
@@ -191,15 +212,25 @@ func groupByKey(evs []trace.Event) map[traceKey][]trace.Event {
 const maxKeyDiffs = 20
 
 // diffTraces compares two flight-recorder artifacts: meta first, then every
-// lifecycle key's event sequence.
+// lifecycle key's event sequence. A file whose final line is a partial event
+// record — the signature of a process killed mid-write — is read leniently:
+// the torn line is dropped with a warning, and the one event it cost the
+// truncated side is tolerated rather than counted, so the exit status stays
+// zero unless the surviving events genuinely diverge.
 func diffTraces(w io.Writer, pathA, pathB string) (int, error) {
-	metaA, evsA, err := trace.ReadFile(pathA)
+	metaA, evsA, truncA, err := trace.ReadFileLenient(pathA)
 	if err != nil {
 		return 0, err
 	}
-	metaB, evsB, err := trace.ReadFile(pathB)
+	metaB, evsB, truncB, err := trace.ReadFileLenient(pathB)
 	if err != nil {
 		return 0, err
+	}
+	if truncA {
+		fmt.Fprintf(w, "warning: %s ends in a partial event line (crash tail); dropped\n", pathA)
+	}
+	if truncB {
+		fmt.Fprintf(w, "warning: %s ends in a partial event line (crash tail); dropped\n", pathB)
 	}
 	d := &differ{w: w}
 	if metaA.Binary != metaB.Binary {
@@ -236,16 +267,39 @@ func diffTraces(w io.Writer, pathA, pathB string) (int, error) {
 		return a.port < b.port
 	})
 	shown := 0
+	// A torn trailing line costs its side at most one event; tolerate that
+	// single deficit (per truncated file) instead of reporting it.
+	toleratedA, toleratedB := false, false
 	for _, k := range keys {
 		ga, okA := groupsA[k]
 		gb, okB := groupsB[k]
 		var line string
 		switch {
 		case !okA:
+			if truncA && !toleratedA && len(gb) == 1 {
+				toleratedA = true
+				fmt.Fprintf(w, "tolerated: target %s lost to %s's crash tail\n", k, pathA)
+				continue
+			}
 			line = fmt.Sprintf("target %s: only in B (%d events)", k, len(gb))
 		case !okB:
+			if truncB && !toleratedB && len(ga) == 1 {
+				toleratedB = true
+				fmt.Fprintf(w, "tolerated: target %s lost to %s's crash tail\n", k, pathB)
+				continue
+			}
 			line = fmt.Sprintf("target %s: only in A (%d events)", k, len(ga))
 		default:
+			if truncA && !toleratedA && tailDeficit(ga, gb) {
+				toleratedA = true
+				fmt.Fprintf(w, "tolerated: target %s missing %s's torn trailing event\n", k, pathA)
+				continue
+			}
+			if truncB && !toleratedB && tailDeficit(gb, ga) {
+				toleratedB = true
+				fmt.Fprintf(w, "tolerated: target %s missing %s's torn trailing event\n", k, pathB)
+				continue
+			}
 			line = diffEventSeq(k, ga, gb)
 		}
 		if line == "" {
@@ -281,6 +335,20 @@ func diffEventSeq(k traceKey, a, b []trace.Event) string {
 		return fmt.Sprintf("target %s: %d vs %d events", k, len(a), len(b))
 	}
 	return ""
+}
+
+// tailDeficit reports whether short is a strict prefix of long missing
+// exactly one trailing event — the shape a torn final line leaves behind.
+func tailDeficit(short, long []trace.Event) bool {
+	if len(long)-len(short) != 1 {
+		return false
+	}
+	for i := range short {
+		if !eventsEqual(&short[i], &long[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // eventsEqual compares every serialized field of two events.

@@ -142,9 +142,12 @@ func summarize(w *os.File, path string) error {
 	if kind == "manifest" {
 		return summarizeManifest(w, path)
 	}
-	meta, evs, err := trace.ReadFile(path)
+	meta, evs, truncated, err := trace.ReadFileLenient(path)
 	if err != nil {
 		return err
+	}
+	if truncated {
+		fmt.Fprintf(os.Stderr, "warning: %s ends in a partial event line (crash tail); dropped\n", path)
 	}
 	return summarizeTrace(w, path, meta, evs)
 }
@@ -171,7 +174,33 @@ func summarizeManifest(w *os.File, path string) error {
 	for _, name := range sortedKeys(m.Outputs) {
 		fmt.Fprintf(w, "  output %-30s %s\n", name, shortDigest(m.Outputs[name]))
 	}
+	if m.Interrupted {
+		fmt.Fprintln(w, "interrupted: true (run stopped at a checkpoint; artifacts cover the committed prefix)")
+	}
+	if len(m.Checkpoints) > 0 {
+		var total int64
+		for _, c := range m.Checkpoints {
+			total += c.Bytes
+		}
+		fmt.Fprintf(w, "checkpoints: %d committed, %s total, %s avg\n",
+			len(m.Checkpoints), fmtBytes(total), fmtBytes(total/int64(len(m.Checkpoints))))
+		for _, c := range m.Checkpoints {
+			fmt.Fprintf(w, "  ckpt %-10s %10s  %s\n", c.Name, fmtBytes(c.Bytes), shortDigest(c.Digest))
+		}
+	}
 	return nil
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // shortDigest abbreviates a "sha256:..." digest for display.

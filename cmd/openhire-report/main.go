@@ -5,6 +5,7 @@
 // Usage:
 //
 //	openhire-report [-seed N] [-quick] [-only ID[,ID...]]
+//	                [-checkpoint DIR] [-resume]
 //	                [-debug-addr HOST:PORT] [-manifest FILE]
 //	                [-trace FILE] [-trace-sample N]
 //
@@ -13,20 +14,41 @@
 // via the world's OnProbe hook), classification outcomes, honeypot sessions
 // and telescope flow ingests (derived from the quiesced logs) — targets
 // sampled by pure hash of seed and address (-trace-sample).
+//
+// -checkpoint commits each experiment's finished artifact; -resume reprints
+// the committed artifacts verbatim and runs only the remaining experiments.
+// Resume guarantees artifact identity — the manifest's phase list covers
+// only the phases the resumed process itself forced (lazily re-forced where
+// the counters tail needs them).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"openhire/internal/checkpoint"
 	"openhire/internal/core/report"
 	"openhire/internal/expr"
 	"openhire/internal/honeypot"
 	"openhire/internal/obs"
 	"openhire/internal/obs/trace"
 )
+
+// reportCheckpoint caches the experiments completed so far. The world's
+// phases are derivable (and lazily re-forced on demand), so the durable
+// state is just the rendered results plus the phase names that ran.
+type reportCheckpoint struct {
+	// Done holds completed experiments' results in run order.
+	Done []expr.Result `json:"done,omitempty"`
+	// Phases are the tracer span names observed before the checkpoint, so a
+	// resumed run's counters tail still covers phases it never re-forced.
+	Phases []string `json:"phases,omitempty"`
+	// Checkpoints records every checkpoint committed before this one.
+	Checkpoints []obs.CheckpointRecord `json:"checkpoints,omitempty"`
+}
 
 func main() {
 	var (
@@ -37,8 +59,14 @@ func main() {
 		manifestPath = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
 		tracePath    = flag.String("trace", "", "write the flight recorder's JSONL lifecycle trace to this file")
 		traceSample  = flag.Uint64("trace-sample", 16, "trace one of every N target addresses (pure hash of seed+address; 1 = all)")
+		ckptDir      = flag.String("checkpoint", "", "checkpoint completed experiments into this directory")
+		resume       = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint DIR (fresh start if none exists)")
 	)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
 
 	cfg := expr.DefaultConfig()
 	if *quick {
@@ -95,10 +123,39 @@ func main() {
 		cfg.UniversePrefix, cfg.DensityBoost, world.ScaleFactor(),
 		cfg.AttackIntensity, cfg.TelescopeScale)
 
+	ckptState := &reportCheckpoint{}
+	if *resume {
+		recd, err := checkpoint.Load(*ckptDir, "report", *seed, ckptState)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: a fresh start.
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		default:
+			recd.Name = fmt.Sprintf("exp%02d", len(ckptState.Checkpoints))
+			ckptState.Checkpoints = append(ckptState.Checkpoints, recd)
+			fmt.Fprintf(os.Stderr, "resumed with %d experiment(s) cached\n", len(ckptState.Done))
+		}
+	}
+	cached := make(map[string]*expr.Result, len(ckptState.Done))
+	for i := range ckptState.Done {
+		cached[ckptState.Done[i].ID] = &ckptState.Done[i]
+	}
+	phaseSet := make(map[string]bool, len(ckptState.Phases))
+	for _, name := range ckptState.Phases {
+		phaseSet[name] = true
+	}
+
 	outputDigests := make(map[string]string)
 	for _, e := range selected {
 		fmt.Printf("\n================ %s — %s ================\n\n", e.ID, e.Title)
-		res := e.Run(world)
+		var res expr.Result
+		if c, ok := cached[e.ID]; ok {
+			res = *c
+		} else {
+			res = e.Run(world)
+		}
 		fmt.Println(res.Artifact)
 		if len(res.Comparisons) > 0 {
 			_ = report.RenderComparisons(os.Stdout, "paper vs measured", res.Comparisons)
@@ -106,15 +163,34 @@ func main() {
 		if *manifestPath != "" {
 			outputDigests["artifact:"+e.ID] = obs.Digest([]byte(res.Artifact))
 		}
+		if *ckptDir != "" && cached[e.ID] == nil {
+			ckptState.Done = append(ckptState.Done, res)
+			for _, sp := range tracer.Spans() {
+				phaseSet[sp.Name] = true
+			}
+			ckptState.Phases = report.SortedKeys(phaseSet)
+			name := fmt.Sprintf("exp%02d", len(ckptState.Checkpoints))
+			recd, err := checkpoint.Save(*ckptDir, "report", name, *seed, ckptState)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ckptState.Checkpoints = append(ckptState.Checkpoints, recd)
+		}
 	}
 
 	// The world caches each phase and the tracer names the ones that actually
 	// ran, so counters and derived trace events cover exactly the phases the
 	// experiments forced — the reads below are free, and phases that never
-	// ran stay out of the artifacts.
+	// ran stay out of the artifacts. A resumed run unions in the phases the
+	// killed run had forced; reading their counters below lazily re-forces
+	// the corresponding world phase (deterministic, so the numbers match).
 	ran := make(map[string]bool)
 	for _, sp := range tracer.Spans() {
 		ran[sp.Name] = true
+	}
+	for name := range phaseSet {
+		ran[name] = true
 	}
 	if rec != nil {
 		if ran["classify"] {
@@ -148,12 +224,14 @@ func main() {
 			reg.AddAll("honeypot", honeypot.EventCounters(world.Log.Events()))
 		}
 		if ran["telescope"] {
+			world.RunTelescope() // re-force on resume; cached otherwise
 			reg.AddAll("telescope", world.Telescope.Stats().Counters())
 		}
 		m := obs.NewManifest("openhire-report", *seed)
 		m.RecordFlags(flag.CommandLine)
 		m.FromTracer(tracer)
 		m.FromRegistry(reg)
+		m.Checkpoints = ckptState.Checkpoints
 		for name, digest := range outputDigests {
 			m.AddOutput(name, digest)
 		}

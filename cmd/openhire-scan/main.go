@@ -11,6 +11,14 @@
 //	              [-target-budget D] [-breaker-threshold N]
 //	              [-debug-addr HOST:PORT] [-manifest FILE]
 //	              [-trace FILE] [-trace-sample N]
+//	              [-checkpoint DIR] [-resume] [-checkpoint-every N]
+//
+// -checkpoint commits the resumable scan state (permutation cursor, breaker
+// hits, per-shard stats, finished modules) into DIR at every segment of
+// -checkpoint-every targets; -resume continues a killed run from the last
+// commit, and the final artifacts are byte-identical to an uninterrupted
+// run. SIGINT/SIGTERM commits a final checkpoint, flushes the partial
+// artifacts with `interrupted: true` in the manifest, and exits 0.
 //
 // The robustness knobs (-max-attempts, -probe-timeout, -target-budget,
 // -breaker-threshold) only engage on a faulted fabric: without -faults the
@@ -29,12 +37,19 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"sync/atomic"
+	"syscall"
 
+	"openhire/internal/checkpoint"
+	"openhire/internal/checkpoint/atomicio"
+	"openhire/internal/checkpoint/crashpoint"
 	"openhire/internal/core/classify"
 	"openhire/internal/core/fingerprint"
 	"openhire/internal/core/report"
@@ -47,6 +62,34 @@ import (
 	"openhire/internal/obs"
 	"openhire/internal/obs/trace"
 )
+
+// scanCheckpoint is the scan leg's durable state: the segmented scanner's
+// position and outputs, the flight recorder's events so far, and the records
+// of every checkpoint committed before this one (a file cannot carry its own
+// digest; the runner reconstructs the current record from the file bytes).
+type scanCheckpoint struct {
+	Scan        *scan.SegmentedState   `json:"scan"`
+	TraceEvents []trace.SavedEvent     `json:"trace_events,omitempty"`
+	Checkpoints []obs.CheckpointRecord `json:"checkpoints,omitempty"`
+}
+
+// watchSignals converts the first SIGINT/SIGTERM into a graceful-shutdown
+// request (flag set + optional context cancel) and force-exits on the
+// second, so a wedged drain can still be killed from the terminal.
+func watchSignals(interrupted *atomic.Bool, cancel context.CancelFunc) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "interrupt: draining workers and flushing (^C again to force quit)")
+		interrupted.Store(true)
+		if cancel != nil {
+			cancel()
+		}
+		<-ch
+		os.Exit(130)
+	}()
+}
 
 func main() {
 	var (
@@ -70,8 +113,15 @@ func main() {
 		manifestPath  = flag.String("manifest", "", "write a JSON run manifest (seed, config, timings, counters, digests) to this file")
 		tracePath     = flag.String("trace", "", "write the flight recorder's JSONL lifecycle trace to this file")
 		traceSample   = flag.Uint64("trace-sample", 16, "trace one of every N target addresses (pure hash of seed+address; 1 = all)")
+		ckptDir       = flag.String("checkpoint", "", "checkpoint resumable scan state into this directory at every segment commit")
+		resume        = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint DIR (fresh start if none exists)")
+		ckptEvery     = flag.Int("checkpoint-every", scan.DefaultSegmentTargets, "targets per segment between checkpoint commits (with -checkpoint)")
 	)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
 
 	prefix, err := netsim.ParsePrefix(*prefixStr)
 	if err != nil {
@@ -172,6 +222,22 @@ func main() {
 
 	outputDigests := make(map[string]string)
 
+	// First SIGINT/SIGTERM requests a graceful drain: the plain path cancels
+	// the scan context (feed stops, workers drain), the checkpointed path
+	// stops at the next segment commit with state already durable. Either
+	// way the binary flushes partial artifacts, records interrupted:true in
+	// the manifest, and exits 0.
+	var interrupted atomic.Bool
+	ctx, cancelScan := context.WithCancel(context.Background())
+	if *ckptDir != "" {
+		watchSignals(&interrupted, nil)
+	} else {
+		watchSignals(&interrupted, cancelScan)
+	}
+	defer cancelScan()
+
+	ckptState := &scanCheckpoint{}
+
 	var results map[iot.Protocol][]*scan.Result
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -195,7 +261,70 @@ func main() {
 			prefix, report.Comma(int(prefix.Size())), *boost, universe.ScaleFactor())
 		span := tracer.Start("scan")
 		var stats map[iot.Protocol]scan.Stats
-		results, stats = scanner.RunAllParallel(context.Background(), modules)
+		if *ckptDir == "" {
+			results, stats = scanner.RunAllParallel(ctx, modules)
+		} else {
+			// Checkpointed path: segmented sequential execution, byte-identical
+			// to RunAllParallel (probes are pure per-target, breaker decisions
+			// ride the single-threaded collector, results sort by (IP, Port)).
+			var resumeState *scan.SegmentedState
+			if *resume {
+				recd, err := checkpoint.Load(*ckptDir, "scan", *seed, ckptState)
+				switch {
+				case errors.Is(err, os.ErrNotExist):
+					// No checkpoint yet: a fresh start.
+				case err != nil:
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				default:
+					recd.Name = fmt.Sprintf("seg%04d", len(ckptState.Checkpoints))
+					ckptState.Checkpoints = append(ckptState.Checkpoints, recd)
+					resumeState = ckptState.Scan
+					rec.RestoreEvents(ckptState.TraceEvents)
+					ckptState.TraceEvents = nil
+					// Seed only when the killed run actually fed targets:
+					// Progress never fires for empty segments, so an
+					// unconditional Add would mint a counter key the
+					// uninterrupted run does not have.
+					if reg != nil && resumeState != nil && resumeState.TargetsFed > 0 {
+						reg.Add("scan.targets_fed", resumeState.TargetsFed)
+						progress.Add(resumeState.TargetsFed)
+					}
+					fmt.Fprintf(os.Stderr, "resumed at module %d (%s targets done)\n",
+						resumeState.Module, report.Comma(int(resumeState.TargetsFed)))
+				}
+			}
+			lastModule := 0
+			if resumeState != nil {
+				lastModule = resumeState.Module
+			}
+			onCommit := func(st *scan.SegmentedState) error {
+				ckptState.Scan = st
+				ckptState.TraceEvents = rec.DumpEvents()
+				name := fmt.Sprintf("seg%04d", len(ckptState.Checkpoints))
+				recd, err := checkpoint.Save(*ckptDir, "scan", name, *seed, ckptState)
+				if err != nil {
+					return err
+				}
+				ckptState.TraceEvents = nil
+				ckptState.Checkpoints = append(ckptState.Checkpoints, recd)
+				crashpoint.Here(crashpoint.SiteScanSegmentCommit)
+				if st.Module > lastModule {
+					lastModule = st.Module
+					crashpoint.Here(crashpoint.SiteScanModuleDone)
+				}
+				if interrupted.Load() {
+					return checkpoint.ErrInterrupted
+				}
+				return nil
+			}
+			var err error
+			results, stats, err = scanner.RunSegmented(ctx, modules, resumeState, *ckptEvery, onCommit)
+			if err != nil && !errors.Is(err, checkpoint.ErrInterrupted) {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		span.End()
 		progress.Done()
 		for _, m := range modules {
@@ -239,21 +368,16 @@ func main() {
 				db.Insert(r)
 			}
 		}
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		var w io.Writer = f
 		var dw *obs.DigestWriter
 		if *manifestPath != "" {
 			dw = obs.NewDigestWriter()
-			w = io.MultiWriter(f, dw)
 		}
-		err = db.Save(w)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		err = atomicio.WriteFile(*out, func(w io.Writer) error {
+			if dw != nil {
+				w = io.MultiWriter(w, dw)
+			}
+			return db.Save(w)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -261,6 +385,7 @@ func main() {
 		if dw != nil {
 			outputDigests[*out] = dw.Sum()
 		}
+		crashpoint.Here(crashpoint.SiteScanResultsWritten)
 		fmt.Printf("saved %s records to %s\n", report.Comma(db.Len()), *out)
 	}
 
@@ -351,6 +476,7 @@ func main() {
 			os.Exit(1)
 		}
 		outputDigests[*tracePath] = digest
+		crashpoint.Here(crashpoint.SiteScanTraceWritten)
 		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *tracePath, rec.Len())
 	}
 
@@ -362,6 +488,8 @@ func main() {
 		m.RecordFlags(flag.CommandLine)
 		m.FromTracer(tracer)
 		m.FromRegistry(reg)
+		m.Checkpoints = ckptState.Checkpoints
+		m.Interrupted = interrupted.Load()
 		for name, digest := range outputDigests {
 			m.AddOutput(name, digest)
 		}
@@ -369,6 +497,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		crashpoint.Here(crashpoint.SiteScanManifestWritten)
 		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifestPath)
 	}
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	openhire-telescope [-seed N] [-scale F] [-days N] [-workers N] [-out FILE] [-format csv|bin]
+//	                   [-checkpoint DIR] [-resume]
 //	                   [-debug-addr HOST:PORT] [-manifest FILE]
 //	                   [-trace FILE] [-trace-sample N]
 //	                   [-cpuprofile FILE] [-memprofile FILE]
@@ -15,6 +16,13 @@
 // files: each day is generated with RunDay, drained with Telescope.Drain (the
 // buffer is handed over and cleared, no copy), and written to FILE.dayNN.
 //
+// Generation proceeds day by day (each day's unit streams and ordinals are
+// identical to the all-at-once fan-out, so the capture is byte-identical);
+// -checkpoint commits the resumable state after every day, and -resume
+// continues a killed run from the last committed day. SIGINT/SIGTERM drain
+// the current day, flush partial artifacts, and exit 0 with the manifest
+// recording interrupted: true.
+//
 // -trace writes the flight recorder's JSONL trace: one darknet.unit record
 // per finished (protocol, day) generation unit, one flow.rotate record per
 // -rotate day cut, and flow.ingest records for sources sampled by pure hash
@@ -23,13 +31,20 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"openhire/internal/attack"
+	"openhire/internal/checkpoint"
+	"openhire/internal/checkpoint/atomicio"
+	"openhire/internal/checkpoint/crashpoint"
 	"openhire/internal/core/report"
 	"openhire/internal/geo"
 	"openhire/internal/iot"
@@ -38,6 +53,36 @@ import (
 	"openhire/internal/obs/trace"
 	"openhire/internal/telescope"
 )
+
+// telescopeCheckpoint is the telescope leg's durable state, committed at
+// each day boundary once the generator's workers have joined. The generator
+// itself is stateless between days (every unit derives its own stream), so
+// the state is the day cursor plus the capture accumulated so far.
+type telescopeCheckpoint struct {
+	// NextDay is the first day the resumed run generates.
+	NextDay int `json:"next_day"`
+	// Table is the full flow-table dump (accumulating mode; nil in -rotate,
+	// where the table is drained empty at every boundary).
+	Table *telescope.TableState `json:"table,omitempty"`
+	// Drained accumulates the per-day drains in order (-rotate mode).
+	Drained []telescope.FlowTuple `json:"drained,omitempty"`
+	// Units replays the registry/progress effects of completed generation
+	// units, in OnUnit order.
+	Units []unitRecord `json:"units,omitempty"`
+	// DayDigests carries the already-written -rotate day files' digests.
+	DayDigests map[string]string `json:"day_digests,omitempty"`
+	// TraceEvents is the flight recorder's dump at commit time.
+	TraceEvents []trace.SavedEvent `json:"trace_events,omitempty"`
+	// Checkpoints records every checkpoint committed before this one.
+	Checkpoints []obs.CheckpointRecord `json:"checkpoints,omitempty"`
+}
+
+// unitRecord is one completed (protocol, day) generation unit.
+type unitRecord struct {
+	Proto string `json:"proto"`
+	Day   int    `json:"day"`
+	Flows int    `json:"flows"`
+}
 
 func main() {
 	var (
@@ -55,8 +100,14 @@ func main() {
 		traceSample  = flag.Uint64("trace-sample", 16, "trace one of every N source addresses (pure hash of seed+address; 1 = all)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the generation to this file")
 		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (post-GC live memory) to this file")
+		ckptDir      = flag.String("checkpoint", "", "checkpoint resumable capture state into this directory at every day boundary")
+		resume       = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint DIR (fresh start if none exists)")
 	)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
 
 	if *parse != "" {
 		parseFile(*parse)
@@ -95,9 +146,24 @@ func main() {
 	}
 	outputDigests := make(map[string]string)
 
+	// First SIGINT/SIGTERM finishes the in-flight day, flushes everything
+	// accumulated so far, and exits 0 with interrupted:true in the manifest;
+	// a second one force-quits.
+	var interrupted atomic.Bool
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "interrupt: draining current day and flushing (^C again to force quit)")
+		interrupted.Store(true)
+		<-sigCh
+		os.Exit(130)
+	}()
+
 	prefix := netsim.MustParsePrefix("44.0.0.0/8")
 	geodb := geo.NewDB(*seed, nil)
 	tel := telescope.New(prefix, geodb)
+	ckptState := &telescopeCheckpoint{}
 	cfg := attack.DarknetConfig{
 		Seed:      *seed,
 		Telescope: tel,
@@ -106,7 +172,7 @@ func main() {
 		Days:      *days,
 		Workers:   *workers,
 	}
-	if reg != nil || rec != nil {
+	if reg != nil || rec != nil || *ckptDir != "" {
 		// Reported once per finished (protocol, day) unit after the worker
 		// pool joins — never from inside the generation hot path. Registry,
 		// reporter and recorder are all nil-safe.
@@ -115,56 +181,143 @@ func main() {
 			reg.Add("darknet.units", 1)
 			trace.DarknetUnitEvent(rec, proto, day, flows)
 			progress.Add(1)
+			if *ckptDir != "" {
+				ckptState.Units = append(ckptState.Units,
+					unitRecord{Proto: string(proto), Day: day, Flows: flows})
+			}
 		}
 	}
 	gen := attack.NewDarknetGenerator(cfg)
 	fmt.Printf("generating %d day(s) of telescope traffic at scale %.2g ...\n", *days, *scale)
 
+	// Resume: reload the capture, replay the completed units' registry and
+	// progress effects, and restore the flight recorder. The generator needs
+	// nothing — unit streams are derived per (protocol, day).
+	startDay := 0
+	if *resume {
+		recd, err := checkpoint.Load(*ckptDir, "telescope", *seed, ckptState)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: a fresh start.
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		default:
+			recd.Name = fmt.Sprintf("day%02d", len(ckptState.Checkpoints))
+			ckptState.Checkpoints = append(ckptState.Checkpoints, recd)
+			startDay = ckptState.NextDay
+			if ckptState.Table != nil {
+				tel.Restore(*ckptState.Table)
+				ckptState.Table = nil
+			}
+			for _, u := range ckptState.Units {
+				reg.Add("darknet."+u.Proto+".flows", uint64(u.Flows))
+				reg.Add("darknet.units", 1)
+				progress.Add(1)
+			}
+			rec.RestoreEvents(ckptState.TraceEvents)
+			ckptState.TraceEvents = nil
+			for path, digest := range ckptState.DayDigests {
+				outputDigests[path] = digest
+			}
+			fmt.Fprintf(os.Stderr, "resumed at day %02d\n", startDay)
+		}
+	}
+
+	// commitDay persists the state after a day boundary and honours a
+	// pending interrupt once the state is durable.
+	commitDay := func(nextDay int) error {
+		if *ckptDir == "" {
+			if interrupted.Load() {
+				return checkpoint.ErrInterrupted
+			}
+			return nil
+		}
+		ckptState.NextDay = nextDay
+		if !*rotate {
+			dump := tel.Dump()
+			ckptState.Table = &dump
+		}
+		ckptState.TraceEvents = rec.DumpEvents()
+		name := fmt.Sprintf("day%02d", len(ckptState.Checkpoints))
+		recd, err := checkpoint.Save(*ckptDir, "telescope", name, *seed, ckptState)
+		if err != nil {
+			return err
+		}
+		ckptState.Table = nil
+		ckptState.TraceEvents = nil
+		ckptState.Checkpoints = append(ckptState.Checkpoints, recd)
+		crashpoint.Here(crashpoint.SiteTelescopeDayCommit)
+		if interrupted.Load() {
+			return checkpoint.ErrInterrupted
+		}
+		return nil
+	}
+
+	wasInterrupted := false
 	if *rotate {
-		runRotated(gen, tel, *days, *out, *format, reg, tracer, rec, outputDigests)
+		wasInterrupted = runRotated(gen, tel, startDay, *days, *out, *format,
+			ckptState, commitDay, reg, tracer, rec, outputDigests)
 		if err := stopProfiles(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		writeTrace(rec, *tracePath, outputDigests)
-		writeManifest(*manifestPath, *seed, reg, tracer, outputDigests)
-		progress.Done()
-		return
-	}
-
-	span := tracer.Start("generate")
-	flows := gen.Run()
-	span.End()
-	// Profiles cover exactly the generation: the CPU capture stops (and the
-	// live heap is written) before the aggregation and dump tail below.
-	if err := stopProfiles(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("captured %s aggregated flows\n", report.Comma(flows))
-
-	all := tel.Flows()
-	observeFlows(reg, all)
-	trace.FlowEvents(rec, all)
-	t8 := report.NewTable("\nTelescope traffic by protocol", "Protocol", "Packets", "Flows", "Unique IPs")
-	for _, s := range telescope.AggregateByProtocol(all) {
-		t8.AddRow(string(s.Protocol), s.Packets, s.Flows, s.UniqueIPs)
-	}
-	_ = t8.Render(os.Stdout)
-
-	if *out != "" {
-		digest, err := writeFile(*out, *format, all, *manifestPath != "")
-		if err != nil {
+	} else {
+		// Day-by-day generation inside one span: RunDay(0..Days-1) emits
+		// exactly Run's flow set (same unit streams and ordinals), and unit
+		// completion order per protocol is ascending days either way, so the
+		// capture, registry and trace are byte-identical to the all-at-once
+		// fan-out — with a drain point per day for checkpoints and signals.
+		span := tracer.Start("generate")
+		flows := 0
+		for _, u := range ckptState.Units {
+			flows += u.Flows
+		}
+		for day := startDay; day < *days; day++ {
+			flows += gen.RunDay(day)
+			if err := commitDay(day + 1); err != nil {
+				if errors.Is(err, checkpoint.ErrInterrupted) {
+					wasInterrupted = true
+					break
+				}
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		span.End()
+		// Profiles cover exactly the generation: the CPU capture stops (and
+		// the live heap is written) before the aggregation and dump tail.
+		if err := stopProfiles(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if digest != "" {
-			outputDigests[*out] = digest
+		fmt.Printf("captured %s aggregated flows\n", report.Comma(tel.Len()))
+
+		all := tel.Flows()
+		observeFlows(reg, all)
+		trace.FlowEvents(rec, all)
+		t8 := report.NewTable("\nTelescope traffic by protocol", "Protocol", "Packets", "Flows", "Unique IPs")
+		for _, s := range telescope.AggregateByProtocol(all) {
+			t8.AddRow(string(s.Protocol), s.Packets, s.Flows, s.UniqueIPs)
 		}
-		fmt.Printf("\nwrote %s records to %s (%s)\n", report.Comma(len(all)), *out, *format)
+		_ = t8.Render(os.Stdout)
+
+		if *out != "" {
+			digest, err := writeFlowFile(*out, *format, all, *manifestPath != "")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if digest != "" {
+				outputDigests[*out] = digest
+			}
+			crashpoint.Here(crashpoint.SiteTelescopeFileWritten)
+			fmt.Printf("\nwrote %s records to %s (%s)\n", report.Comma(len(all)), *out, *format)
+		}
 	}
 	writeTrace(rec, *tracePath, outputDigests)
-	writeManifest(*manifestPath, *seed, reg, tracer, outputDigests)
+	writeManifest(*manifestPath, *seed, reg, tracer, outputDigests,
+		ckptState.Checkpoints, wasInterrupted || interrupted.Load())
 	progress.Done()
 }
 
@@ -179,6 +332,7 @@ func writeTrace(rec *trace.Recorder, path string, digests map[string]string) {
 		os.Exit(1)
 	}
 	digests[path] = digest
+	crashpoint.Here(crashpoint.SiteTelescopeTraceWritten)
 	fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", path, rec.Len())
 }
 
@@ -201,7 +355,8 @@ func observeFlows(reg *obs.Registry, flows []*telescope.FlowTuple) {
 }
 
 // writeManifest emits the run manifest when a path was requested.
-func writeManifest(path string, seed uint64, reg *obs.Registry, tracer *obs.Tracer, outputs map[string]string) {
+func writeManifest(path string, seed uint64, reg *obs.Registry, tracer *obs.Tracer,
+	outputs map[string]string, ckpts []obs.CheckpointRecord, interrupted bool) {
 	if path == "" {
 		return
 	}
@@ -209,6 +364,8 @@ func writeManifest(path string, seed uint64, reg *obs.Registry, tracer *obs.Trac
 	m.RecordFlags(flag.CommandLine)
 	m.FromTracer(tracer)
 	m.FromRegistry(reg)
+	m.Checkpoints = ckpts
+	m.Interrupted = interrupted
 	for name, digest := range outputs {
 		m.AddOutput(name, digest)
 	}
@@ -216,90 +373,116 @@ func writeManifest(path string, seed uint64, reg *obs.Registry, tracer *obs.Trac
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	crashpoint.Here(crashpoint.SiteTelescopeManifestWritten)
 	fmt.Fprintf(os.Stderr, "manifest written to %s\n", path)
 }
 
 // runRotated generates one day at a time, draining the telescope between
 // days so each capture file holds exactly one day and the flow table never
 // grows past a single day's footprint. Drain hands over the live records —
-// the rotation contract — so nothing is copied on the way to disk.
-func runRotated(gen *attack.DarknetGenerator, tel *telescope.Telescope, days int, out, format string,
-	reg *obs.Registry, tracer *obs.Tracer, rec *trace.Recorder, digests map[string]string) {
-	total := 0
-	var allStats []*telescope.FlowTuple
-	for day := 0; day < days; day++ {
+// the rotation contract — so nothing is copied on the way to disk. Resumed
+// runs replay the completed days' spans (zero simulated duration, like every
+// span under the nil clock) and re-aggregate from the checkpointed drains.
+// Returns whether the run stopped early on an interrupt.
+func runRotated(gen *attack.DarknetGenerator, tel *telescope.Telescope, startDay, days int, out, format string,
+	ckptState *telescopeCheckpoint, commitDay func(int) error,
+	reg *obs.Registry, tracer *obs.Tracer, rec *trace.Recorder, digests map[string]string) bool {
+	for day := 0; day < startDay; day++ {
+		tracer.Start(fmt.Sprintf("generate.day%02d", day)).End()
+	}
+	interrupted := false
+	endDay := startDay
+	for day := startDay; day < days; day++ {
 		span := tracer.Start(fmt.Sprintf("generate.day%02d", day))
 		gen.RunDay(day)
 		span.End()
 		flows := tel.Drain()
 		trace.RotateEvent(rec, day, len(flows))
-		total += len(flows)
 		fmt.Printf("day %02d: %s aggregated flows\n", day, report.Comma(len(flows)))
 		if out != "" {
 			path := fmt.Sprintf("%s.day%02d", out, day)
-			digest, err := writeFile(path, format, flows, digests != nil && reg != nil)
+			digest, err := writeFlowFile(path, format, flows, digests != nil && reg != nil)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			if digest != "" {
 				digests[path] = digest
+				if ckptState.DayDigests == nil {
+					ckptState.DayDigests = make(map[string]string)
+				}
+				ckptState.DayDigests[path] = digest
 			}
+			crashpoint.Here(crashpoint.SiteTelescopeFileWritten)
 			fmt.Printf("  wrote %s records to %s (%s)\n", report.Comma(len(flows)), path, format)
 		}
-		allStats = append(allStats, flows...)
+		for _, ft := range flows {
+			ckptState.Drained = append(ckptState.Drained, *ft)
+		}
+		endDay = day + 1
+		if err := commitDay(day + 1); err != nil {
+			if errors.Is(err, checkpoint.ErrInterrupted) {
+				interrupted = true
+				break
+			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	allStats := make([]*telescope.FlowTuple, len(ckptState.Drained))
+	for i := range ckptState.Drained {
+		allStats[i] = &ckptState.Drained[i]
 	}
 	observeFlows(reg, allStats)
 	trace.FlowEvents(rec, allStats)
-	fmt.Printf("captured %s aggregated flows across %d day(s)\n", report.Comma(total), days)
+	fmt.Printf("captured %s aggregated flows across %d day(s)\n", report.Comma(len(allStats)), endDay)
 	t8 := report.NewTable("\nTelescope traffic by protocol", "Protocol", "Packets", "Flows", "Unique IPs")
 	for _, s := range telescope.AggregateByProtocol(allStats) {
 		t8.AddRow(string(s.Protocol), s.Packets, s.Flows, s.UniqueIPs)
 	}
 	_ = t8.Render(os.Stdout)
+	return interrupted
 }
 
-func writeFile(path, format string, flows []*telescope.FlowTuple, digest bool) (string, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return "", err
-	}
-	defer f.Close()
-	var sink io.Writer = f
+// writeFlowFile atomically writes one FlowTuple artifact and returns its
+// content digest when asked for one.
+func writeFlowFile(path, format string, flows []*telescope.FlowTuple, digest bool) (string, error) {
 	var dw *obs.DigestWriter
 	if digest {
 		dw = obs.NewDigestWriter()
-		sink = io.MultiWriter(f, dw)
 	}
-	w := bufio.NewWriter(sink)
-	defer w.Flush()
-	sum := func() string {
-		if dw == nil {
-			return ""
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		if dw != nil {
+			w = io.MultiWriter(w, dw)
 		}
-		w.Flush()
-		return dw.Sum()
-	}
-	switch format {
-	case "csv":
-		if err := telescope.WriteCSVHeader(w); err != nil {
-			return "", err
-		}
-		for _, ft := range flows {
-			if err := ft.WriteCSV(w); err != nil {
-				return "", err
+		switch format {
+		case "csv":
+			if err := telescope.WriteCSVHeader(w); err != nil {
+				return err
 			}
-		}
-	case "bin":
-		for _, ft := range flows {
-			if err := ft.WriteBinary(w); err != nil {
-				return "", err
+			for _, ft := range flows {
+				if err := ft.WriteCSV(w); err != nil {
+					return err
+				}
 			}
+		case "bin":
+			for _, ft := range flows {
+				if err := ft.WriteBinary(w); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("unknown format %q", format)
 		}
-	default:
-		return "", fmt.Errorf("unknown format %q", format)
+		return nil
+	})
+	if err != nil {
+		return "", err
 	}
-	return sum(), nil
+	if dw == nil {
+		return "", nil
+	}
+	return dw.Sum(), nil
 }
 
 func parseFile(path string) {

@@ -54,6 +54,27 @@ type CampaignConfig struct {
 	// a progress reporter or span tracer here cannot perturb the replay;
 	// leaving it nil (the default) is byte-identical to not having the hook.
 	OnDay func(day, planned, run int)
+	// Resume, when set, restarts the month mid-way: Run begins at
+	// Resume.NextDay with the scheduler stream repositioned and the
+	// cumulative counters seeded, so the remaining days replay exactly the
+	// schedule an uninterrupted run would have produced. The caller restores
+	// the honeypot logs separately (honeypot.Log appends are arrival-order
+	// insensitive once SortEventsCanonical is applied).
+	Resume *CampaignResume
+}
+
+// CampaignResume is the campaign scheduler's resumable position, captured at
+// a day boundary — inside OnDay, after the day's jobs drained and the fabric
+// quiesced, where the scheduler is single-threaded and every stochastic
+// consumer of the scheduler stream is at rest.
+type CampaignResume struct {
+	// NextDay is the first day the resumed Run executes.
+	NextDay int `json:"next_day"`
+	// SrcState is the scheduler PRNG stream position (prng.Source.State).
+	SrcState uint64 `json:"src_state"`
+	// EventsPlanned and EventsRun seed the cumulative counters.
+	EventsPlanned int `json:"events_planned"`
+	EventsRun     int `json:"events_run"`
 }
 
 // Campaign replays the paper's attack month.
@@ -214,7 +235,19 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 
 	multistage := c.planMultistage()
 
-	for day := 0; day < ExperimentDays; day++ {
+	// Resuming repositions only the scheduler stream and counters: the pools
+	// and multistage plans above were rebuilt by replaying NewCampaign and
+	// planMultistage's exact consumption sequence, so they already match the
+	// interrupted run.
+	startDay := 0
+	if r := c.cfg.Resume; r != nil {
+		startDay = r.NextDay
+		c.src.SetState(r.SrcState)
+		stats.EventsPlanned = r.EventsPlanned
+		runCount.Store(int64(r.EventsRun))
+	}
+
+	for day := startDay; day < ExperimentDays; day++ {
 		if ctx.Err() != nil {
 			break
 		}
@@ -292,6 +325,18 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 	stats.EventsRun = int(runCount.Load())
 	stats.Elapsed = time.Since(start)
 	return stats
+}
+
+// SchedulerState captures the scheduler's position for checkpointing. Call
+// it from inside OnDay(day, planned, run): the returned state resumes the
+// month at day+1. Calling it anywhere else races the worker pool.
+func (c *Campaign) SchedulerState(day, planned, run int) CampaignResume {
+	return CampaignResume{
+		NextDay:       day + 1,
+		SrcState:      c.src.State(),
+		EventsPlanned: planned,
+		EventsRun:     run,
+	}
 }
 
 func isDoSSpike(day int) bool {

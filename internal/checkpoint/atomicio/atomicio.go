@@ -1,0 +1,74 @@
+// Package atomicio writes durable artifacts atomically.
+//
+// Every file the pipeline emits for later consumption — FlowTuple files,
+// scan results, trace JSONL, manifests, checkpoints — goes through
+// WriteFile: the bytes land in a temp file in the destination directory,
+// are fsynced, and are renamed over the final path, followed by a directory
+// sync so the rename itself is durable. A process killed at any instruction
+// leaves either the complete old file or the complete new file, never a
+// torn one.
+package atomicio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"openhire/internal/checkpoint/crashpoint"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The writer passed to write is buffered; write need not flush it.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: stage %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if err = write(bw); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("atomicio: flush %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	crashpoint.Here(crashpoint.SiteAtomicStaged)
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicio: publish %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// WriteFileBytes atomically replaces path with data.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir makes a preceding rename in dir durable. Some filesystems do not
+// support fsync on directories; those errors are ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -1,0 +1,312 @@
+// Package crashtest is the kill-and-resume harness: it builds the three leg
+// binaries, arms one crashpoint per child process, kills each leg at every
+// registered durable-state transition, resumes from the checkpoint, and
+// asserts the final artifacts are byte-identical to an uninterrupted golden
+// run. It also proves the zero-perturbation property — a checkpointing run
+// that is never killed emits the same bytes as a run without -checkpoint.
+//
+// `go test -short` sweeps only the three mid-leg commit sites; the full run
+// covers every site plus the @3 (third hit) variants of the commit sites.
+package crashtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"openhire/internal/checkpoint/crashpoint"
+)
+
+// binDir holds the leg binaries TestMain builds once for the whole sweep.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "crashtest-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binDir = dir
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, name := range []string{"openhire-scan", "openhire-telescope", "openhire-honeypots"} {
+		args := []string{"build"}
+		if raceEnabled {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", filepath.Join(dir, name), "openhire/cmd/"+name)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n%s", name, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// leg describes one binary's sweep: its arguments (artifact paths relative
+// to a per-run working directory, identical across runs so manifests align),
+// the extra checkpointing flags, and the kill sites to arm.
+type leg struct {
+	binary    string
+	args      []string
+	ckptArgs  []string
+	sites     []string
+	shortSite string // the one mid-leg commit site -short keeps
+	atN       string // the commit site also swept at its third hit
+}
+
+func scanLeg() leg {
+	return leg{
+		binary: "openhire-scan",
+		args: []string{
+			"-seed", "7", "-prefix", "100.0.0.0/22", "-boost", "16",
+			"-workers", "19", "-faults", "calibrated",
+			"-out", "results.jsonl", "-trace", "run.trace", "-trace-sample", "4",
+			"-manifest", "manifest.json",
+		},
+		ckptArgs:  []string{"-checkpoint", "ck", "-checkpoint-every", "64"},
+		sites:     crashpoint.ScanSites,
+		shortSite: crashpoint.SiteScanSegmentCommit,
+		atN:       crashpoint.SiteScanSegmentCommit,
+	}
+}
+
+func telescopeLeg() leg {
+	return leg{
+		binary: "openhire-telescope",
+		args: []string{
+			"-seed", "5", "-days", "3", "-scale", "0.0002", "-workers", "4",
+			"-rotate", "-out", "flows.csv",
+			"-trace", "run.trace", "-trace-sample", "4",
+			"-manifest", "manifest.json",
+		},
+		ckptArgs:  []string{"-checkpoint", "ck"},
+		sites:     crashpoint.TelescopeSites,
+		shortSite: crashpoint.SiteTelescopeDayCommit,
+		atN:       crashpoint.SiteTelescopeDayCommit,
+	}
+}
+
+func honeypotLeg() leg {
+	return leg{
+		binary: "openhire-honeypots",
+		args: []string{
+			"-seed", "9", "-intensity", "0.002", "-workers", "16",
+			"-export", "exports", "-trace", "run.trace", "-trace-sample", "4",
+			"-manifest", "manifest.json",
+		},
+		ckptArgs:  []string{"-checkpoint", "ck"},
+		sites:     crashpoint.HoneypotSites,
+		shortSite: crashpoint.SiteCampaignDayCommit,
+		atN:       crashpoint.SiteCampaignDayCommit,
+	}
+}
+
+// run executes one child process in dir with an optional armed crashpoint
+// and returns its exit code.
+func run(t *testing.T, dir string, l leg, crashSpec string, extra ...string) int {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, l.binary), append(append([]string{}, l.args...), extra...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), crashpoint.EnvVar+"="+crashSpec)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		if ee.ExitCode() != crashpoint.ExitCode {
+			t.Logf("%s output:\n%s", l.binary, out)
+		}
+		return ee.ExitCode()
+	}
+	t.Fatalf("%s: %v\n%s", l.binary, err, out)
+	return -1
+}
+
+// artifacts lists a run directory's durable outputs (everything except the
+// manifest, compared structurally, and the checkpoint directory itself) as
+// sorted dir-relative paths.
+func artifacts(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		if info.IsDir() {
+			if rel == "ck" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if rel == "manifest.json" {
+			return nil
+		}
+		// A kill inside the atomic-write staging window orphans a hidden
+		// ".NAME.tmp*" file; staging files are not durable artifacts.
+		if name := filepath.Base(rel); len(name) > 0 && name[0] == '.' {
+			return nil
+		}
+		out = append(out, rel)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compareArtifacts asserts every durable output in got is byte-identical to
+// golden, and that neither side has files the other lacks.
+func compareArtifacts(t *testing.T, label, golden, got string) {
+	t.Helper()
+	ga, oa := artifacts(t, golden), artifacts(t, got)
+	if len(ga) == 0 {
+		t.Fatalf("%s: golden run produced no artifacts", label)
+	}
+	gset := make(map[string]bool, len(ga))
+	for _, p := range ga {
+		gset[p] = true
+	}
+	for _, p := range oa {
+		if !gset[p] {
+			t.Errorf("%s: extra artifact %s", label, p)
+		}
+	}
+	for _, p := range ga {
+		want, err := os.ReadFile(filepath.Join(golden, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBytes, err := os.ReadFile(filepath.Join(got, p))
+		if err != nil {
+			t.Errorf("%s: missing artifact %s", label, p)
+			continue
+		}
+		if !bytes.Equal(want, gotBytes) {
+			t.Errorf("%s: artifact %s differs from golden (%d vs %d bytes)",
+				label, p, len(want), len(gotBytes))
+		}
+	}
+}
+
+// scrubManifest loads a manifest and removes the fields that legitimately
+// vary between a plain, a checkpointing, and a resumed run of the same
+// (seed, config): wall-clock phase timings always, and — when dropCkpt is
+// set — the checkpointing config flags and the committed-checkpoint records
+// themselves. Everything else must match exactly.
+func scrubManifest(t *testing.T, path string, dropCkpt bool) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest %s: %v", path, err)
+	}
+	if cfg, ok := m["config"].(map[string]any); ok {
+		delete(cfg, "resume")
+		if dropCkpt {
+			delete(cfg, "checkpoint")
+			delete(cfg, "checkpoint-every")
+		}
+	}
+	if dropCkpt {
+		delete(m, "checkpoints")
+	}
+	if phases, ok := m["phases"].([]any); ok {
+		for _, p := range phases {
+			if pm, ok := p.(map[string]any); ok {
+				delete(pm, "wall_ns")
+			}
+		}
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// compareManifests asserts two manifests agree after scrubbing.
+func compareManifests(t *testing.T, label, pathA, pathB string, dropCkpt bool) {
+	t.Helper()
+	a := scrubManifest(t, pathA, dropCkpt)
+	b := scrubManifest(t, pathB, dropCkpt)
+	if a != b {
+		t.Errorf("%s: manifests differ after scrubbing:\n  A: %s\n  B: %s", label, a, b)
+	}
+}
+
+// sweep drives one leg through the full matrix: golden run, zero-perturbation
+// check, then kill-and-resume at each requested site spec.
+func sweep(t *testing.T, l leg) {
+	t.Parallel()
+
+	golden := t.TempDir()
+	if code := run(t, golden, l, ""); code != 0 {
+		t.Fatalf("golden run exited %d", code)
+	}
+
+	// Zero-perturbation: checkpointing enabled but never killed must emit
+	// byte-identical artifacts and a manifest that differs only in the
+	// checkpointing flags and records.
+	ckptGolden := t.TempDir()
+	if code := run(t, ckptGolden, l, "", l.ckptArgs...); code != 0 {
+		t.Fatalf("checkpointed golden run exited %d", code)
+	}
+	compareArtifacts(t, "zero-perturbation", golden, ckptGolden)
+	compareManifests(t, "zero-perturbation",
+		filepath.Join(golden, "manifest.json"), filepath.Join(ckptGolden, "manifest.json"), true)
+
+	specs := []string{l.shortSite}
+	if !testing.Short() {
+		specs = specs[:0]
+		for _, s := range l.sites {
+			specs = append(specs, s)
+		}
+		specs = append(specs, l.atN+"@3")
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			dir := t.TempDir()
+			code := run(t, dir, l, spec, l.ckptArgs...)
+			if code == 0 {
+				t.Fatalf("site %s never fired: killed run exited 0", spec)
+			}
+			if code != crashpoint.ExitCode {
+				t.Fatalf("killed run exited %d, want %d", code, crashpoint.ExitCode)
+			}
+			if code := run(t, dir, l, "", append(append([]string{}, l.ckptArgs...), "-resume")...); code != 0 {
+				t.Fatalf("resume exited %d", code)
+			}
+			compareArtifacts(t, "kill at "+spec, golden, dir)
+			// The resumed manifest's checkpoint records must match the
+			// never-killed run's exactly: checkpoint bytes are independent
+			// of kill history.
+			compareManifests(t, "kill at "+spec,
+				filepath.Join(ckptGolden, "manifest.json"), filepath.Join(dir, "manifest.json"), false)
+		})
+	}
+}
+
+func TestCrashResumeScan(t *testing.T)      { sweep(t, scanLeg()) }
+func TestCrashResumeTelescope(t *testing.T) { sweep(t, telescopeLeg()) }
+func TestCrashResumeHoneypots(t *testing.T) { sweep(t, honeypotLeg()) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package crashtest
+
+const raceEnabled = false

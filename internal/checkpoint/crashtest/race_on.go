@@ -1,0 +1,8 @@
+//go:build race
+
+package crashtest
+
+// raceEnabled mirrors the test binary's own -race setting onto the child
+// binaries the harness builds, so `go test -race` sweeps the crash matrix
+// with the race detector watching the legs themselves.
+const raceEnabled = true

@@ -1,0 +1,266 @@
+package scan
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"openhire/internal/iot"
+)
+
+// DefaultSegmentTargets is the checkpoint cadence for segmented scans:
+// commit once per this many (address, port) targets probed.
+const DefaultSegmentTargets = 4096
+
+// SegmentedState is the scan leg's complete resumable state. Everything else
+// the scanner touches — the world, the permutation group parameters, the
+// backoff schedule, the fault model — is derivable from (seed, config), so
+// this is just the walk position plus the outputs accumulated so far.
+//
+// The state marshals deterministically: results are kept sorted by
+// (IP, Port), map keys serialize sorted, and wall-clock fields are excluded,
+// so the checkpoint bytes at a given segment are a pure function of
+// (seed, config) no matter how many kill/resume cycles preceded it.
+type SegmentedState struct {
+	// Module indexes the module currently being walked; entries below it in
+	// Modules are complete.
+	Module int `json:"module"`
+	// Iterator is the current module's address-walk cursor. At a module
+	// boundary it holds the fresh cursor the next module starts from (the
+	// permutation is module-independent).
+	Iterator IteratorCursor `json:"iterator"`
+	// BreakerHits is the current module's circuit-breaker memory: blackholed
+	// addresses fed so far per /24. Reset at each module boundary, exactly
+	// as Run builds a fresh breaker per module.
+	BreakerHits map[uint32]int `json:"breaker_hits,omitempty"`
+	// TargetsFed is the cumulative (address, port) pairs handed to workers,
+	// mirroring what Config.Progress reported — resumed runs seed their
+	// progress counter from it.
+	TargetsFed uint64 `json:"targets_fed"`
+	// Modules holds per-module results and stats, one entry per module
+	// reached so far.
+	Modules []ModuleSnapshot `json:"modules"`
+}
+
+// ModuleSnapshot is one module's accumulated output.
+type ModuleSnapshot struct {
+	Protocol iot.Protocol `json:"protocol"`
+	// Results are sorted by (IP, Port) — the same order runCollect returns —
+	// and each target yields at most one result, so the order is total.
+	Results []*Result `json:"results,omitempty"`
+	// Stats accumulates across segments. Elapsed stays zero inside the
+	// state (it is wall-clock); RunSegmented fills it only in the stats it
+	// returns.
+	Stats Stats `json:"stats"`
+}
+
+// RunSegmented scans every module sequentially in address segments of
+// roughly segmentTargets (address, port) pairs, invoking onCommit after each
+// segment's workers have drained with the full accumulated state. The caller
+// persists the state (and may return checkpoint.ErrInterrupted to stop
+// cleanly); a non-nil error from onCommit aborts the run and is returned.
+//
+// Passing a state a previous onCommit observed as resume continues the scan
+// from that segment boundary. The final results and stats are identical to
+// RunAllParallel's for the same config: probes are pure per-target, the
+// breaker is consulted in permutation order by the single-threaded segment
+// collector (worker-count independent, with its per-/24 memory carried
+// across segments), and per-module results are merged in sorted order.
+func (s *Scanner) RunSegmented(ctx context.Context, modules []ProbeModule, resume *SegmentedState,
+	segmentTargets int, onCommit func(*SegmentedState) error) (map[iot.Protocol][]*Result, map[iot.Protocol]Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if segmentTargets <= 0 {
+		segmentTargets = DefaultSegmentTargets
+	}
+
+	var limiter *rateLimiter
+	if s.cfg.RatePerSec > 0 {
+		limiter = newRateLimiter(s.cfg.RatePerSec)
+	}
+	faultModel := s.cfg.Network.Faults()
+	maxAttempts := 1
+	if faultModel != nil {
+		maxAttempts = s.cfg.MaxAttempts
+	}
+
+	freshCursor := s.newIterator().Cursor()
+	st := resume
+	if st == nil {
+		st = &SegmentedState{Iterator: freshCursor}
+	}
+	if st.BreakerHits == nil {
+		st.BreakerHits = make(map[uint32]int)
+	}
+
+	elapsed := make(map[int]time.Duration, len(modules))
+	for st.Module < len(modules) {
+		m := modules[st.Module]
+		for len(st.Modules) <= st.Module {
+			st.Modules = append(st.Modules, ModuleSnapshot{Protocol: modules[len(st.Modules)].Protocol()})
+		}
+		ms := &st.Modules[st.Module]
+
+		it := s.newIterator()
+		it.Seek(st.Iterator)
+		var breaker *prefixBreaker
+		if faultModel != nil && s.cfg.BreakerThreshold > 0 {
+			breaker = &prefixBreaker{model: faultModel, src: s.cfg.Source,
+				threshold: s.cfg.BreakerThreshold, hits: st.BreakerHits}
+		}
+
+		moduleStart := time.Now()
+		for {
+			targets, exhausted := s.collectSegment(it, m, breaker, ms, segmentTargets)
+			if len(targets) > 0 {
+				s.probeSegment(ctx, m, targets, ms, maxAttempts, limiter)
+				st.TargetsFed += uint64(len(targets))
+				if s.cfg.Progress != nil {
+					s.cfg.Progress(uint64(len(targets)))
+				}
+			}
+			ms.Stats.Blocked = it.Blocked()
+			st.Iterator = it.Cursor()
+			elapsed[st.Module] += time.Since(moduleStart)
+			moduleStart = time.Now()
+			if exhausted {
+				// Module boundary: advance and reset the per-module walk
+				// state before committing, so a resume from this commit
+				// starts the next module exactly as a fresh loop entry would.
+				st.Module++
+				st.Iterator = freshCursor
+				st.BreakerHits = make(map[uint32]int)
+			}
+			if err := onCommit(st); err != nil {
+				// The state is already durable; hand back what accumulated so
+				// far so an interrupting caller can flush partial artifacts.
+				results, stats := st.collect(elapsed)
+				return results, stats, err
+			}
+			if exhausted {
+				break
+			}
+		}
+	}
+
+	results, stats := st.collect(elapsed)
+	return results, stats, nil
+}
+
+// collect flattens the per-module snapshots into the maps Run* callers use.
+func (st *SegmentedState) collect(elapsed map[int]time.Duration) (map[iot.Protocol][]*Result, map[iot.Protocol]Stats) {
+	results := make(map[iot.Protocol][]*Result, len(st.Modules))
+	stats := make(map[iot.Protocol]Stats, len(st.Modules))
+	for i := range st.Modules {
+		ms := &st.Modules[i]
+		results[ms.Protocol] = ms.Results
+		stt := ms.Stats
+		stt.Elapsed = elapsed[i]
+		stats[ms.Protocol] = stt
+	}
+	return results, stats
+}
+
+// newIterator builds the (module-independent) address iterator for this
+// scanner's prefix, seed and sharding.
+func (s *Scanner) newIterator() *AddressIterator {
+	return NewAddressIterator(s.cfg.Prefix, s.cfg.Seed, s.cfg.Blocklist, s.cfg.Shard, s.cfg.Shards)
+}
+
+// collectSegment pulls the next ~max (address, port) targets from the walk,
+// applying the breaker in permutation order (its skips and trace events
+// happen here, on the single-threaded collector, exactly like Run's feed).
+// It reports whether the walk is exhausted.
+func (s *Scanner) collectSegment(it *AddressIterator, m ProbeModule, breaker *prefixBreaker,
+	ms *ModuleSnapshot, max int) ([]target, bool) {
+	ports := m.Ports()
+	trace := s.cfg.OnProbe
+	var proto iot.Protocol
+	if trace != nil {
+		proto = m.Protocol()
+	}
+	targets := make([]target, 0, max+len(ports))
+	for len(targets) < max {
+		ip, ok := it.Next()
+		if !ok {
+			return targets, true
+		}
+		if breaker != nil && breaker.skip(ip) {
+			ms.Stats.BreakerSkipped += uint64(len(ports))
+			if trace != nil {
+				trace(ProbeEvent{Kind: ProbeBreakerSkip, Protocol: proto, IP: ip})
+			}
+			continue
+		}
+		for _, port := range ports {
+			targets = append(targets, target{ip: ip, port: port})
+		}
+	}
+	return targets, false
+}
+
+// probeSegment fans one segment's targets across the worker budget, waits
+// for the barrier, and folds the segment's results and stats into ms.
+// Results stay sorted by (IP, Port) after every segment.
+func (s *Scanner) probeSegment(ctx context.Context, m ProbeModule, targets []target,
+	ms *ModuleSnapshot, maxAttempts int, limiter *rateLimiter) {
+	workers := s.cfg.Workers
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	shards := make([]workerStats, workers)
+	var (
+		mu      sync.Mutex
+		segment []*Result
+	)
+	emit := func(r *Result) {
+		mu.Lock()
+		segment = append(segment, r)
+		mu.Unlock()
+	}
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	chunk := (len(targets) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(shard *workerStats, sub []target) {
+			defer wg.Done()
+			for _, t := range sub {
+				select {
+				case <-done:
+					return // canceled: stop probing, the commit never happens
+				default:
+				}
+				s.probeTarget(ctx, m, t, shard, maxAttempts, limiter, emit)
+			}
+		}(&shards[w], targets[lo:hi])
+	}
+	wg.Wait()
+
+	for i := range shards {
+		ms.Stats.Probed += shards[i].probed
+		ms.Stats.Responded += shards[i].responded
+		ms.Stats.Timeouts += shards[i].timeouts
+		ms.Stats.Resets += shards[i].resets
+		ms.Stats.Partials += shards[i].partials
+		ms.Stats.Negatives += shards[i].negatives
+		ms.Stats.Retransmits += shards[i].retransmits
+	}
+	ms.Results = append(ms.Results, segment...)
+	sort.Slice(ms.Results, func(i, j int) bool {
+		if ms.Results[i].IP != ms.Results[j].IP {
+			return ms.Results[i].IP < ms.Results[j].IP
+		}
+		return ms.Results[i].Port < ms.Results[j].Port
+	})
+}

@@ -1,0 +1,179 @@
+package scan
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+	"openhire/internal/netsim/faults"
+)
+
+// segmentedScan runs all modules through RunSegmented on a fresh world and
+// returns the digest and stats, threading resume/commit through.
+func segmentedScan(t testing.TB, workers, segment int, resume *SegmentedState,
+	onCommit func(*SegmentedState) error) (string, map[iot.Protocol]Stats, error) {
+	t.Helper()
+	n, prefix := chaosWorld(t, "50.0.0.0/20", 200, faults.Calibrated())
+	cfg := Config{
+		Network:          n,
+		Source:           netsim.MustParseIPv4("130.226.0.1"),
+		Prefix:           prefix,
+		Seed:             5,
+		Workers:          workers,
+		BreakerThreshold: 3,
+	}
+	if onCommit == nil {
+		onCommit = func(*SegmentedState) error { return nil }
+	}
+	results, stats, err := NewScanner(cfg).RunSegmented(context.Background(),
+		AllModules(), resume, segment, onCommit)
+	return digestResults(results), stats, err
+}
+
+// TestSegmentedMatchesRunAllParallel asserts the segmented walk is an exact
+// re-expression of the parallel scan: byte-identical results and identical
+// deterministic stats for several (workers, segment size) combinations,
+// including segments far smaller than a module and larger than the walk.
+func TestSegmentedMatchesRunAllParallel(t *testing.T) {
+	profile := faults.Calibrated()
+	n, prefix := chaosWorld(t, "50.0.0.0/20", 200, profile)
+	base, baseStats := NewScanner(Config{
+		Network: n, Source: netsim.MustParseIPv4("130.226.0.1"), Prefix: prefix,
+		Seed: 5, Workers: 16, BreakerThreshold: 3,
+	}).RunAllParallel(context.Background(), AllModules())
+	baseDigest := digestResults(base)
+
+	for _, tc := range []struct{ workers, segment int }{
+		{1, 64}, {16, 64}, {16, 999}, {7, 1 << 20},
+	} {
+		got, gotStats, err := segmentedScan(t, tc.workers, tc.segment, nil, nil)
+		if err != nil {
+			t.Fatalf("workers=%d segment=%d: %v", tc.workers, tc.segment, err)
+		}
+		if got != baseDigest {
+			t.Fatalf("workers=%d segment=%d: results differ from RunAllParallel",
+				tc.workers, tc.segment)
+		}
+		if diff := statsEqual(baseStats, gotStats); diff != "" {
+			t.Fatalf("workers=%d segment=%d: stats differ: %s", tc.workers, tc.segment, diff)
+		}
+	}
+}
+
+// TestSegmentedResumeFromEveryCommit kills the scan (by returning an error
+// from onCommit) at each successive commit point, marshals the state through
+// JSON exactly as a checkpoint would, resumes on a fresh world, and asserts
+// the final output is byte-identical to the uninterrupted run.
+func TestSegmentedResumeFromEveryCommit(t *testing.T) {
+	golden, goldenStats, err := segmentedScan(t, 16, 200, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commits int
+	_, _, _ = segmentedScan(t, 16, 200, nil, func(*SegmentedState) error {
+		commits++
+		return nil
+	})
+	if commits < 8 {
+		t.Fatalf("only %d commits; world too small to exercise resume", commits)
+	}
+	stop := errors.New("stop")
+	step := commits / 6
+	if step == 0 {
+		step = 1
+	}
+	for kill := 1; kill < commits; kill += step {
+		var saved []byte
+		seen := 0
+		_, _, err := segmentedScan(t, 16, 200, nil, func(st *SegmentedState) error {
+			seen++
+			if seen == kill {
+				var merr error
+				saved, merr = json.Marshal(st)
+				if merr != nil {
+					t.Fatal(merr)
+				}
+				return stop
+			}
+			return nil
+		})
+		if !errors.Is(err, stop) {
+			t.Fatalf("kill at commit %d: err = %v", kill, err)
+		}
+		resume := &SegmentedState{}
+		if err := json.Unmarshal(saved, resume); err != nil {
+			t.Fatal(err)
+		}
+		got, gotStats, err := segmentedScan(t, 16, 200, resume, nil)
+		if err != nil {
+			t.Fatalf("resume from commit %d: %v", kill, err)
+		}
+		if got != golden {
+			t.Fatalf("resume from commit %d: results differ from uninterrupted run", kill)
+		}
+		if diff := statsEqual(goldenStats, gotStats); diff != "" {
+			t.Fatalf("resume from commit %d: stats differ: %s", kill, diff)
+		}
+	}
+}
+
+// TestSegmentedStateDeterministicBytes asserts the committed state's bytes
+// at each cadence point are a pure function of (seed, config): two
+// independent runs marshal identical JSON at every commit.
+func TestSegmentedStateDeterministicBytes(t *testing.T) {
+	collect := func() [][]byte {
+		var states [][]byte
+		_, _, err := segmentedScan(t, 16, 300, nil, func(st *SegmentedState) error {
+			data, err := json.Marshal(st)
+			if err != nil {
+				return err
+			}
+			states = append(states, data)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return states
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("commit counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("state bytes at commit %d differ between identical runs", i)
+		}
+	}
+}
+
+// TestIteratorCursorRoundTrip asserts Seek(Cursor()) resumes the address
+// walk exactly: the remaining sequence from a fresh iterator seeked to a
+// mid-walk cursor matches the original iterator's continuation.
+func TestIteratorCursorRoundTrip(t *testing.T) {
+	prefix := netsim.MustParsePrefix("50.0.0.0/22")
+	for _, stopAt := range []int{0, 1, 100, 701} {
+		a := NewAddressIterator(prefix, 9, nil, 0, 1)
+		for i := 0; i < stopAt; i++ {
+			if _, ok := a.Next(); !ok {
+				t.Fatalf("walk exhausted before %d addresses", stopAt)
+			}
+		}
+		b := NewAddressIterator(prefix, 9, nil, 0, 1)
+		b.Seek(a.Cursor())
+		for {
+			ipA, okA := a.Next()
+			ipB, okB := b.Next()
+			if okA != okB || ipA != ipB {
+				t.Fatalf("stopAt=%d: walks diverge: (%v,%v) vs (%v,%v)",
+					stopAt, ipA, okA, ipB, okB)
+			}
+			if !okA {
+				break
+			}
+		}
+	}
+}

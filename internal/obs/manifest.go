@@ -7,8 +7,9 @@ import (
 	"flag"
 	"hash"
 	"io"
-	"os"
 	"runtime/debug"
+
+	"openhire/internal/checkpoint/atomicio"
 )
 
 // Manifest is one run's machine-readable ground truth: the seed and resolved
@@ -38,6 +39,24 @@ type Manifest struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	// Outputs maps artifact names to "sha256:..." content digests.
 	Outputs map[string]string `json:"outputs,omitempty"`
+	// Checkpoints lists every checkpoint the run committed, in commit order.
+	// Checkpoint files at a given cadence point are pure functions of
+	// (seed, config, build), so this list is identical between a run that was
+	// never killed and one that was killed and resumed.
+	Checkpoints []CheckpointRecord `json:"checkpoints,omitempty"`
+	// Interrupted is true when the run was stopped early by SIGINT/SIGTERM:
+	// workers drained, artifacts flushed, but coverage is partial.
+	Interrupted bool `json:"interrupted,omitempty"`
+}
+
+// CheckpointRecord describes one committed checkpoint file.
+type CheckpointRecord struct {
+	// Name is the checkpoint's position label ("scan.seg0042", "day07", ...).
+	Name string `json:"name"`
+	// Bytes is the checkpoint file size.
+	Bytes int64 `json:"bytes"`
+	// Digest is the "sha256:..." digest of the file contents.
+	Digest string `json:"digest"`
 }
 
 // NewManifest starts a manifest for the named binary and seed.
@@ -115,12 +134,13 @@ func (m *Manifest) AddOutput(name, digest string) {
 }
 
 // WriteFile marshals the manifest (indented, trailing newline) to path.
+// The write is atomic: a kill mid-write never leaves a torn manifest.
 func (m *Manifest) WriteFile(path string) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicio.WriteFileBytes(path, append(data, '\n'))
 }
 
 // Digest returns the "sha256:..." content digest of data.

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 
+	"openhire/internal/checkpoint/atomicio"
 	"openhire/internal/obs"
 	"openhire/internal/prng"
 )
@@ -239,22 +240,69 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteFile writes the trace artifact to path and returns its "sha256:..."
-// content digest for the run manifest.
+// WriteFile writes the trace artifact to path atomically and returns its
+// "sha256:..." content digest for the run manifest.
 func (r *Recorder) WriteFile(path string) (string, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return "", err
-	}
 	dw := obs.NewDigestWriter()
-	err = r.WriteJSONL(io.MultiWriter(f, dw))
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return r.WriteJSONL(io.MultiWriter(w, dw))
+	})
 	if err != nil {
 		return "", err
 	}
 	return dw.Sum(), nil
+}
+
+// SavedEvent is one recorded event plus the shard key Record was called
+// with, which Event itself never serializes. Checkpoints carry these so a
+// resumed recorder re-records each event under its original key and the
+// final canonical order is unchanged.
+type SavedEvent struct {
+	IPKey uint64 `json:"ip_key,omitempty"`
+	Ev    Event  `json:"ev"`
+}
+
+// DumpEvents snapshots the recorder's contents for checkpointing, in the
+// same canonical order Events uses. Within one shard, events of different
+// keys interleave by worker completion — scheduling noise that must not
+// reach checkpoint bytes, which are a pure function of (seed, config,
+// cadence point). The stable sort erases the interleaving while keeping
+// every key's events in their single-writer append order, so restoring the
+// dump reproduces each key's sequence exactly.
+func (r *Recorder) DumpEvents() []SavedEvent {
+	if r == nil {
+		return nil
+	}
+	var out []SavedEvent
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, ev := range sh.evs {
+			out = append(out, SavedEvent{IPKey: ev.ipKey, Ev: ev})
+		}
+		sh.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i].Ev, &out[j].Ev
+		if a.Protocol != b.Protocol {
+			return a.Protocol < b.Protocol
+		}
+		if out[i].IPKey != out[j].IPKey {
+			return out[i].IPKey < out[j].IPKey
+		}
+		return a.Port < b.Port
+	})
+	for i := range out {
+		out[i].Ev.ipKey = 0
+	}
+	return out
+}
+
+// RestoreEvents re-records a DumpEvents snapshot.
+func (r *Recorder) RestoreEvents(evs []SavedEvent) {
+	for i := range evs {
+		r.Record(evs[i].IPKey, evs[i].Ev)
+	}
 }
 
 // Read parses a trace stream back into its meta line and events (in file —
@@ -297,4 +345,55 @@ func ReadFile(path string) (Meta, []Event, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// ReadLenient parses a trace stream, tolerating exactly one unparseable
+// final line — the torn tail a kill mid-write leaves behind. It returns
+// truncated=true when such a tail was dropped. A malformed line anywhere
+// else (or a malformed meta line) is still an error: only the last line of
+// the file can legitimately be half-written.
+func ReadLenient(rd io.Reader) (meta Meta, evs []Event, truncated bool, err error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var lines [][]byte
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		lines = append(lines, append([]byte(nil), line...))
+	}
+	if err = sc.Err(); err != nil {
+		return meta, nil, false, err
+	}
+	if len(lines) == 0 {
+		return meta, nil, false, nil
+	}
+	if err = json.Unmarshal(lines[0], &meta); err != nil {
+		return meta, nil, false, fmt.Errorf("trace meta: %w", err)
+	}
+	if meta.Kind != KindMeta {
+		return meta, nil, false, fmt.Errorf("not a trace file: first record kind %q", meta.Kind)
+	}
+	for i, line := range lines[1:] {
+		var ev Event
+		if uerr := json.Unmarshal(line, &ev); uerr != nil {
+			if i == len(lines)-2 {
+				return meta, evs, true, nil
+			}
+			return meta, nil, false, uerr
+		}
+		evs = append(evs, ev)
+	}
+	return meta, evs, false, nil
+}
+
+// ReadFileLenient is ReadLenient over a file on disk.
+func ReadFileLenient(path string) (Meta, []Event, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, nil, false, err
+	}
+	defer f.Close()
+	return ReadLenient(f)
 }

@@ -41,6 +41,16 @@ func (s *Source) Reseed(seed uint64) {
 	s.state = seed
 }
 
+// State returns the source's stream position for checkpointing. Together
+// with the seed (which callers already know — it is part of the run config)
+// it fully determines the remaining stream: SetState(State()) is a no-op.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState repositions the stream without touching the seed, so Derive and
+// Hash64 children are unaffected. Used on resume to continue a consumed
+// stream exactly where a checkpoint left it.
+func (s *Source) SetState(state uint64) { s.state = state }
+
 // mix is the SplitMix64 output function.
 func mix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

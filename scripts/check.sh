@@ -17,16 +17,22 @@
 #      cross-worker determinism, ±2% calibrated classification drift) under
 #      the race detector, plus a short fuzz smoke over the Telnet and MQTT
 #      parsers (seed corpus + 10 fresh inputs each) — skipped with --fast
-#   6. the inspect smoke: build openhire-scan + openhire-inspect, run the
+#   6. the crash gate: checkpoint container round-trip/corruption tests and
+#      the kill-and-resume sweep under the race detector — each leg binary
+#      killed at every registered crashpoint, resumed, and byte-compared
+#      against an uninterrupted golden run; --fast sweeps only the three
+#      mid-leg commit sites (go test -short)
+#   7. the inspect smoke: build openhire-scan + openhire-inspect, run the
 #      scan leg twice with the same seed (traced) plus once bare, and
 #      require empty manifest/trace self-diffs, byte-identical result
 #      artifacts with tracing on and off, and a working summarize/prom
-#   7. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
+#   8. the tier-1 test suite (ROADMAP.md: `go build ./... && go test ./...`)
 #
 # Usage: check.sh [--fast]
 #   --fast skips the fuzz smokes (step 5's second half) and instead runs a
 #   one-iteration campaign/conversation-engine benchmark smoke, so the
-#   bench-campaign harness stays compiling and executable in the inner loop.
+#   bench-campaign harness stays compiling and executable in the inner loop;
+#   it also shrinks the crash sweep to the -short site subset.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,6 +79,14 @@ else
 	echo "==> chaos gate: parser fuzz smoke skipped (--fast)"
 	echo "==> bench smoke: campaign + conversation engine benchmarks, 1 iteration"
 	make --no-print-directory bench-campaign BENCHTIME=1x COUNT=1 >/dev/null
+fi
+
+if [ "$FAST" = "0" ]; then
+	echo "==> crash gate: kill-and-resume sweep over every crashpoint under -race"
+	go test -race -count=1 ./internal/checkpoint/...
+else
+	echo "==> crash gate: kill-and-resume sweep, commit sites only (--fast)"
+	go test -race -count=1 -short ./internal/checkpoint/...
 fi
 
 echo "==> inspect smoke: fixed-seed run self-diffs clean, tracing is zero-perturbation"
