@@ -1,6 +1,6 @@
 # Developer entry points. `make check` is the gate every PR must pass.
 
-.PHONY: check check-fast build test race chaos crash bench-scan bench-telescope bench-campaign
+.PHONY: check check-fast build test race chaos crash serve-smoke bench-scan bench-telescope bench-campaign
 
 check:
 	./scripts/check.sh
@@ -19,7 +19,7 @@ test:
 race:
 	go test -race ./internal/netsim/... ./internal/core/scan/... \
 		./internal/telescope/... ./internal/attack/... ./internal/honeypot/... \
-		./internal/obs/... ./internal/expr/
+		./internal/obs/... ./internal/expr/ ./internal/serve/
 
 # chaos runs just the fault-model gate: the equivalence tests (zero-fault
 # noop, cross-worker determinism, ±2% calibrated drift) under the race
@@ -42,6 +42,12 @@ chaos:
 # run — all under the race detector.
 crash:
 	go test -race -count=1 ./internal/checkpoint/...
+
+# serve-smoke drives openhire-serve end to end: golden run, kill/resume
+# byte-identity of the aggregates artifact, and a live daemon answering the
+# query API mid-run before a graceful SIGINT shutdown.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # bench-scan reproduces the hot-path numbers recorded in BENCH_scan.json.
 bench-scan:

@@ -1,0 +1,175 @@
+// Command openhire-serve is the continuous-measurement daemon: it drives the
+// paper's three legs — segmented scanner sweeps, daily darknet generation
+// into the telescope, and the honeypot attack campaign — cycle after cycle
+// over simulated time, folding their outputs into incremental aggregates and
+// answering a live HTTP/JSON query API from copy-on-write snapshots.
+//
+// Usage:
+//
+//	openhire-serve [-seed N] [-prefix CIDR] [-boost F] [-workers N]
+//	               [-intensity F] [-scale F]
+//	               [-cycles N] [-segments-per-cycle N] [-segment-targets N]
+//	               [-addr HOST:PORT]
+//	               [-checkpoint DIR] [-resume]
+//	               [-out FILE] [-manifest FILE]
+//
+// One cycle is one simulated day; every 30 cycles close an attack month and
+// reseed it. -cycles bounds the TOTAL completed-cycle count (0 = run until
+// signalled); a resumed run continues toward the same target. -addr serves
+// /api/exposure, /api/trends, /api/correlate, /api/status, /metrics and
+// /debug/pprof while the daemon runs — handlers read immutable published
+// snapshots, so scrape load cannot perturb the measurement.
+//
+// -checkpoint commits the daemon's durable state after every cycle;
+// -resume continues a killed daemon from the last committed cycle.
+// SIGINT/SIGTERM stop at the next cycle boundary, write -out/-manifest, and
+// exit 0. For a given (seed, config, watermark), API responses and the -out
+// aggregates are byte-identical across runs, worker counts and kill/resume.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"openhire/internal/checkpoint/atomicio"
+	"openhire/internal/checkpoint/crashpoint"
+	"openhire/internal/netsim"
+	"openhire/internal/obs"
+	"openhire/internal/serve"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 2021, "simulation seed")
+		prefixStr = flag.String("prefix", "100.0.0.0/14", "prefix to scan and source attacks from")
+		boost     = flag.Float64("boost", 16, "universe density boost")
+		workers   = flag.Int("workers", 64, "per-leg concurrency")
+		intensity = flag.Float64("intensity", 1.0/16, "fraction of the paper's attack events per month")
+		scale     = flag.Float64("scale", 1.0/8192, "telescope volume scale")
+		cycles    = flag.Int("cycles", 0, "stop after this many total completed cycles (0 = run until signalled)")
+		segsPer   = flag.Int("segments-per-cycle", serve.DefaultSegmentsPerCycle, "scan segment commits drained per cycle")
+		segTgts   = flag.Int("segment-targets", 0, "scan targets per segment (0 = scanner default)")
+		addr      = flag.String("addr", "", "serve the query API on this address (\"\" = no listener)")
+		ckptDir   = flag.String("checkpoint", "", "checkpoint daemon state into this directory every cycle")
+		resume    = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint DIR (fresh start if none exists)")
+		outPath   = flag.String("out", "", "write the final aggregates JSON to this file on exit")
+		manifest  = flag.String("manifest", "", "write a JSON run manifest to this file on exit")
+	)
+	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
+	prefix, err := netsim.ParsePrefix(*prefixStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var reg *obs.Registry
+	if *addr != "" || *manifest != "" {
+		reg = obs.NewRegistry()
+	}
+	loop := serve.New(serve.Config{
+		Seed:             *seed,
+		Prefix:           prefix,
+		Boost:            *boost,
+		Workers:          *workers,
+		Intensity:        *intensity,
+		Scale:            *scale,
+		SegmentsPerCycle: *segsPer,
+		SegmentTargets:   *segTgts,
+		CheckpointDir:    *ckptDir,
+		Resume:           *resume,
+		Registry:         reg,
+		OnPublish: func(s *serve.Published) {
+			fmt.Fprintf(os.Stderr, "cycle %d committed: sweep %d (%d complete), %d attack events, %d telescope flows\n",
+				s.Watermark.Cycle, s.Watermark.Sweep, s.Watermark.SweepsComplete,
+				s.Watermark.AttackEvents, s.Watermark.TelescopeFlows)
+		},
+	})
+
+	if *resume {
+		found, err := loop.Restore()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if found {
+			fmt.Fprintf(os.Stderr, "resumed at cycle %d\n", loop.Cycle())
+		}
+	}
+
+	if *addr != "" {
+		bound, closer, err := obs.StartServer(*addr, serve.NewMux(loop.Publisher(), reg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { _ = closer() }()
+		fmt.Fprintf(os.Stderr, "query API on http://%s/\n", bound)
+	}
+
+	// First SIGINT/SIGTERM stops at the next cycle boundary (the in-flight
+	// cycle always commits, so checkpoint and API stay coherent); a second
+	// one force-quits.
+	ctx, cancel := context.WithCancel(context.Background())
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	interrupted := false
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sigCh:
+		case <-done:
+			return
+		}
+		fmt.Fprintln(os.Stderr, "interrupt: finishing cycle and flushing (^C again to force quit)")
+		interrupted = true
+		cancel()
+		<-sigCh
+		os.Exit(130)
+	}()
+
+	if err := loop.Run(ctx, *cycles); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	close(done)
+
+	outputs := make(map[string]string)
+	if *outPath != "" {
+		data, err := loop.AggregatesJSON()
+		if err == nil {
+			err = atomicio.WriteFileBytes(*outPath, data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		outputs["aggregates.json"] = obs.Digest(data)
+		crashpoint.Here(crashpoint.SiteServeAggregatesWritten)
+		fmt.Fprintf(os.Stderr, "aggregates written to %s\n", *outPath)
+	}
+	if *manifest != "" {
+		m := obs.NewManifest("openhire-serve", *seed)
+		m.RecordFlags(flag.CommandLine)
+		m.FromRegistry(reg)
+		m.Checkpoints = loop.Checkpoints()
+		m.Interrupted = interrupted
+		for name, digest := range outputs {
+			m.AddOutput(name, digest)
+		}
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		crashpoint.Here(crashpoint.SiteServeManifestWritten)
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifest)
+	}
+	fmt.Printf("stopped after %d cycles\n", loop.Cycle())
+}

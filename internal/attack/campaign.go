@@ -61,6 +61,14 @@ type CampaignConfig struct {
 	// the honeypot logs separately (honeypot.Log appends are arrival-order
 	// insensitive once SortEventsCanonical is applied).
 	Resume *CampaignResume
+	// Days, when > 0, bounds how many days this Run call executes before
+	// returning (counted from the start day; 0 = the rest of the month).
+	// Capturing SchedulerState in the final OnDay and passing it back as the
+	// next call's Resume steps the month day-by-day — the serve daemon's
+	// cadence — with the concatenated runs byte-identical to one uninterrupted
+	// Run. When the bound stops short of day 30 the end-of-month clock jump is
+	// skipped, leaving the shared SimClock where the next day's Set expects it.
+	Days int
 }
 
 // CampaignResume is the campaign scheduler's resumable position, captured at
@@ -246,8 +254,12 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 		stats.EventsPlanned = r.EventsPlanned
 		runCount.Store(int64(r.EventsRun))
 	}
+	endDay := ExperimentDays
+	if c.cfg.Days > 0 && startDay+c.cfg.Days < endDay {
+		endDay = startDay + c.cfg.Days
+	}
 
-	for day := startDay; day < ExperimentDays; day++ {
+	for day := startDay; day < endDay; day++ {
 		if ctx.Err() != nil {
 			break
 		}
@@ -318,9 +330,14 @@ func (c *Campaign) Run(ctx context.Context) Stats {
 	}
 	engine.Close()
 	c.cfg.Network.Quiesce() // the log is complete once Run returns
-	// Leave the clock at the end of the month.
-	if err := c.cfg.Clock.Set(DayStart(ExperimentDays)); err != nil {
-		panic("attack: end-of-month clock set not monotonic: " + err.Error())
+	// Leave the clock at the end of the month — but only when the month
+	// actually ended. A Days-bounded call stopping mid-month must leave the
+	// clock inside the month, or the next call's first day Set would move
+	// backwards and panic.
+	if endDay == ExperimentDays {
+		if err := c.cfg.Clock.Set(DayStart(ExperimentDays)); err != nil {
+			panic("attack: end-of-month clock set not monotonic: " + err.Error())
+		}
 	}
 	stats.EventsRun = int(runCount.Load())
 	stats.Elapsed = time.Since(start)

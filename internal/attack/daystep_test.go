@@ -1,0 +1,118 @@
+package attack
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"openhire/internal/attack/malware"
+	"openhire/internal/geo"
+	"openhire/internal/intel"
+)
+
+// TestCampaignDayStepping replays the month one day at a time — a fresh
+// campaign per day with Days: 1, the scheduler state chained through Resume,
+// one persistent world — and asserts the concatenated replay is
+// indistinguishable from a single uninterrupted Run: identical canonical logs
+// and cumulative counters. This is the serve daemon's cadence, so the bound
+// must also leave the shared clock where the next day's Set expects it
+// (stopping mid-month must not jump to the end of the month).
+func TestCampaignDayStepping(t *testing.T) {
+	goldenC, goldenLog, ctx := campaignWorld(t, nil, nil)
+	goldenStats := goldenC.Run(ctx)
+	golden := canonical(goldenLog)
+	if len(golden) == 0 {
+		t.Fatal("golden run logged nothing")
+	}
+
+	// The world persists across steps; the campaign (and the Sources whose
+	// stream NewCampaign consumes) is rebuilt each day, replaying the same
+	// construction sequence every time.
+	n, pots, log, u, clk := buildWorld(t)
+	var resume *CampaignResume
+	var last Stats
+	for day := 0; day < ExperimentDays; day++ {
+		gn := intel.NewGreyNoise(7, 0.81)
+		vt := intel.NewVirusTotal()
+		rdns := geo.NewRDNS(7)
+		sources := NewSources(7, u, rdns, gn)
+		corpus := malware.NewCorpus(7, nil)
+		var captured CampaignResume
+		var c *Campaign
+		c = NewCampaign(CampaignConfig{
+			Seed: 7, Network: n, Honeypots: pots, Universe: u,
+			Sources: sources, Corpus: corpus,
+			Intensity: 0.01, Workers: 64, Clock: clk,
+			GreyNoise: gn, VirusTotal: vt, RDNS: rdns,
+			Resume: resume, Days: 1,
+			OnDay: func(d, planned, run int) {
+				captured = c.SchedulerState(d, planned, run)
+			},
+		})
+		last = c.Run(context.Background())
+		if captured.NextDay != day+1 {
+			t.Fatalf("step %d captured NextDay %d", day, captured.NextDay)
+		}
+		resume = &captured
+	}
+
+	if last.EventsPlanned != goldenStats.EventsPlanned || last.EventsRun != goldenStats.EventsRun {
+		t.Fatalf("cumulative stats diverge: stepped planned=%d run=%d, golden planned=%d run=%d",
+			last.EventsPlanned, last.EventsRun, goldenStats.EventsPlanned, goldenStats.EventsRun)
+	}
+	got := canonical(log)
+	if len(got) != len(golden) {
+		t.Fatalf("event counts diverge: stepped %d, golden %d", len(got), len(golden))
+	}
+	for i := range got {
+		gotJSON, _ := json.Marshal(got[i])
+		wantJSON, _ := json.Marshal(golden[i])
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("event %d diverges in day-stepped replay:\n  stepped: %s\n  golden:  %s",
+				i, gotJSON, wantJSON)
+		}
+	}
+	// The final step closed the month, so the clock sits at day 30.
+	if !clk.Now().Equal(DayStart(ExperimentDays)) {
+		t.Fatalf("clock after final step: %v, want %v", clk.Now(), DayStart(ExperimentDays))
+	}
+}
+
+// TestCampaignDaysBoundPartial asserts a Days-bounded Run stopping mid-month
+// does not jump the clock to month end: the clock stays inside the month so
+// a follow-up bounded Run can continue, and honeypot events carry the days
+// actually executed.
+func TestCampaignDaysBoundPartial(t *testing.T) {
+	n, pots, log, u, clk := buildWorld(t)
+	gn := intel.NewGreyNoise(7, 0.81)
+	rdns := geo.NewRDNS(7)
+	sources := NewSources(7, u, rdns, gn)
+	corpus := malware.NewCorpus(7, nil)
+	var captured CampaignResume
+	var c *Campaign
+	c = NewCampaign(CampaignConfig{
+		Seed: 7, Network: n, Honeypots: pots, Universe: u,
+		Sources: sources, Corpus: corpus,
+		Intensity: 0.01, Workers: 64, Clock: clk,
+		GreyNoise: gn, RDNS: rdns,
+		Days: 3,
+		OnDay: func(d, planned, run int) {
+			captured = c.SchedulerState(d, planned, run)
+		},
+	})
+	c.Run(context.Background())
+	if captured.NextDay != 3 {
+		t.Fatalf("bounded run executed through NextDay %d, want 3", captured.NextDay)
+	}
+	if !clk.Now().Before(DayStart(3).Add(24*60*60*1e9)) || clk.Now().Before(DayStart(2)) {
+		t.Fatalf("clock after Days=3 run: %v, want within day 2's schedule", clk.Now())
+	}
+	if len(canonical(log)) == 0 {
+		t.Fatal("bounded run logged nothing")
+	}
+	for _, ev := range canonical(log) {
+		if ev.Time.After(DayStart(3)) {
+			t.Fatalf("event stamped %v past the Days bound", ev.Time)
+		}
+	}
+}

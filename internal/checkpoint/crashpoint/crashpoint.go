@@ -98,6 +98,10 @@ const (
 	SiteHoneypotExportWritten   = "honeypot.export.written"
 	SiteHoneypotTraceWritten    = "honeypot.trace.written"
 	SiteHoneypotManifestWritten = "honeypot.manifest.written"
+
+	SiteServeCycleCommit       = "serve.cycle.commit"
+	SiteServeAggregatesWritten = "serve.aggregates.written"
+	SiteServeManifestWritten   = "serve.manifest.written"
 )
 
 // ScanSites are the kill sites the scan leg passes through, in the order a
@@ -127,4 +131,12 @@ var HoneypotSites = []string{
 	SiteHoneypotExportWritten,
 	SiteHoneypotTraceWritten,
 	SiteHoneypotManifestWritten,
+}
+
+// ServeSites are the continuous-measurement daemon's kill sites.
+var ServeSites = []string{
+	SiteAtomicStaged,
+	SiteServeCycleCommit,
+	SiteServeAggregatesWritten,
+	SiteServeManifestWritten,
 }

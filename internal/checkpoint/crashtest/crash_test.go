@@ -1,4 +1,4 @@
-// Package crashtest is the kill-and-resume harness: it builds the three leg
+// Package crashtest is the kill-and-resume harness: it builds the leg
 // binaries, arms one crashpoint per child process, kills each leg at every
 // registered durable-state transition, resumes from the checkpoint, and
 // asserts the final artifacts are byte-identical to an uninterrupted golden
@@ -37,7 +37,7 @@ func TestMain(m *testing.M) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for _, name := range []string{"openhire-scan", "openhire-telescope", "openhire-honeypots"} {
+	for _, name := range []string{"openhire-scan", "openhire-telescope", "openhire-honeypots", "openhire-serve"} {
 		args := []string{"build"}
 		if raceEnabled {
 			args = append(args, "-race")
@@ -112,6 +112,22 @@ func honeypotLeg() leg {
 		sites:     crashpoint.HoneypotSites,
 		shortSite: crashpoint.SiteCampaignDayCommit,
 		atN:       crashpoint.SiteCampaignDayCommit,
+	}
+}
+
+func serveLeg() leg {
+	return leg{
+		binary: "openhire-serve",
+		args: []string{
+			"-seed", "11", "-prefix", "100.0.0.0/24", "-boost", "16",
+			"-workers", "9", "-cycles", "3", "-segments-per-cycle", "2",
+			"-segment-targets", "64", "-intensity", "0.002", "-scale", "0.0002",
+			"-out", "aggregates.json", "-manifest", "manifest.json",
+		},
+		ckptArgs:  []string{"-checkpoint", "ck"},
+		sites:     crashpoint.ServeSites,
+		shortSite: crashpoint.SiteServeCycleCommit,
+		atN:       crashpoint.SiteServeCycleCommit,
 	}
 }
 
@@ -310,3 +326,4 @@ func sweep(t *testing.T, l leg) {
 func TestCrashResumeScan(t *testing.T)      { sweep(t, scanLeg()) }
 func TestCrashResumeTelescope(t *testing.T) { sweep(t, telescopeLeg()) }
 func TestCrashResumeHoneypots(t *testing.T) { sweep(t, honeypotLeg()) }
+func TestCrashResumeServe(t *testing.T)     { sweep(t, serveLeg()) }

@@ -161,6 +161,19 @@ type Config struct {
 	// a hooked run produces byte-identical results and stats to a bare one;
 	// nil (the default) keeps the loop exactly as before the hook existed.
 	OnProbe func(ProbeEvent)
+
+	// OnSegment, when set, is called by RunSegmented once per drained
+	// segment — on the single-threaded collector, before onCommit — with the
+	// module's protocol, the number of (address, port) targets the segment
+	// fed, and the segment's results sorted by (IP, Port). The slice is
+	// freshly sorted and not retained by the scanner, but its *Result
+	// entries are shared with the accumulated state, so implementations
+	// must treat them as read-only. Scheduling order inside a segment is
+	// worker-count dependent; the sort makes the hook's view a pure
+	// function of (seed, config, segment index), which is what lets the
+	// serve daemon fold segments into aggregates without breaking
+	// byte-identity across worker counts.
+	OnSegment func(proto iot.Protocol, targets int, results []*Result)
 }
 
 // ProbeEventKind names one lifecycle moment in a target's retransmit loop.

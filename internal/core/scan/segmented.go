@@ -256,6 +256,18 @@ func (s *Scanner) probeSegment(ctx context.Context, m ProbeModule, targets []tar
 		ms.Stats.Negatives += shards[i].negatives
 		ms.Stats.Retransmits += shards[i].retransmits
 	}
+	// Workers append to segment in scheduling order, which varies with the
+	// worker count; sort before the hook sees it so OnSegment observes a
+	// deterministic per-segment view.
+	sort.Slice(segment, func(i, j int) bool {
+		if segment[i].IP != segment[j].IP {
+			return segment[i].IP < segment[j].IP
+		}
+		return segment[i].Port < segment[j].Port
+	})
+	if s.cfg.OnSegment != nil {
+		s.cfg.OnSegment(m.Protocol(), len(targets), segment)
+	}
 	ms.Results = append(ms.Results, segment...)
 	sort.Slice(ms.Results, func(i, j int) bool {
 		if ms.Results[i].IP != ms.Results[j].IP {

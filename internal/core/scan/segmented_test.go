@@ -177,3 +177,76 @@ func TestIteratorCursorRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestOnSegmentDeterministicAcrossWorkers asserts the OnSegment hook's view
+// is a pure function of (seed, config, segment index): the sequence of
+// (protocol, target count, sorted results) tuples is identical across worker
+// counts, every segment arrives sorted by (IP, Port), and hooking the run
+// leaves the final results byte-identical to a bare run.
+func TestOnSegmentDeterministicAcrossWorkers(t *testing.T) {
+	bare, bareStats, err := segmentedScan(t, 16, 200, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	collect := func(workers int) ([]string, string, map[iot.Protocol]Stats) {
+		n, prefix := chaosWorld(t, "50.0.0.0/20", 200, faults.Calibrated())
+		var views []string
+		cfg := Config{
+			Network:          n,
+			Source:           netsim.MustParseIPv4("130.226.0.1"),
+			Prefix:           prefix,
+			Seed:             5,
+			Workers:          workers,
+			BreakerThreshold: 3,
+			OnSegment: func(proto iot.Protocol, targets int, results []*Result) {
+				for i := 1; i < len(results); i++ {
+					a, b := results[i-1], results[i]
+					if a.IP > b.IP || (a.IP == b.IP && a.Port >= b.Port) {
+						t.Errorf("segment %d not sorted at %d", len(views), i)
+					}
+				}
+				data, err := json.Marshal(struct {
+					Proto   iot.Protocol `json:"proto"`
+					Targets int          `json:"targets"`
+					Results []*Result    `json:"results"`
+				}{proto, targets, results})
+				if err != nil {
+					t.Error(err)
+				}
+				views = append(views, string(data))
+			},
+		}
+		results, stats, err := NewScanner(cfg).RunSegmented(context.Background(),
+			AllModules(), nil, 200, func(*SegmentedState) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return views, digestResults(results), stats
+	}
+
+	base, digest, stats := collect(16)
+	if len(base) < 8 {
+		t.Fatalf("only %d segments; world too small", len(base))
+	}
+	if digest != bare {
+		t.Fatal("hooked run's results differ from bare run")
+	}
+	if diff := statsEqual(bareStats, stats); diff != "" {
+		t.Fatalf("hooked run's stats differ from bare run: %s", diff)
+	}
+	for _, workers := range []int{1, 7} {
+		views, d, _ := collect(workers)
+		if d != bare {
+			t.Fatalf("workers=%d: results differ", workers)
+		}
+		if len(views) != len(base) {
+			t.Fatalf("workers=%d: %d segments, want %d", workers, len(views), len(base))
+		}
+		for i := range views {
+			if views[i] != base[i] {
+				t.Fatalf("workers=%d: segment %d view differs from workers=16", workers, i)
+			}
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // publishOnce guards the process-global expvar name: Publish panics on a
@@ -17,6 +19,22 @@ import (
 var (
 	publishOnce sync.Once
 	currentReg  atomic.Pointer[Registry]
+)
+
+// Slow-client protection for the debug/query servers. A long-running daemon
+// scraped by arbitrary clients must not let one slow (or stalled) peer pin a
+// connection forever: ReadHeaderTimeout bounds the classic slow-header DoS,
+// ReadTimeout bounds the whole request read, and IdleTimeout reaps parked
+// keep-alive connections. WriteTimeout stays unset on purpose — the pprof
+// profile/trace handlers stream for a caller-chosen number of seconds, and a
+// write deadline would truncate them.
+const (
+	serverReadHeaderTimeout = 10 * time.Second
+	serverReadTimeout       = 30 * time.Second
+	serverIdleTimeout       = 2 * time.Minute
+	// shutdownGrace bounds how long a closer waits for in-flight scrapes to
+	// finish before falling back to a hard close.
+	shutdownGrace = 5 * time.Second
 )
 
 // Serve starts the debug endpoint on addr (e.g. "localhost:6060") and
@@ -31,7 +49,9 @@ var (
 // The server runs on its own goroutine until the closer is called (the
 // binaries let it live for the process); the pipeline never blocks on it,
 // and scraping it reads snapshots, not live shards, so it cannot perturb a
-// run.
+// run. The closer drains in-flight scrapes (bounded by shutdownGrace) before
+// closing, so a scrape racing process exit gets a complete body instead of a
+// torn one.
 func Serve(addr string, r *Registry) (string, func() error, error) {
 	currentReg.Store(r)
 	publishOnce.Do(func() {
@@ -47,11 +67,33 @@ func Serve(addr string, r *Registry) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	return StartServer(addr, mux)
+}
+
+// StartServer binds addr, serves h on its own goroutine with the slow-client
+// timeouts above, and returns the bound address plus a closer. The closer
+// attempts a graceful Shutdown — the listener closes immediately (the port
+// is free for a rebind), in-flight requests get up to shutdownGrace to
+// finish — and falls back to Close if the grace period expires.
+func StartServer(addr string, h http.Handler) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: serverReadHeaderTimeout,
+		ReadTimeout:       serverReadTimeout,
+		IdleTimeout:       serverIdleTimeout,
+	}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	closer := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+	return ln.Addr().String(), closer, nil
 }

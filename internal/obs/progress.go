@@ -41,11 +41,18 @@ func NewProgress(w io.Writer, label string, total uint64) *Progress {
 
 // Add advances the counter by n units and emits a line if the throttle
 // interval has elapsed. Safe for concurrent use and on a nil reporter.
+// A finished reporter stays finished: Add after Done is ignored, so a
+// continuous-mode caller sharing one reporter across shutdown paths cannot
+// resurrect progress lines after the final "(done)" line.
 func (p *Progress) Add(n uint64) {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return
+	}
 	p.n += n
 	now := time.Now()
 	if now.Sub(p.last) >= p.interval {
@@ -81,8 +88,15 @@ func (p *Progress) emit(now time.Time) {
 		suffix = " (done)"
 	}
 	if p.total > 0 {
+		// total is nominal: a daemon looping past its nominal sweep size must
+		// not report >100%, so the percentage clamps while the raw counter
+		// keeps telling the truth.
+		pct := 100 * float64(p.n) / float64(p.total)
+		if pct > 100 {
+			pct = 100
+		}
 		fmt.Fprintf(p.w, "%s: %d/%d (%.1f%%)%s in %s\n",
-			p.label, p.n, p.total, 100*float64(p.n)/float64(p.total), suffix, elapsed)
+			p.label, p.n, p.total, pct, suffix, elapsed)
 	} else {
 		fmt.Fprintf(p.w, "%s: %d%s in %s\n", p.label, p.n, suffix, elapsed)
 	}

@@ -145,6 +145,15 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// MetricsHandler returns the /metrics endpoint handler — JSON by default,
+// Prometheus text with ?format=prom — for callers that mount the registry on
+// their own mux (the serve daemon's query API) instead of going through
+// Serve. The handler reads snapshots only, so arbitrary scrape traffic
+// cannot perturb the pipeline feeding the registry.
+func (r *Registry) MetricsHandler() http.HandlerFunc {
+	return r.handler
+}
+
 // handler serves the registry — the /metrics endpoint. The default body is
 // indented JSON; ?format=prom switches to the Prometheus text exposition
 // format for scrapers.
@@ -209,7 +218,14 @@ func NewHistogram(bounds []time.Duration) *Histogram {
 
 // Observe adds one duration. A value lands in the first bucket whose upper
 // bound is >= d; values beyond every bound land in the overflow bucket.
+// Negative durations clamp to zero: a misbehaving caller (a clock stepping
+// backwards, a subtraction in the wrong order) would otherwise land in
+// bucket 0 while silently dragging sumSim down and skewing maxSeen, leaving
+// a manifest whose _sum no longer reconciles with its buckets.
 func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	idx := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= d })
 	h.mu.Lock()
 	h.counts[idx]++

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"openhire/internal/prng"
+)
+
+// TestProgressAddAfterDone is the regression test for the resurrection bug:
+// a daemon sharing one reporter across shutdown paths could call Add after
+// Done, which re-emitted progress lines without the "(done)" suffix. A
+// finished reporter must stay finished — and its counter must stop moving.
+func TestProgressAddAfterDone(t *testing.T) {
+	var buf strings.Builder
+	p := NewProgress(&buf, "serve", 10)
+	p.interval = 0 // every Add may emit
+	p.Add(4)
+	p.Done()
+	lines := strings.Count(buf.String(), "\n")
+	p.Add(3)
+	p.Add(3)
+	if got := strings.Count(buf.String(), "\n"); got != lines {
+		t.Fatalf("Add after Done emitted %d new line(s):\n%s", got-lines, buf.String())
+	}
+	if n := p.Count(); n != 4 {
+		t.Fatalf("Add after Done moved the counter to %d, want 4", n)
+	}
+	// The final line must carry the done marker.
+	out := strings.TrimSpace(buf.String())
+	last := out[strings.LastIndex(out, "\n")+1:]
+	if !strings.Contains(last, "(done)") {
+		t.Fatalf("final line missing (done): %q", last)
+	}
+}
+
+// TestProgressPercentClamped pins the continuous-mode percentage: with a
+// nonzero nominal total, a counter that loops past it must report 100.0%,
+// not 240%, while the raw n/total numbers keep telling the truth.
+func TestProgressPercentClamped(t *testing.T) {
+	var buf strings.Builder
+	p := NewProgress(&buf, "sweep", 100)
+	p.interval = 0
+	p.Add(240)
+	out := buf.String()
+	if !strings.Contains(out, "240/100") {
+		t.Fatalf("raw counter missing from %q", out)
+	}
+	if !strings.Contains(out, "(100.0%)") {
+		t.Fatalf("percentage not clamped at 100%%: %q", out)
+	}
+	if strings.Contains(out, "240.0%") {
+		t.Fatalf("percentage overflowed 100%%: %q", out)
+	}
+}
+
+// TestHistogramNegativeObserve is the regression test for the sum-corruption
+// bug: a negative duration landed in bucket 0 while dragging sumSim down and
+// (for a first observation) skewing maxSeen, so the snapshot's _sum no
+// longer reconciled with its buckets. Negatives clamp to zero.
+func TestHistogramNegativeObserve(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, time.Second})
+	h.Observe(-time.Hour)
+	h.Observe(-1)
+	h.Observe(500 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Total != 3 {
+		t.Fatalf("total %d, want 3", s.Total)
+	}
+	if s.Counts[0] != 2 || s.Counts[1] != 1 {
+		t.Fatalf("counts %v, want [2 1 0]", s.Counts)
+	}
+	if s.SumNS != int64(500*time.Millisecond) {
+		t.Fatalf("sum %d, want %d (negatives clamped to zero)", s.SumNS, int64(500*time.Millisecond))
+	}
+	if s.MaxNS != int64(500*time.Millisecond) {
+		t.Fatalf("max %d, want %d", s.MaxNS, int64(500*time.Millisecond))
+	}
+}
+
+// TestHistogramReconciliation property-tests the bucket/sum/count contract
+// over seeded random observations (including hostile negatives): for every
+// snapshot, total == Σcounts, sum == Σclamped values, max == max clamped
+// value, and each bucket holds exactly the values its bounds admit.
+func TestHistogramReconciliation(t *testing.T) {
+	src := prng.New(1337)
+	for iter := 0; iter < 50; iter++ {
+		h := NewHistogram(DefaultBuckets)
+		n := 1 + src.Intn(200)
+		var wantSum, wantMax int64
+		wantCounts := make([]uint64, len(DefaultBuckets)+1)
+		for i := 0; i < n; i++ {
+			// Span the full bucket range and beyond, with a 25% chance of a
+			// hostile negative.
+			d := time.Duration(src.Uint64() % uint64(48*time.Hour))
+			if src.Bool(0.25) {
+				d = -d
+			}
+			h.Observe(d)
+			if d < 0 {
+				d = 0
+			}
+			wantSum += int64(d)
+			if int64(d) > wantMax {
+				wantMax = int64(d)
+			}
+			idx := len(DefaultBuckets)
+			for b, bound := range DefaultBuckets {
+				if bound >= d {
+					idx = b
+					break
+				}
+			}
+			wantCounts[idx]++
+		}
+		s := h.Snapshot()
+		var totalFromCounts uint64
+		for _, c := range s.Counts {
+			totalFromCounts += c
+		}
+		if s.Total != uint64(n) || totalFromCounts != uint64(n) {
+			t.Fatalf("iter %d: total %d, Σcounts %d, want %d", iter, s.Total, totalFromCounts, n)
+		}
+		if s.SumNS != wantSum {
+			t.Fatalf("iter %d: sum %d, want %d", iter, s.SumNS, wantSum)
+		}
+		if s.MaxNS != wantMax {
+			t.Fatalf("iter %d: max %d, want %d", iter, s.MaxNS, wantMax)
+		}
+		for b := range wantCounts {
+			if s.Counts[b] != wantCounts[b] {
+				t.Fatalf("iter %d: bucket %d holds %d, want %d", iter, b, s.Counts[b], wantCounts[b])
+			}
+		}
+	}
+}
+
+// TestServeTimeoutsConfigured pins the slow-client protection: the server
+// built by StartServer (and therefore Serve) must carry header/read/idle
+// timeouts so a stalled peer cannot pin a connection on a long-running
+// daemon. The constants are asserted non-zero rather than at exact values —
+// the contract is "bounded", not a specific number.
+func TestServeTimeoutsConfigured(t *testing.T) {
+	if serverReadHeaderTimeout <= 0 || serverReadTimeout <= 0 || serverIdleTimeout <= 0 {
+		t.Fatalf("server timeouts must all be positive: header=%v read=%v idle=%v",
+			serverReadHeaderTimeout, serverReadTimeout, serverIdleTimeout)
+	}
+}
+
+// TestStartServerGracefulShutdown is the regression test for the torn-scrape
+// bug: the closer used srv.Close, which drops in-flight responses mid-body.
+// The closer must let a scrape that is already being written run to
+// completion (Shutdown semantics) before the server goes away.
+func TestStartServerGracefulShutdown(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		once.Do(func() { close(started) })
+		<-release // body tail held until the closer is already running
+		fmt.Fprint(w, "complete-body")
+	})
+	addr, closeSrv, err := StartServer("127.0.0.1:0", mux)
+	if err != nil {
+		t.Skipf("cannot listen on loopback in this environment: %v", err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+
+	<-started
+	closed := make(chan error, 1)
+	go func() { closed <- closeSrv() }()
+	// Give Shutdown a moment to start draining, then release the handler:
+	// with the old Close-based closer the connection is already severed here
+	// and the client sees a truncated body.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight scrape failed across shutdown: %v", r.err)
+	}
+	if r.body != "complete-body" {
+		t.Fatalf("in-flight scrape truncated: got %q", r.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("closer: %v", err)
+	}
+	// The listener must be gone: a fresh request fails fast.
+	if _, err := http.Get("http://" + addr + "/slow"); err == nil {
+		t.Fatal("server still accepting connections after close")
+	}
+}

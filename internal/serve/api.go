@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"openhire/internal/obs"
+)
+
+// NewMux builds the daemon's query mux:
+//
+//	/api/exposure  — per-protocol exposure tables (current / complete / total)
+//	/api/trends    — the attack-trend time series, one row per simulated day
+//	/api/correlate — misconfiguration/attacker correlation join counts
+//	/api/status    — watermark + resolved run parameters
+//	/metrics       — the obs registry (JSON, ?format=prom), when reg != nil
+//	/debug/pprof/  — the standard pprof handlers
+//
+// Every /api handler serves a pre-rendered body from the publisher's current
+// snapshot — a pointer load, no locks, no live state — and answers 503 until
+// the first cycle commits. Scrape traffic therefore cannot perturb the run:
+// the zero-perturbation equivalence tests hammer these endpoints while a
+// cycle loop runs and assert byte-identical artifacts.
+func NewMux(p *Publisher, reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/exposure", snapshotHandler(p, func(s *Published) []byte { return s.Exposure }))
+	mux.HandleFunc("/api/trends", snapshotHandler(p, func(s *Published) []byte { return s.Trends }))
+	mux.HandleFunc("/api/correlate", snapshotHandler(p, func(s *Published) []byte { return s.Correlate }))
+	mux.HandleFunc("/api/status", snapshotHandler(p, func(s *Published) []byte { return s.Status }))
+	if reg != nil {
+		mux.HandleFunc("/metrics", reg.MetricsHandler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// snapshotHandler serves one pre-rendered body from the current snapshot.
+func snapshotHandler(p *Publisher, body func(*Published) []byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s := p.Snapshot()
+		if s == nil {
+			http.Error(w, "no cycle committed yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body(s))
+	}
+}

@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"openhire/internal/attack"
+	"openhire/internal/attack/malware"
+	"openhire/internal/checkpoint"
+	"openhire/internal/checkpoint/crashpoint"
+	"openhire/internal/core/scan"
+	"openhire/internal/geo"
+	"openhire/internal/honeypot"
+	"openhire/internal/intel"
+	"openhire/internal/iot"
+	"openhire/internal/netsim"
+	"openhire/internal/obs"
+	"openhire/internal/prng"
+	"openhire/internal/telescope"
+)
+
+// monthDays is the length of one attack month in cycles: the daemon replays
+// the paper's calibrated month over and over, reseeding per month.
+const monthDays = attack.ExperimentDays
+
+// DefaultSegmentsPerCycle is how many scan segment commits one cycle drains.
+const DefaultSegmentsPerCycle = 4
+
+// errPause is the onCommit sentinel that stops the segmented scanner after
+// this cycle's segment allowance; the committed state resumes next cycle.
+var errPause = errors.New("serve: pause sweep until next cycle")
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Seed drives every leg. Month m reseeds the campaign and darknet with
+	// Hash64("serve-month", m); sweep s reseeds the scan permutation with
+	// Hash64("serve-sweep", s) — so cycles far apart stay decorrelated while
+	// remaining pure functions of (Seed, Config).
+	Seed uint64
+	// Prefix is the scanned (and attack-sourced) IoT population range.
+	Prefix netsim.Prefix
+	// Boost is the universe density boost (0 = 16).
+	Boost float64
+	// Workers is per-leg concurrency (0 = 64).
+	Workers int
+	// Intensity scales the attack month's event volume (0 = 1/16).
+	Intensity float64
+	// Scale divides the telescope's paper volumes (0 = 1/8192).
+	Scale float64
+	// SegmentsPerCycle is the scan segment commits drained per cycle
+	// (0 = DefaultSegmentsPerCycle).
+	SegmentsPerCycle int
+	// SegmentTargets sizes each scan segment (0 = scan default).
+	SegmentTargets int
+	// CheckpointDir, when set, commits durable state every cycle; Resume
+	// continues from the checkpoint found there (fresh start if none).
+	CheckpointDir string
+	Resume        bool
+	// Registry, when set, receives watermark gauges at each cycle commit.
+	Registry *obs.Registry
+	// OnPublish, when set, is called with each published snapshot after the
+	// cycle's checkpoint (if any) is durable. It runs on the single-threaded
+	// cycle driver; tests hang determinism probes here.
+	OnPublish func(*Published)
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Boost == 0 {
+		c.Boost = 16
+	}
+	if c.Workers == 0 {
+		c.Workers = 64
+	}
+	if c.Intensity == 0 {
+		c.Intensity = 1.0 / 16
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0 / 8192
+	}
+	if c.SegmentsPerCycle <= 0 {
+		c.SegmentsPerCycle = DefaultSegmentsPerCycle
+	}
+	return c
+}
+
+// monthState is the attack month's live world: honeypot fabric, telescope
+// and darknet generator, all seeded for the current month and discarded at
+// the month boundary. Rebuilt on restore by replaying construction.
+type monthState struct {
+	clock   *netsim.SimClock
+	network *netsim.Network
+	pots    []*honeypot.Honeypot
+	log     *honeypot.Log
+	tel     *telescope.Telescope
+	gen     *attack.DarknetGenerator
+}
+
+// serveCheckpoint is the daemon's durable state, committed at every cycle
+// boundary where all three legs are quiescent. The worlds are rebuilt by
+// replaying construction (pure functions of seed and month/sweep index), so
+// the state is just the resumable leg positions plus the aggregates.
+type serveCheckpoint struct {
+	// Cycle is the number of completed cycles.
+	Cycle int `json:"cycle"`
+	// Campaign is the attack scheduler's position (nil at month boundary).
+	Campaign *attack.CampaignResume `json:"campaign,omitempty"`
+	// Scan is the segmented scanner's position (nil between sweeps).
+	Scan *scan.SegmentedState `json:"scan,omitempty"`
+	// Events is the current month's honeypot log in canonical JSONL form
+	// ("" at a month boundary).
+	Events string `json:"events,omitempty"`
+	// Agg is the complete derived state.
+	Agg *Aggregates `json:"agg"`
+	// Checkpoints records every checkpoint committed before this one.
+	Checkpoints []obs.CheckpointRecord `json:"checkpoints,omitempty"`
+}
+
+// Loop is the cycle driver. All fields are owned by the single goroutine
+// calling Run; concurrent readers only ever see the Publisher's snapshots.
+type Loop struct {
+	cfg Config
+	pub *Publisher
+	agg *Aggregates
+
+	// Shared across months and sweeps: the scanned population and the geo
+	// database are seed-global, like the batch binaries'.
+	universe *iot.Universe
+	geodb    *geo.DB
+	scanNet  *netsim.Network
+	modules  []scan.ProbeModule
+
+	cycle          int
+	month          *monthState
+	campaignResume *attack.CampaignResume
+	scanner        *scan.Scanner
+	scanState      *scan.SegmentedState
+	ckpts          []obs.CheckpointRecord
+}
+
+// New builds a Loop (fresh, cycle 0). Call Restore before Run to continue
+// from a checkpoint.
+func New(cfg Config) *Loop {
+	cfg = cfg.withDefaults()
+	universe := iot.NewUniverse(iot.UniverseConfig{
+		Seed: cfg.Seed, Prefix: cfg.Prefix, DensityBoost: cfg.Boost,
+	})
+	scanNet := netsim.NewNetwork(netsim.NewSimClock(netsim.ExperimentStart))
+	scanNet.AddProvider(cfg.Prefix, universe)
+	return &Loop{
+		cfg:      cfg,
+		pub:      &Publisher{},
+		agg:      &Aggregates{},
+		universe: universe,
+		geodb:    geo.NewDB(cfg.Seed, nil),
+		scanNet:  scanNet,
+		modules:  scan.AllModules(),
+	}
+}
+
+// Publisher returns the snapshot publisher the API handlers read.
+func (l *Loop) Publisher() *Publisher { return l.pub }
+
+// Cycle returns the number of completed cycles.
+func (l *Loop) Cycle() int { return l.cycle }
+
+// Checkpoints returns the records committed so far (for the manifest).
+func (l *Loop) Checkpoints() []obs.CheckpointRecord { return l.ckpts }
+
+// monthSeed derives month m's campaign/darknet seed.
+func (l *Loop) monthSeed(m int) uint64 {
+	return prng.New(l.cfg.Seed).Hash64(prng.HashString("serve-month"), uint64(m))
+}
+
+// sweepSeed derives sweep s's scan permutation seed.
+func (l *Loop) sweepSeed(s int) uint64 {
+	return prng.New(l.cfg.Seed).Hash64(prng.HashString("serve-sweep"), uint64(s))
+}
+
+// buildMonth replays month m's world construction: a fresh clock and fabric,
+// the six honeypots, the telescope, and a darknet generator whose Sources
+// instance shares the month seed (DeriveInfected is position-independent, so
+// the generator's infected Telnet scanners are the same devices the campaign
+// infects — the Section 5.3 cross-dataset joins stay faithful).
+func (l *Loop) buildMonth(m int) *monthState {
+	ms := l.monthSeed(m)
+	clock := netsim.NewSimClock(netsim.ExperimentStart)
+	network := netsim.NewNetwork(clock)
+	network.AddProvider(l.cfg.Prefix, l.universe)
+	pots, log := honeypot.DeployAll(network, netsim.MustParseIPv4("130.226.56.10"))
+	tel := telescope.New(netsim.MustParsePrefix("44.0.0.0/8"), l.geodb)
+	gen := attack.NewDarknetGenerator(attack.DarknetConfig{
+		Seed:      ms,
+		Telescope: tel,
+		Sources:   attack.NewSources(ms, l.universe, nil, nil),
+		GeoDB:     l.geodb,
+		Scale:     l.cfg.Scale,
+		Days:      monthDays,
+		Workers:   l.cfg.Workers,
+	})
+	return &monthState{clock: clock, network: network, pots: pots, log: log, tel: tel, gen: gen}
+}
+
+// Restore loads the checkpoint from cfg.CheckpointDir, if one exists, and
+// rebuilds the live worlds around it. Returns whether a checkpoint was found.
+func (l *Loop) Restore() (bool, error) {
+	st := &serveCheckpoint{Agg: l.agg}
+	recd, err := checkpoint.Load(l.cfg.CheckpointDir, "serve", l.cfg.Seed, st)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	// Re-derive the record's position name from the restored history, so
+	// checkpoint chains are kill-history independent.
+	recd.Name = fmt.Sprintf("cycle%04d", len(st.Checkpoints))
+	st.Checkpoints = append(st.Checkpoints, recd)
+	l.cycle = st.Cycle
+	l.agg = st.Agg
+	l.campaignResume = st.Campaign
+	l.scanState = st.Scan
+	l.ckpts = st.Checkpoints
+	if l.cycle%monthDays != 0 {
+		// Mid-month: rebuild the month world and replay the committed days'
+		// events into the log (append order is free — every consumer sorts).
+		l.month = l.buildMonth(l.cycle / monthDays)
+		evs, err := honeypot.ImportJSONL(strings.NewReader(st.Events))
+		if err != nil {
+			return false, fmt.Errorf("checkpoint events: %w", err)
+		}
+		for _, ev := range evs {
+			l.month.log.Append(ev)
+		}
+	}
+	// Publish the restored position immediately: the API answers from the
+	// committed watermark while the next cycle runs.
+	return true, l.publish()
+}
+
+// Run drives cycles until ctx is cancelled or, when cycles > 0, the total
+// completed-cycle count reaches cycles (a resumed run continues toward the
+// same target). Cancellation is honored at cycle boundaries only — a cycle's
+// legs always run to their commit barrier, so determinism never depends on
+// when the signal lands.
+func (l *Loop) Run(ctx context.Context, cycles int) error {
+	for cycles <= 0 || l.cycle < cycles {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err := l.runCycle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCycle executes one simulated day across all three legs and commits.
+func (l *Loop) runCycle() error {
+	m, d := l.cycle/monthDays, l.cycle%monthDays
+	if l.month == nil {
+		l.month = l.buildMonth(m)
+	}
+
+	// Attack leg: one campaign day. The seeded world (pools, plans, intel
+	// services) is rebuilt each cycle by replaying construction — Sources is
+	// stateful, so only a fresh instance replays the same pool builds — and
+	// the scheduler position chains through Resume.
+	ms := l.monthSeed(m)
+	rdns := geo.NewRDNS(ms)
+	gn := intel.NewGreyNoise(ms, 0.81)
+	vt := intel.NewVirusTotal()
+	sources := attack.NewSources(ms, l.universe, rdns, gn)
+	var captured attack.CampaignResume
+	var campaign *attack.Campaign
+	campaign = attack.NewCampaign(attack.CampaignConfig{
+		Seed:       ms,
+		Network:    l.month.network,
+		Honeypots:  l.month.pots,
+		Universe:   l.universe,
+		Sources:    sources,
+		Corpus:     malware.NewCorpus(ms, nil),
+		Intensity:  l.cfg.Intensity,
+		Workers:    l.cfg.Workers,
+		Clock:      l.month.clock,
+		GreyNoise:  gn,
+		VirusTotal: vt,
+		RDNS:       rdns,
+		Resume:     l.campaignResume,
+		Days:       1,
+		OnDay: func(day, planned, run int) {
+			captured = campaign.SchedulerState(day, planned, run)
+		},
+	})
+	// context.Background() deliberately: a mid-day cancel would tear the
+	// fabric mid-flight and break byte-identity. Run's boundary check is the
+	// only cancellation point.
+	campaign.Run(context.Background())
+	l.campaignResume = &captured
+
+	// Telescope leg: generate and drain the darknet day, folding volume and
+	// rotation buckets into the day's trend row.
+	l.month.gen.RunDay(d)
+	flows := l.month.tel.Drain()
+	l.agg.FoldTelescopeDay(l.cycle, attack.DayStart(d), flows)
+
+	// Honeypot trends: re-derive the month's rows from the canonical log.
+	events := l.month.log.Events()
+	honeypot.SortEventsCanonical(events)
+	l.agg.FoldMonthEvents(m, d, events)
+
+	// Scan leg: drain this cycle's segment allowance.
+	if err := l.stepScan(); err != nil {
+		return err
+	}
+
+	if d == monthDays-1 {
+		// Month complete: the world is discarded; next cycle reseeds.
+		l.month = nil
+		l.campaignResume = nil
+	}
+	l.cycle++
+	return l.commit(events)
+}
+
+// stepScan advances the in-flight sweep by up to SegmentsPerCycle segment
+// commits, folding each drained segment into the exposure tables. A sweep
+// that finishes inside the allowance closes out; the next cycle starts the
+// next sweep with a fresh permutation seed.
+func (l *Loop) stepScan() error {
+	if l.scanner == nil {
+		l.scanner = scan.NewScanner(scan.Config{
+			Network:   l.scanNet,
+			Source:    netsim.MustParseIPv4("130.226.0.1"),
+			Prefix:    l.cfg.Prefix,
+			Seed:      l.sweepSeed(l.agg.Exposure.Sweep),
+			Workers:   l.cfg.Workers,
+			OnSegment: l.agg.FoldSegment,
+		})
+	}
+	segs := 0
+	onCommit := func(st *scan.SegmentedState) error {
+		l.scanState = st
+		segs++
+		if segs >= l.cfg.SegmentsPerCycle {
+			return errPause
+		}
+		return nil
+	}
+	_, _, err := l.scanner.RunSegmented(context.Background(), l.modules, l.scanState, l.cfg.SegmentTargets, onCommit)
+	switch {
+	case err == nil:
+		l.agg.FinishSweep()
+		l.scanner = nil
+		l.scanState = nil
+	case errors.Is(err, errPause):
+		// Sweep paused mid-prefix; l.scanState resumes it next cycle.
+	default:
+		return err
+	}
+	return nil
+}
+
+// commit makes the finished cycle durable (when checkpointing) and publishes
+// the snapshot — in that order, so a published watermark is always backed by
+// a checkpoint at least as new.
+func (l *Loop) commit(events []honeypot.Event) error {
+	if l.cfg.CheckpointDir != "" {
+		st := serveCheckpoint{
+			Cycle:       l.cycle,
+			Campaign:    l.campaignResume,
+			Scan:        l.scanState,
+			Agg:         l.agg,
+			Checkpoints: l.ckpts,
+		}
+		if l.month != nil {
+			var buf bytes.Buffer
+			if err := honeypot.ExportJSONL(&buf, events); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+			st.Events = buf.String()
+		}
+		name := fmt.Sprintf("cycle%04d", len(l.ckpts))
+		recd, err := checkpoint.Save(l.cfg.CheckpointDir, "serve", name, l.cfg.Seed, &st)
+		if err != nil {
+			return err
+		}
+		l.ckpts = append(l.ckpts, recd)
+		crashpoint.Here(crashpoint.SiteServeCycleCommit)
+	}
+	return l.publish()
+}
+
+// publish renders and swaps in the snapshot for the current position.
+func (l *Loop) publish() error {
+	snap, err := render(l.agg, l.cycle, statusBody{
+		Seed:             l.cfg.Seed,
+		Prefix:           l.cfg.Prefix.String(),
+		Intensity:        l.cfg.Intensity,
+		Scale:            l.cfg.Scale,
+		SegmentsPerCycle: l.cfg.SegmentsPerCycle,
+		SegmentTargets:   l.cfg.SegmentTargets,
+	})
+	if err != nil {
+		return err
+	}
+	l.pub.Publish(snap)
+	if reg := l.cfg.Registry; reg != nil {
+		w := snap.Watermark
+		reg.SetGauge("serve.cycle", float64(w.Cycle))
+		reg.SetGauge("serve.sweeps_complete", float64(w.SweepsComplete))
+		reg.SetGauge("serve.targets_fed", float64(w.TargetsFed))
+		reg.SetGauge("serve.attack_events", float64(w.AttackEvents))
+		reg.SetGauge("serve.telescope_flows", float64(w.TelescopeFlows))
+	}
+	if l.cfg.OnPublish != nil {
+		l.cfg.OnPublish(snap)
+	}
+	return nil
+}
+
+// AggregatesJSON renders the -out artifact: watermark, full aggregate state
+// and the correlation joins, newline-terminated. Byte-identical for a given
+// (seed, config, cycle) across runs, worker counts and kill/resume.
+func (l *Loop) AggregatesJSON() ([]byte, error) {
+	return marshalBody(struct {
+		Watermark   Watermark   `json:"watermark"`
+		Aggregates  *Aggregates `json:"aggregates"`
+		Correlation Correlation `json:"correlation"`
+	}{l.agg.Watermark(l.cycle), l.agg, l.agg.Correlation()})
+}

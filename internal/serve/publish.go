@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync/atomic"
+)
+
+// Published is one immutable query-API snapshot: every endpoint's body is
+// pre-rendered at publish time, so serving a request is a pointer load plus
+// a buffer write — arbitrary concurrent readers never touch the cycle
+// driver's live state, and a snapshot's bytes for a given watermark are
+// identical across runs, worker counts and kill/resume cycles.
+type Published struct {
+	Watermark Watermark
+	// Exposure, Trends, Correlate and Status are the rendered JSON bodies.
+	Exposure  []byte
+	Trends    []byte
+	Correlate []byte
+	Status    []byte
+}
+
+// Publisher hands immutable snapshots from the cycle driver to the API
+// handlers, copy-on-write: the driver renders a fresh Published and swaps
+// the pointer; readers load whatever snapshot is current. Same pattern as
+// the netsim lookup tables — writers never mutate what readers hold.
+type Publisher struct {
+	cur atomic.Pointer[Published]
+}
+
+// Publish swaps in a new snapshot.
+func (p *Publisher) Publish(s *Published) { p.cur.Store(s) }
+
+// Snapshot returns the current snapshot, or nil before the first publish.
+func (p *Publisher) Snapshot() *Published { return p.cur.Load() }
+
+// statusBody is the /api/status rendering: the watermark plus the resolved
+// run parameters, so a client can tell which (seed, config, watermark)
+// triple a response belongs to.
+type statusBody struct {
+	Watermark Watermark `json:"watermark"`
+	Seed      uint64    `json:"seed"`
+	Prefix    string    `json:"prefix"`
+	Intensity float64   `json:"intensity"`
+	Scale     float64   `json:"scale"`
+	// SegmentsPerCycle and SegmentTargets describe the scan cadence.
+	SegmentsPerCycle int `json:"segments_per_cycle"`
+	SegmentTargets   int `json:"segment_targets"`
+}
+
+// exposureBody is the /api/exposure rendering.
+type exposureBody struct {
+	Watermark Watermark     `json:"watermark"`
+	Exposure  ExposureState `json:"exposure"`
+}
+
+// trendsBody is the /api/trends rendering.
+type trendsBody struct {
+	Watermark Watermark  `json:"watermark"`
+	Trends    TrendState `json:"trends"`
+}
+
+// correlateBody is the /api/correlate rendering.
+type correlateBody struct {
+	Watermark   Watermark   `json:"watermark"`
+	Correlation Correlation `json:"correlation"`
+}
+
+// render builds the immutable snapshot for the aggregate state after cycle
+// completed cycles. Marshalling deep-copies everything the handlers will
+// ever see, so the driver is free to keep mutating the live aggregates.
+func render(a *Aggregates, cycle int, st statusBody) (*Published, error) {
+	w := a.Watermark(cycle)
+	st.Watermark = w
+	out := &Published{Watermark: w}
+	var err error
+	if out.Exposure, err = marshalBody(exposureBody{w, a.Exposure}); err != nil {
+		return nil, err
+	}
+	if out.Trends, err = marshalBody(trendsBody{w, a.Trends}); err != nil {
+		return nil, err
+	}
+	if out.Correlate, err = marshalBody(correlateBody{w, a.Correlation()}); err != nil {
+		return nil, err
+	}
+	if out.Status, err = marshalBody(st); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// marshalBody renders one endpoint body: indented for humans, newline-
+// terminated for curl.
+func marshalBody(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"openhire/internal/netsim"
+	"openhire/internal/obs"
+)
+
+// testConfig is the small-world daemon config the tests share: a /24
+// population, fractional attack intensity and telescope scale, and a scan
+// cadence that leaves a sweep in flight across cycle boundaries.
+func testConfig(workers int) Config {
+	return Config{
+		Seed:             11,
+		Prefix:           netsim.MustParsePrefix("100.0.0.0/24"),
+		Boost:            16,
+		Workers:          workers,
+		Intensity:        0.002,
+		Scale:            0.0002,
+		SegmentsPerCycle: 2,
+		SegmentTargets:   64,
+	}
+}
+
+// collect runs a fresh loop for cycles cycles and returns every published
+// snapshot keyed by its watermark cycle.
+func collect(t *testing.T, cfg Config, cycles int) map[int]*Published {
+	t.Helper()
+	snaps := make(map[int]*Published)
+	cfg.OnPublish = func(s *Published) { snaps[s.Watermark.Cycle] = s }
+	l := New(cfg)
+	if err := l.Run(context.Background(), cycles); err != nil {
+		t.Fatal(err)
+	}
+	return snaps
+}
+
+// sameSnapshot asserts every endpoint body matches between two snapshots.
+func sameSnapshot(t *testing.T, label string, want, got *Published) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: missing snapshot (want %v, got %v)", label, want != nil, got != nil)
+	}
+	for _, b := range []struct {
+		name      string
+		want, got []byte
+	}{
+		{"exposure", want.Exposure, got.Exposure},
+		{"trends", want.Trends, got.Trends},
+		{"correlate", want.Correlate, got.Correlate},
+		{"status", want.Status, got.Status},
+	} {
+		if !bytes.Equal(b.want, b.got) {
+			t.Errorf("%s: /api/%s bodies differ:\n want: %s\n got:  %s", label, b.name, b.want, b.got)
+		}
+	}
+}
+
+// TestSnapshotsWorkerCountIndependent asserts every published snapshot — not
+// just the final one — is byte-identical across worker counts: the aggregates
+// fold canonical (order-normalized) leg outputs on the single-threaded cycle
+// driver, so scheduling never leaks into the API.
+func TestSnapshotsWorkerCountIndependent(t *testing.T) {
+	const cycles = 3
+	golden := collect(t, testConfig(9), cycles)
+	if len(golden) != cycles {
+		t.Fatalf("published %d snapshots, want %d", len(golden), cycles)
+	}
+	for _, workers := range []int{1, 7} {
+		snaps := collect(t, testConfig(workers), cycles)
+		for c := 1; c <= cycles; c++ {
+			sameSnapshot(t, fmt.Sprintf("workers=%d cycle=%d", workers, c), golden[c], snaps[c])
+		}
+	}
+}
+
+// TestSweepCompletionFolds drives enough segments per cycle for whole sweeps
+// to finish, and asserts the exposure table actually rolls over: completed
+// sweeps accumulate into the totals and the misconfiguration classifier sees
+// real responders (the /24 at boost 16 exposes a few hundred endpoints).
+func TestSweepCompletionFolds(t *testing.T) {
+	cfg := testConfig(9)
+	cfg.SegmentsPerCycle = 10000 // a whole sweep per cycle
+	cfg.SegmentTargets = 512
+	var last *Published
+	cfg.OnPublish = func(s *Published) { last = s }
+	l := New(cfg)
+	if err := l.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if last.Watermark.SweepsComplete != 2 {
+		t.Fatalf("sweeps complete = %d, want 2", last.Watermark.SweepsComplete)
+	}
+	if l.agg.Exposure.Total == nil || l.agg.Exposure.Complete == nil {
+		t.Fatal("no exposure tables after two complete sweeps")
+	}
+	var misconfigured, responded uint64
+	for _, e := range l.agg.Exposure.Total {
+		misconfigured += e.Misconfigured
+		responded += e.Responded
+	}
+	if responded == 0 || misconfigured == 0 {
+		t.Fatalf("total exposure: responded=%d misconfigured=%d, want both > 0", responded, misconfigured)
+	}
+	if got := l.agg.Correlation().Misconfigured; got == 0 {
+		t.Fatal("no misconfigured devices in the correlation set after a full sweep")
+	}
+}
+
+// TestKillResumeSnapshots asserts a checkpointed daemon killed between cycles
+// and restored by a fresh Loop publishes byte-identical snapshots: the
+// restored position's immediate re-publish matches the killed run's last
+// commit, and the continued cycles match an uninterrupted golden run.
+func TestKillResumeSnapshots(t *testing.T) {
+	const total = 3
+	golden := collect(t, testConfig(9), total)
+
+	dir := t.TempDir()
+	cfg := testConfig(9)
+	cfg.CheckpointDir = dir
+	first := New(cfg)
+	if err := first.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different worker count after the "kill" — resume must not care.
+	cfg = testConfig(4)
+	cfg.CheckpointDir = dir
+	snaps := make(map[int]*Published)
+	cfg.OnPublish = func(s *Published) { snaps[s.Watermark.Cycle] = s }
+	second := New(cfg)
+	found, err := second.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("Restore found no checkpoint")
+	}
+	if second.Cycle() != 2 {
+		t.Fatalf("restored at cycle %d, want 2", second.Cycle())
+	}
+	sameSnapshot(t, "restored re-publish", golden[2], snaps[2])
+	if err := second.Run(context.Background(), total); err != nil {
+		t.Fatal(err)
+	}
+	sameSnapshot(t, "resumed cycle 3", golden[3], snaps[3])
+
+	aggJSON, err := second.AggregatesJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uninterrupted := New(testConfig(9))
+	if err := uninterrupted.Run(context.Background(), total); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := uninterrupted.AggregatesJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aggJSON, wantJSON) {
+		t.Errorf("resumed AggregatesJSON differs from uninterrupted run")
+	}
+}
+
+// TestAPIBeforeFirstCommit asserts every /api endpoint answers 503 until a
+// cycle commits.
+func TestAPIBeforeFirstCommit(t *testing.T) {
+	l := New(testConfig(1))
+	addr, closer, err := obs.StartServer("127.0.0.1:0", NewMux(l.Publisher(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = closer() }()
+	for _, ep := range []string{"/api/exposure", "/api/trends", "/api/correlate", "/api/status"} {
+		resp, err := http.Get("http://" + addr + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s before first commit: status %d, want 503", ep, resp.StatusCode)
+		}
+	}
+}
+
+// TestConcurrentScrapeZeroPerturbation hammers every query endpoint from
+// concurrent scrapers while the cycle loop runs, and asserts (a) every
+// response is a complete JSON body from some committed watermark, and (b) the
+// final aggregates are byte-identical to an unobserved run — the scrape load
+// cannot perturb the measurement. Run under -race this also proves the
+// publisher handoff is race-free.
+func TestConcurrentScrapeZeroPerturbation(t *testing.T) {
+	const cycles = 3
+	bare := New(testConfig(9))
+	if err := bare.Run(context.Background(), cycles); err != nil {
+		t.Fatal(err)
+	}
+	want, err := bare.AggregatesJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(9)
+	cfg.Registry = obs.NewRegistry()
+	l := New(cfg)
+	addr, closer, err := obs.StartServer("127.0.0.1:0", NewMux(l.Publisher(), cfg.Registry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = closer() }()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	endpoints := []string{"/api/exposure", "/api/trends", "/api/correlate", "/api/status",
+		"/metrics", "/metrics?format=prom"}
+	errCh := make(chan error, len(endpoints))
+	for _, ep := range endpoints {
+		wg.Add(1)
+		go func(ep string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + addr + ep)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("%s: status %d", ep, resp.StatusCode)
+					return
+				}
+				// API bodies are newline-terminated by construction; a
+				// missing terminator means a torn read. The registry may
+				// legitimately serve an empty prom body before any gauge
+				// is set.
+				if strings.HasPrefix(ep, "/api/") && (len(body) == 0 || body[len(body)-1] != '\n') {
+					errCh <- fmt.Errorf("%s: truncated body (%d bytes)", ep, len(body))
+					return
+				}
+			}
+		}(ep)
+	}
+	runErr := l.Run(context.Background(), cycles)
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	got, err := l.AggregatesJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("scraped run's aggregates differ from unobserved run")
+	}
+}
+
+// TestIPSetRoundTrip asserts the deterministic marshal form and that an
+// empty set survives a JSON round trip as nil (checkpoint byte-identity for
+// fresh vs restored-empty state).
+func TestIPSetRoundTrip(t *testing.T) {
+	var s IPSet
+	s.Add(netsim.MustParseIPv4("10.0.0.2"))
+	s.Add(netsim.MustParseIPv4("10.0.0.1"))
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("[%d,%d]", uint32(netsim.MustParseIPv4("10.0.0.1")), uint32(netsim.MustParseIPv4("10.0.0.2")))
+	if string(data) != want {
+		t.Fatalf("marshal = %s, want %s", data, want)
+	}
+	var back IPSet
+	if err := back.UnmarshalJSON([]byte("[]")); err != nil {
+		t.Fatal(err)
+	}
+	if back != nil {
+		t.Fatal("empty set did not round-trip to nil")
+	}
+}

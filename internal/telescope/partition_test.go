@@ -1,0 +1,54 @@
+package telescope
+
+import (
+	"testing"
+	"time"
+
+	"openhire/internal/netsim"
+)
+
+// TestPartitionByHour asserts the per-hour split windows exactly like
+// HourlyBuckets — bucket i's packet total equals the flows grouped into slot
+// i — drops flows outside [start, start+hours h), keeps relative order, and
+// never loses an in-window flow.
+func TestPartitionByHour(t *testing.T) {
+	start := netsim.ExperimentStart
+	mk := func(offset time.Duration, pkts uint32, src uint32) *FlowTuple {
+		return &FlowTuple{Time: start.Add(offset), PacketCnt: pkts,
+			SrcIP: netsim.IPv4(src), DstPort: 23, Protocol: ProtoTCP}
+	}
+	flows := []*FlowTuple{
+		mk(-time.Minute, 9, 1),            // before the window: dropped
+		mk(0, 2, 2),                       // hour 0, first
+		mk(30*time.Minute, 3, 3),          // hour 0, second
+		mk(time.Hour, 5, 4),               // hour 1
+		mk(2*time.Hour+time.Minute, 7, 5), // hour 2
+		mk(3*time.Hour, 11, 6),            // past the window: dropped
+	}
+	const hours = 3
+	parts := PartitionByHour(flows, start, hours)
+	if len(parts) != hours {
+		t.Fatalf("%d slots, want %d", len(parts), hours)
+	}
+	wantLens := []int{2, 1, 1}
+	for h, want := range wantLens {
+		if len(parts[h]) != want {
+			t.Fatalf("hour %d holds %d flows, want %d", h, len(parts[h]), want)
+		}
+	}
+	if parts[0][0].SrcIP != 2 || parts[0][1].SrcIP != 3 {
+		t.Fatalf("hour 0 order not preserved: %v, %v", parts[0][0].SrcIP, parts[0][1].SrcIP)
+	}
+
+	// Reconcile against HourlyBuckets: same windowing, packet totals agree.
+	buckets := HourlyBuckets(flows, start, hours)
+	for h := 0; h < hours; h++ {
+		var sum uint64
+		for _, ft := range parts[h] {
+			sum += uint64(ft.PacketCnt)
+		}
+		if sum != buckets[h] {
+			t.Fatalf("hour %d: partition total %d, HourlyBuckets %d", h, sum, buckets[h])
+		}
+	}
+}

@@ -561,9 +561,31 @@ func UniqueSources(flows []*FlowTuple) []netsim.IPv4 {
 func HourlyBuckets(flows []*FlowTuple, start time.Time, hours int) []uint64 {
 	out := make([]uint64, hours)
 	for _, ft := range flows {
+		// Duration division truncates toward zero, so a flow inside
+		// (start-1h, start) would otherwise alias into bucket 0.
+		if ft.Time.Before(start) {
+			continue
+		}
 		h := int(ft.Time.Sub(start) / time.Hour)
 		if h >= 0 && h < hours {
 			out[h] += uint64(ft.PacketCnt)
+		}
+	}
+	return out
+}
+
+// PartitionByHour splits flows into per-hour groups from start: slot i holds
+// the flows with start+i h <= Time < start+(i+1) h, each group preserving the
+// input's relative order. Flows outside [start, start+hours h) are dropped —
+// same windowing as HourlyBuckets, but the flows themselves survive for
+// downstream per-hour aggregation (the serve daemon's rotation cadence needs
+// the tuples, not just the packet totals).
+func PartitionByHour(flows []*FlowTuple, start time.Time, hours int) [][]*FlowTuple {
+	out := make([][]*FlowTuple, hours)
+	for _, ft := range flows {
+		h := int(ft.Time.Sub(start) / time.Hour)
+		if h >= 0 && h < hours && !ft.Time.Before(start) {
+			out[h] = append(out[h], ft)
 		}
 	}
 	return out

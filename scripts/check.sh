@@ -12,7 +12,9 @@
 #      (instrumented runs — registry, tracer, progress, day/unit hooks and
 #      the flight recorder — byte-identical to bare runs) under the race
 #      detector; includes the trace determinism tests (identical JSONL
-#      across worker counts)
+#      across worker counts); then the service gate — the serve daemon's
+#      snapshot determinism across worker counts and kill/resume, and the
+#      concurrent-scrape zero-perturbation test, under the race detector
 #   5. the chaos gate: the fault-model equivalence tests (zero-fault noop,
 #      cross-worker determinism, ±2% calibrated classification drift) under
 #      the race detector, plus a short fuzz smoke over the Telnet and MQTT
@@ -22,7 +24,10 @@
 #      killed at every registered crashpoint, resumed, and byte-compared
 #      against an uninterrupted golden run; --fast sweeps only the three
 #      mid-leg commit sites (go test -short)
-#   7. the inspect smoke: build openhire-scan + openhire-inspect, run the
+#   7. the serve smoke (scripts/serve_smoke.sh): openhire-serve end to end —
+#      kill/resume byte-identity of the aggregates artifact, the live query
+#      API answering mid-run, and a graceful SIGINT shutdown; then the
+#      inspect smoke: build openhire-scan + openhire-inspect, run the
 #      scan leg twice with the same seed (traced) plus once bare, and
 #      require empty manifest/trace self-diffs, byte-identical result
 #      artifacts with tracing on and off, and a working summarize/prom
@@ -62,6 +67,9 @@ go test -race ./internal/netsim/... ./internal/core/scan/... \
 echo "==> observability gate: zero-perturbation + trace determinism under -race"
 go test -race ./internal/obs/... ./internal/expr/
 
+echo "==> service gate: serve aggregation determinism + concurrent scrape under -race"
+go test -race ./internal/serve/
+
 echo "==> chaos gate: fault-model equivalence under -race"
 go test -race -run 'TestChaos|TestBackoff|TestScanCancel' \
 	./internal/core/scan/ ./internal/core/classify/
@@ -88,6 +96,9 @@ else
 	echo "==> crash gate: kill-and-resume sweep, commit sites only (--fast)"
 	go test -race -count=1 -short ./internal/checkpoint/...
 fi
+
+echo "==> serve smoke: daemon kill/resume byte-identity + live API + graceful SIGINT"
+./scripts/serve_smoke.sh
 
 echo "==> inspect smoke: fixed-seed run self-diffs clean, tracing is zero-perturbation"
 SMOKE=$(mktemp -d)

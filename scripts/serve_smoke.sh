@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke for the continuous-measurement daemon,
+# used by `make serve-smoke` and scripts/check.sh.
+#
+#   1. golden: an uninterrupted 3-cycle run writes its aggregates artifact
+#   2. kill/resume: a checkpointed run hard-killed at the registered
+#      serve.cycle.commit crashpoint (second hit, exit 87), then a resumed
+#      run (different worker count) continuing to the same 3-cycle target —
+#      the final aggregates must be byte-identical to golden
+#   3. live API: a -cycles 0 daemon with a listener; once a cycle commits,
+#      /api/status and /api/exposure must answer 200 with a coherent
+#      watermark; SIGINT must stop it at the cycle boundary, flush the
+#      artifacts, and exit 0
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+	[ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+	rm -rf "$SMOKE"
+}
+trap cleanup EXIT
+
+go build -o "$SMOKE/" ./cmd/openhire-serve
+FLAGS="-seed 11 -prefix 100.0.0.0/24 -boost 16 -cycles 3 -segments-per-cycle 2 -segment-targets 64 -intensity 0.002 -scale 0.0002"
+mkdir "$SMOKE/golden" "$SMOKE/resume" "$SMOKE/live"
+
+echo "  golden 3-cycle run"
+(cd "$SMOKE/golden" && "$SMOKE/openhire-serve" $FLAGS -workers 9 -out aggregates.json >/dev/null 2>&1)
+
+echo "  kill/resume byte-identity (crashpoint kill at cycle-2 commit, resumed with a different worker count)"
+KILL_RC=0
+(cd "$SMOKE/resume" && OPENHIRE_CRASHPOINT=serve.cycle.commit@2 \
+	"$SMOKE/openhire-serve" $FLAGS -workers 9 -checkpoint ck >/dev/null 2>&1) || KILL_RC=$?
+if [ "$KILL_RC" != "87" ]; then
+	echo "serve smoke: armed crashpoint run exited $KILL_RC, want 87" >&2
+	exit 1
+fi
+(cd "$SMOKE/resume" && "$SMOKE/openhire-serve" $FLAGS -workers 4 -checkpoint ck -resume -out aggregates.json >/dev/null 2>&1)
+cmp "$SMOKE/golden/aggregates.json" "$SMOKE/resume/aggregates.json"
+
+echo "  live query API + graceful SIGINT"
+(cd "$SMOKE/live" && exec "$SMOKE/openhire-serve" ${FLAGS/-cycles 3/-cycles 0} -workers 5 \
+	-addr 127.0.0.1:0 -out aggregates.json -manifest manifest.json >stdout.txt 2>stderr.txt) &
+DAEMON_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+	ADDR=$(sed -n 's#^query API on http://\(.*\)/$#\1#p' "$SMOKE/live/stderr.txt" 2>/dev/null | head -1)
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+	echo "serve smoke: daemon never announced its API address" >&2
+	cat "$SMOKE/live/stderr.txt" >&2
+	exit 1
+fi
+for _ in $(seq 1 100); do
+	grep -q "cycle 1 committed" "$SMOKE/live/stderr.txt" && break
+	sleep 0.1
+done
+STATUS=$(curl -fsS "http://$ADDR/api/status")
+echo "$STATUS" | grep -q '"cycle": [1-9]' || {
+	echo "serve smoke: /api/status watermark has no committed cycle: $STATUS" >&2
+	exit 1
+}
+curl -fsS "http://$ADDR/api/exposure" | grep -q '"watermark"'
+curl -fsS "http://$ADDR/api/trends" >/dev/null
+curl -fsS "http://$ADDR/api/correlate" | grep -q '"misconfigured"'
+kill -INT "$DAEMON_PID"
+WAIT_RC=0
+wait "$DAEMON_PID" || WAIT_RC=$?
+DAEMON_PID=""
+if [ "$WAIT_RC" != "0" ]; then
+	echo "serve smoke: daemon exited $WAIT_RC after SIGINT" >&2
+	cat "$SMOKE/live/stderr.txt" >&2
+	exit 1
+fi
+grep -q "stopped after" "$SMOKE/live/stdout.txt"
+[ -s "$SMOKE/live/aggregates.json" ] && [ -s "$SMOKE/live/manifest.json" ]
+
+echo "  serve smoke OK"
