@@ -1,6 +1,6 @@
 # Developer entry points. `make check` is the gate every PR must pass.
 
-.PHONY: check check-fast build test race chaos crash serve-smoke bench-scan bench-telescope bench-campaign
+.PHONY: check check-fast build test race chaos crash serve-smoke bench-scan bench-telescope bench-campaign bench-serve
 
 check:
 	./scripts/check.sh
@@ -44,8 +44,10 @@ crash:
 	go test -race -count=1 ./internal/checkpoint/...
 
 # serve-smoke drives openhire-serve end to end: golden run, kill/resume
-# byte-identity of the aggregates artifact, and a live daemon answering the
-# query API mid-run before a graceful SIGINT shutdown.
+# byte-identity of the aggregates and time-series artifacts, the inspect
+# timeline renderer in file and live-URL modes, and a live daemon answering
+# the query API (including /api/timeseries) mid-run before a graceful
+# SIGINT shutdown.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
@@ -71,3 +73,12 @@ bench-campaign:
 		-benchtime $(BENCHTIME) -count $(COUNT) ./internal/attack/
 	go test -run '^$$' -bench 'BenchmarkConversationEngine' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/netsim/
+
+# bench-serve reproduces the observatory numbers recorded in BENCH_serve.json:
+# the full daemon cycle (all three legs + tsdb sampling + checkpoint-free
+# commit) and the time-series store's append/publish/query hot path.
+bench-serve:
+	go test -run '^$$' -bench 'BenchmarkServeCycle' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/serve/
+	go test -run '^$$' -bench 'BenchmarkTSDBAppendQuery|BenchmarkViewWalk' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/obs/tsdb/

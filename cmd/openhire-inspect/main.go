@@ -7,6 +7,7 @@
 //	openhire-inspect summarize FILE
 //	openhire-inspect diff A B
 //	openhire-inspect prom MANIFEST
+//	openhire-inspect timeline [-last N] (URL|FILE)
 //
 // summarize prints a human-readable digest of one trace: per-protocol
 // simulated-latency percentiles, the observed retransmit/backoff schedule,
@@ -23,6 +24,10 @@
 // prom re-emits a manifest's counter/gauge/histogram sets in the Prometheus
 // text exposition format (the live equivalent is /metrics?format=prom on a
 // running binary's -debug-addr).
+//
+// timeline renders a serve daemon's time-series observatory — per-cycle
+// leg-duration attribution, trend sparklines and rollup summaries — from a
+// live daemon URL, a serve-tsdb checkpoint file, or a -tsdb-out state file.
 package main
 
 import (
@@ -74,6 +79,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	case "timeline":
+		if err := timelineCmd(os.Stdout, os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -84,7 +94,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   openhire-inspect summarize FILE   digest one trace or manifest
   openhire-inspect diff A B         compare two traces or two manifests (exit 1 on differences)
-  openhire-inspect prom MANIFEST    emit a manifest's metrics in Prometheus text format`)
+  openhire-inspect prom MANIFEST    emit a manifest's metrics in Prometheus text format
+  openhire-inspect timeline [-last N] (URL|FILE)
+                                    render a serve daemon's time-series timeline from a live
+                                    /api/timeseries URL, a serve-tsdb checkpoint, or a -tsdb-out file`)
 }
 
 // artifactKind sniffs whether a file is a JSONL trace or a JSON manifest by

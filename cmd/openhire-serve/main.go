@@ -11,20 +11,26 @@
 //	               [-cycles N] [-segments-per-cycle N] [-segment-targets N]
 //	               [-addr HOST:PORT]
 //	               [-checkpoint DIR] [-resume]
-//	               [-out FILE] [-manifest FILE]
+//	               [-telescope-dir DIR] [-tsdb-retention N] [-no-tsdb]
+//	               [-out FILE] [-tsdb-out FILE] [-manifest FILE]
 //
 // One cycle is one simulated day; every 30 cycles close an attack month and
 // reseed it. -cycles bounds the TOTAL completed-cycle count (0 = run until
 // signalled); a resumed run continues toward the same target. -addr serves
-// /api/exposure, /api/trends, /api/correlate, /api/status, /metrics and
-// /debug/pprof while the daemon runs — handlers read immutable published
-// snapshots, so scrape load cannot perturb the measurement.
+// /api/exposure, /api/trends, /api/correlate, /api/status, /api/timeseries,
+// /metrics and /debug/pprof while the daemon runs — handlers read immutable
+// published snapshots, so scrape load cannot perturb the measurement.
 //
 // -checkpoint commits the daemon's durable state after every cycle;
 // -resume continues a killed daemon from the last committed cycle.
-// SIGINT/SIGTERM stop at the next cycle boundary, write -out/-manifest, and
-// exit 0. For a given (seed, config, watermark), API responses and the -out
-// aggregates are byte-identical across runs, worker counts and kill/resume.
+// -telescope-dir persists each cycle's telescope capture as rotated hourly
+// CSV files; -tsdb-out writes the observatory's sim-deterministic time-series
+// state on exit (readable by openhire-inspect timeline); -no-tsdb disables
+// the observatory entirely. SIGINT/SIGTERM stop at the next cycle boundary,
+// write -out/-tsdb-out/-manifest, and exit 0. For a given (seed, config,
+// watermark), API responses, the -out aggregates, the -tsdb-out state and
+// the hourly capture files are byte-identical across runs, worker counts and
+// kill/resume.
 package main
 
 import (
@@ -56,7 +62,11 @@ func main() {
 		addr      = flag.String("addr", "", "serve the query API on this address (\"\" = no listener)")
 		ckptDir   = flag.String("checkpoint", "", "checkpoint daemon state into this directory every cycle")
 		resume    = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint DIR (fresh start if none exists)")
+		telDir    = flag.String("telescope-dir", "", "persist each cycle's telescope capture as hourly CSV files under this directory")
+		tsdbKeep  = flag.Int("tsdb-retention", 0, "time-series raw retention window in cycles (0 = default)")
+		noTSDB    = flag.Bool("no-tsdb", false, "disable the time-series observatory")
 		outPath   = flag.String("out", "", "write the final aggregates JSON to this file on exit")
+		tsdbOut   = flag.String("tsdb-out", "", "write the sim time-series state JSON to this file on exit")
 		manifest  = flag.String("manifest", "", "write a JSON run manifest to this file on exit")
 	)
 	flag.Parse()
@@ -85,6 +95,9 @@ func main() {
 		SegmentTargets:   *segTgts,
 		CheckpointDir:    *ckptDir,
 		Resume:           *resume,
+		TelescopeDir:     *telDir,
+		TSDBDisabled:     *noTSDB,
+		TSDBRetention:    *tsdbKeep,
 		Registry:         reg,
 		OnPublish: func(s *serve.Published) {
 			fmt.Fprintf(os.Stderr, "cycle %d committed: sweep %d (%d complete), %d attack events, %d telescope flows\n",
@@ -105,7 +118,7 @@ func main() {
 	}
 
 	if *addr != "" {
-		bound, closer, err := obs.StartServer(*addr, serve.NewMux(loop.Publisher(), reg))
+		bound, closer, err := obs.StartServer(*addr, serve.NewMux(loop.Publisher(), reg, loop.Observatory()))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -155,6 +168,19 @@ func main() {
 		crashpoint.Here(crashpoint.SiteServeAggregatesWritten)
 		fmt.Fprintf(os.Stderr, "aggregates written to %s\n", *outPath)
 	}
+	if *tsdbOut != "" && loop.Observatory() != nil {
+		data, err := loop.Observatory().Sim.MarshalState()
+		if err == nil {
+			err = atomicio.WriteFileBytes(*tsdbOut, data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		outputs["timeseries.json"] = obs.Digest(data)
+		crashpoint.Here(crashpoint.SiteServeTimeseriesWritten)
+		fmt.Fprintf(os.Stderr, "time series written to %s\n", *tsdbOut)
+	}
 	if *manifest != "" {
 		m := obs.NewManifest("openhire-serve", *seed)
 		m.RecordFlags(flag.CommandLine)
@@ -163,6 +189,9 @@ func main() {
 		m.Interrupted = interrupted
 		for name, digest := range outputs {
 			m.AddOutput(name, digest)
+		}
+		for name, digest := range loop.TelescopeFiles() {
+			m.AddOutput("telescope/"+name, digest)
 		}
 		if err := m.WriteFile(*manifest); err != nil {
 			fmt.Fprintln(os.Stderr, err)

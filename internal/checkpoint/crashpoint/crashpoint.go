@@ -100,7 +100,10 @@ const (
 	SiteHoneypotManifestWritten = "honeypot.manifest.written"
 
 	SiteServeCycleCommit       = "serve.cycle.commit"
+	SiteServeHourFileWritten   = "serve.telescope.hour.written"
+	SiteServeTSDBWritten       = "serve.tsdb.written"
 	SiteServeAggregatesWritten = "serve.aggregates.written"
+	SiteServeTimeseriesWritten = "serve.timeseries.written"
 	SiteServeManifestWritten   = "serve.manifest.written"
 )
 
@@ -136,7 +139,10 @@ var HoneypotSites = []string{
 // ServeSites are the continuous-measurement daemon's kill sites.
 var ServeSites = []string{
 	SiteAtomicStaged,
+	SiteServeHourFileWritten,
+	SiteServeTSDBWritten,
 	SiteServeCycleCommit,
 	SiteServeAggregatesWritten,
+	SiteServeTimeseriesWritten,
 	SiteServeManifestWritten,
 }

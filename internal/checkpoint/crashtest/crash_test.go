@@ -122,7 +122,8 @@ func serveLeg() leg {
 			"-seed", "11", "-prefix", "100.0.0.0/24", "-boost", "16",
 			"-workers", "9", "-cycles", "3", "-segments-per-cycle", "2",
 			"-segment-targets", "64", "-intensity", "0.002", "-scale", "0.0002",
-			"-out", "aggregates.json", "-manifest", "manifest.json",
+			"-out", "aggregates.json", "-tsdb-out", "timeseries.json",
+			"-telescope-dir", "telescope", "-manifest", "manifest.json",
 		},
 		ckptArgs:  []string{"-checkpoint", "ck"},
 		sites:     crashpoint.ServeSites,

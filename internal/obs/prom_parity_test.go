@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestPromParityLiveVsManifest asserts the two Prometheus surfaces agree to
+// the byte: a live registry's /metrics?format=prom body must equal the text
+// `openhire-inspect prom` re-derives from the manifest that registry wrote —
+// after a full JSON round trip, exactly the path the inspect binary takes.
+func TestPromParityLiveVsManifest(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("scan.probed", 1234)
+	reg.Add("scan.timeouts", 56)
+	reg.SetGauge("serve.cycle", 31)
+	reg.SetGauge("serve.targets_fed", 98765)
+	reg.Observe("probe.latency", 12*time.Millisecond)
+	reg.Observe("probe.latency", 340*time.Millisecond)
+
+	// Live surface: the /metrics handler with ?format=prom.
+	w := httptest.NewRecorder()
+	reg.MetricsHandler()(w, httptest.NewRequest("GET", "/metrics?format=prom", nil))
+	live := w.Body.Bytes()
+	if len(live) == 0 {
+		t.Fatal("empty live prom body")
+	}
+
+	// Manifest surface: registry → manifest → JSON → Snapshot → prom text.
+	m := NewManifest("test", 7)
+	m.FromRegistry(reg)
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	s := Snapshot{Counters: back.Counters, Gauges: back.Gauges, Histograms: back.Histograms}
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live, buf.Bytes()) {
+		t.Errorf("live /metrics?format=prom and manifest-derived prom text differ:\nlive:\n%s\nmanifest:\n%s", live, buf.Bytes())
+	}
+}
+
+// TestCycleSpanAttribution asserts marks attribute wall time to legs in order
+// and that the nil span is a no-op.
+func TestCycleSpanAttribution(t *testing.T) {
+	span := StartCycleSpan()
+	span.Mark("campaign")
+	time.Sleep(time.Millisecond)
+	span.Mark("telescope")
+	legs, total := span.Finish()
+	if len(legs) != 2 || legs[0].Name != "campaign" || legs[1].Name != "telescope" {
+		t.Fatalf("legs = %+v", legs)
+	}
+	var sum int64
+	for _, l := range legs {
+		if l.WallNS < 0 {
+			t.Errorf("leg %s has negative wall time", l.Name)
+		}
+		sum += l.WallNS
+	}
+	if legs[1].WallNS == 0 {
+		t.Error("slept leg recorded zero wall time")
+	}
+	if total.Nanoseconds() < sum {
+		t.Errorf("total %d < sum of legs %d", total.Nanoseconds(), sum)
+	}
+
+	var nilSpan *CycleSpan
+	nilSpan.Mark("x") // must not panic
+	if legs, total := nilSpan.Finish(); legs != nil || total != 0 {
+		t.Error("nil span returned data")
+	}
+}

@@ -75,6 +75,59 @@ func (s *Span) End() {
 	s.t.mu.Unlock()
 }
 
+// CycleLeg is one leg's wall-clock share of a serve cycle.
+type CycleLeg struct {
+	Name   string
+	WallNS int64
+}
+
+// CycleSpan attributes one serve cycle's wall time across its legs: the
+// driver calls Mark at each leg boundary and Finish at commit. Everything it
+// measures is wall-clock self-profiling — it feeds the tsdb wall stream and
+// the /api/status ops block, never a manifest or a determinism digest.
+//
+// A nil *CycleSpan is a valid no-op, like the other obs instruments.
+type CycleSpan struct {
+	start clockReading
+	last  clockReading
+	legs  []CycleLeg
+}
+
+// clockReading is a monotonic wall-clock sample.
+type clockReading = int64
+
+// StartCycleSpan opens a cycle measurement.
+func StartCycleSpan() *CycleSpan {
+	now := nowNanos()
+	return &CycleSpan{start: now, last: now}
+}
+
+// Mark closes the leg that ran since the previous Mark (or Start) under the
+// given name. Safe on nil.
+func (c *CycleSpan) Mark(leg string) {
+	if c == nil {
+		return
+	}
+	now := nowNanos()
+	c.legs = append(c.legs, CycleLeg{Name: leg, WallNS: now - c.last})
+	c.last = now
+}
+
+// Finish returns the marked legs and the cycle's total wall time. Safe on
+// nil (returns no legs).
+func (c *CycleSpan) Finish() ([]CycleLeg, time.Duration) {
+	if c == nil {
+		return nil, 0
+	}
+	return c.legs, time.Duration(nowNanos() - c.start)
+}
+
+// nowNanos reads the monotonic wall clock.
+func nowNanos() int64 { return time.Since(processStart).Nanoseconds() }
+
+// processStart anchors the monotonic readings.
+var processStart = time.Now()
+
 // Spans returns the finished spans in completion order.
 func (t *Tracer) Spans() []SpanRecord {
 	if t == nil {

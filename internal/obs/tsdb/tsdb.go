@@ -1,0 +1,393 @@
+// Package tsdb is the deterministic in-process time-series store behind the
+// serve daemon's metrics history: fixed-capacity ring-buffer series keyed by
+// (metric, labels), appended only by the single-threaded cycle driver at
+// commit boundaries, downsampled into per-RollupEvery-cycle buckets
+// (min/max/sum/count/last), and published to concurrent readers as immutable
+// copy-on-write views behind an atomic.Pointer — the same snapshot
+// discipline as the netsim lookup tables and the serve query API.
+//
+// The store carries two strictly separated streams, by convention one DB
+// instance each:
+//
+//   - sim-deterministic series sampled from the serve aggregates and scan
+//     stats: every point is a pure function of (seed, config, cycle), so the
+//     marshaled state is byte-identical across runs, worker counts and
+//     kill/resume cycles, and its digest rides the serve checkpoint record;
+//   - wall-clock self-profiling series (per-leg cycle durations, GC/heap
+//     deltas, API latency): useful for operating the daemon, explicitly
+//     excluded from manifests and determinism digests.
+//
+// The query path is allocation-free on the store side: readers load the
+// current *View with one atomic pointer load and walk sealed point chunks
+// that are never mutated after publication. Only the writer allocates —
+// sealing chunks, copying the small active tail at Publish, folding rollups.
+package tsdb
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// chunkSize is the number of points per sealed chunk. Sealed chunks are
+// immutable and shared between successive views; only the active tail (at
+// most chunkSize points) is copied at Publish.
+const chunkSize = 128
+
+// Defaults for Options zero values.
+const (
+	DefaultRawCapacity    = 1024
+	DefaultRollupEvery    = 30
+	DefaultRollupCapacity = 360
+)
+
+// Point is one raw observation: the cycle it was committed at and its value.
+type Point struct {
+	Cycle int64   `json:"c"`
+	Value float64 `json:"v"`
+}
+
+// Bucket is one downsampled window: Start is the first cycle the bucket
+// covers (buckets are aligned, [Start, Start+RollupEvery)), and the five
+// aggregates reconcile exactly with the raw points that fell inside it.
+type Bucket struct {
+	Start int64   `json:"start"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Last  float64 `json:"last"`
+}
+
+// fold adds one observation to the bucket.
+func (b *Bucket) fold(v float64) {
+	if b.Count == 0 {
+		b.Min, b.Max = v, v
+	} else {
+		if v < b.Min {
+			b.Min = v
+		}
+		if v > b.Max {
+			b.Max = v
+		}
+	}
+	b.Count++
+	b.Sum += v
+	b.Last = v
+}
+
+// Label is one key=value pair. Series labels are kept sorted by key, so a
+// label set has exactly one canonical form.
+type Label struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Labels is a sorted label set.
+type Labels []Label
+
+// canonical sorts ls by key in place and returns it.
+func canonical(ls Labels) Labels {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// SeriesKey renders the canonical identity of (metric, labels):
+// name{k1=v1,k2=v2} with keys sorted. Views index series by this key.
+func SeriesKey(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	n := len(name) + 2
+	for _, l := range labels {
+		n += len(l.Key) + len(l.Value) + 2
+	}
+	b := make([]byte, 0, n)
+	b = append(b, name...)
+	b = append(b, '{')
+	for i, l := range labels {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, l.Key...)
+		b = append(b, '=')
+		b = append(b, l.Value...)
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// Options sizes a DB's retention tiers. Zero values take the defaults.
+type Options struct {
+	// RawCapacity is the per-series raw point retention (ring capacity).
+	RawCapacity int
+	// RollupEvery is the downsampling window in cycles.
+	RollupEvery int
+	// RollupCapacity is the per-series retention of completed rollup buckets.
+	RollupCapacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RawCapacity <= 0 {
+		o.RawCapacity = DefaultRawCapacity
+	}
+	if o.RollupEvery <= 0 {
+		o.RollupEvery = DefaultRollupEvery
+	}
+	if o.RollupCapacity <= 0 {
+		o.RollupCapacity = DefaultRollupCapacity
+	}
+	return o
+}
+
+// series is the writer-owned state of one (metric, labels) stream: sealed
+// immutable chunks plus a mutable active tail, and the rollup tiers.
+type series struct {
+	name   string
+	labels Labels
+	key    string
+
+	sealed [][]Point // immutable once here; shared with published views
+	active []Point   // mutable; copied into views at Publish
+
+	dropped uint64 // raw points evicted by the ring
+	total   uint64 // raw points ever appended
+
+	rollups      []Bucket // completed buckets, oldest first
+	activeBucket Bucket   // the bucket currently being folded (Count 0 = none)
+}
+
+// DB is one stream's store. All mutating methods (Append, Publish,
+// LoadState) must be called from a single goroutine — the serve cycle
+// driver; View is safe from any goroutine at any time.
+type DB struct {
+	opt    Options
+	index  map[string]*series
+	order  []*series // insertion-ordered; State sorts by key
+	view   atomic.Pointer[View]
+	lastCy int64
+	hasAny bool
+}
+
+// New builds an empty store.
+func New(opt Options) *DB {
+	db := &DB{opt: opt.withDefaults(), index: make(map[string]*series)}
+	db.view.Store(&View{opt: db.opt, index: map[string]*SeriesView{}})
+	return db
+}
+
+// Options returns the resolved retention configuration.
+func (db *DB) Options() Options { return db.opt }
+
+// Append records value for (name, labels) at cycle. Appends must arrive in
+// non-decreasing cycle order per series; the serve driver appends the whole
+// batch for a cycle, then calls Publish once.
+func (db *DB) Append(cycle int64, name string, labels Labels, value float64) {
+	if db == nil {
+		return
+	}
+	labels = canonical(labels)
+	key := SeriesKey(name, labels)
+	s := db.index[key]
+	if s == nil {
+		s = &series{name: name, labels: labels, key: key}
+		db.index[key] = s
+		db.order = append(db.order, s)
+	}
+	s.append(cycle, value, db.opt)
+	if !db.hasAny || cycle > db.lastCy {
+		db.lastCy = cycle
+	}
+	db.hasAny = true
+}
+
+// append adds one point, folding rollups and enforcing the raw ring.
+func (s *series) append(cycle int64, value float64, opt Options) {
+	s.active = append(s.active, Point{Cycle: cycle, Value: value})
+	s.total++
+	if len(s.active) >= chunkSize {
+		s.sealed = append(s.sealed, s.active)
+		s.active = make([]Point, 0, chunkSize)
+	}
+	// Raw ring: drop whole oldest sealed chunks while at least RawCapacity
+	// points remain afterwards, so retention stays in
+	// [RawCapacity, RawCapacity+chunkSize). Evicted chunks are still
+	// referenced by older published views; the slice-off never mutates the
+	// chunks themselves.
+	for len(s.sealed) > 0 && s.rawLen()-len(s.sealed[0]) >= opt.RawCapacity {
+		s.dropped += uint64(len(s.sealed[0]))
+		s.sealed = s.sealed[1:]
+	}
+	// Rollup fold: aligned windows of RollupEvery cycles.
+	start := (cycle / int64(opt.RollupEvery)) * int64(opt.RollupEvery)
+	if s.activeBucket.Count > 0 && s.activeBucket.Start != start {
+		s.rollups = append(s.rollups, s.activeBucket)
+		if len(s.rollups) > opt.RollupCapacity {
+			s.rollups = s.rollups[len(s.rollups)-opt.RollupCapacity:]
+		}
+		s.activeBucket = Bucket{}
+	}
+	if s.activeBucket.Count == 0 {
+		s.activeBucket.Start = start
+	}
+	s.activeBucket.fold(value)
+}
+
+// rawLen is the retained raw point count.
+func (s *series) rawLen() int {
+	n := len(s.active)
+	for _, c := range s.sealed {
+		n += len(c)
+	}
+	return n
+}
+
+// Publish seals the current contents into an immutable View and swaps it in.
+// Sealed chunks are shared with the previous view; only the active tails and
+// rollup slices are copied, so publishing is O(series), not O(points).
+func (db *DB) Publish() {
+	if db == nil {
+		return
+	}
+	v := &View{
+		opt:       db.opt,
+		index:     make(map[string]*SeriesView, len(db.order)),
+		LastCycle: db.lastCy,
+	}
+	for _, s := range db.order {
+		sv := &SeriesView{
+			Name:    s.name,
+			Labels:  s.labels,
+			Key:     s.key,
+			Dropped: s.dropped,
+			Total:   s.total,
+		}
+		// Copy the chunk header (not the chunks): the inner point slices are
+		// immutable once sealed and safely shared across views, but the
+		// writer keeps appending to and evicting from its own header.
+		sv.chunks = make([][]Point, 0, len(s.sealed)+1)
+		sv.chunks = append(sv.chunks, s.sealed...)
+		if len(s.active) > 0 {
+			tail := make([]Point, len(s.active))
+			copy(tail, s.active)
+			sv.chunks = append(sv.chunks, tail)
+		}
+		sv.Rollups = make([]Bucket, 0, len(s.rollups)+1)
+		sv.Rollups = append(sv.Rollups, s.rollups...)
+		if s.activeBucket.Count > 0 {
+			sv.Rollups = append(sv.Rollups, s.activeBucket)
+		}
+		v.index[sv.Key] = sv
+		v.order = append(v.order, sv)
+	}
+	sort.Slice(v.order, func(i, j int) bool { return v.order[i].Key < v.order[j].Key })
+	db.view.Store(v)
+}
+
+// View returns the current immutable view: one atomic load, no locks.
+func (db *DB) View() *View {
+	if db == nil {
+		return nil
+	}
+	return db.view.Load()
+}
+
+// View is an immutable snapshot of the store. Safe for arbitrary concurrent
+// readers; the chunks it references are never mutated after publication.
+type View struct {
+	opt   Options
+	index map[string]*SeriesView
+	order []*SeriesView
+	// LastCycle is the newest cycle any series holds.
+	LastCycle int64
+}
+
+// Options returns the publishing store's retention configuration.
+func (v *View) Options() Options { return v.opt }
+
+// Series returns the view's series sorted by key.
+func (v *View) Series() []*SeriesView {
+	if v == nil {
+		return nil
+	}
+	return v.order
+}
+
+// Lookup returns the series with the exact canonical key, or nil.
+func (v *View) Lookup(key string) *SeriesView {
+	if v == nil {
+		return nil
+	}
+	return v.index[key]
+}
+
+// SeriesView is one series inside a view. The chunk walk methods do not
+// allocate; rendering helpers that build slices live on the query side.
+type SeriesView struct {
+	Name    string
+	Labels  Labels
+	Key     string
+	Dropped uint64
+	Total   uint64
+	Rollups []Bucket // completed buckets plus the in-progress one, oldest first
+
+	chunks [][]Point
+}
+
+// Len is the retained raw point count.
+func (s *SeriesView) Len() int {
+	n := 0
+	for _, c := range s.chunks {
+		n += len(c)
+	}
+	return n
+}
+
+// FirstCycle and LastCycle bound the retained raw window (0,0 when empty).
+func (s *SeriesView) FirstCycle() int64 {
+	for _, c := range s.chunks {
+		if len(c) > 0 {
+			return c[0].Cycle
+		}
+	}
+	return 0
+}
+
+// LastCycle returns the newest retained raw cycle.
+func (s *SeriesView) LastCycle() int64 {
+	for i := len(s.chunks) - 1; i >= 0; i-- {
+		if c := s.chunks[i]; len(c) > 0 {
+			return c[len(c)-1].Cycle
+		}
+	}
+	return 0
+}
+
+// Walk calls fn for every retained raw point in cycle order, stopping early
+// when fn returns false. It performs no allocation.
+func (s *SeriesView) Walk(fn func(Point) bool) {
+	for _, c := range s.chunks {
+		for _, p := range c {
+			if !fn(p) {
+				return
+			}
+		}
+	}
+}
+
+// matches reports whether the series carries every label in sel (a subset
+// match; sel need not name all labels).
+func (s *SeriesView) matches(sel Labels) bool {
+	for _, want := range sel {
+		found := false
+		for _, l := range s.Labels {
+			if l.Key == want.Key {
+				found = l.Value == want.Value
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

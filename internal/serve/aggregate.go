@@ -241,6 +241,10 @@ type Aggregates struct {
 	// TargetsFed is the cumulative scan targets across sweeps, including
 	// the in-flight one.
 	TargetsFed uint64 `json:"targets_fed"`
+	// ScanStats accumulates the deterministic scanner stat counters
+	// (probed, timeouts, breaker_skipped, ...) across finished sweeps; the
+	// in-flight sweep's counters live in its SegmentedState until it closes.
+	ScanStats map[string]uint64 `json:"scan_stats,omitempty"`
 }
 
 // FoldSegment folds one drained scan segment into the in-flight sweep's
@@ -274,6 +278,19 @@ func (a *Aggregates) FoldSegment(proto iot.Protocol, targets int, results []*sca
 		}
 		cur.ByClass[f.Misconfig.String()]++
 		a.Correlate.Misconfigured.Add(r.IP)
+	}
+}
+
+// FoldSweepStats folds a finished sweep's per-module scanner stats into the
+// cumulative counters (wall-clock Elapsed excluded via Counters).
+func (a *Aggregates) FoldSweepStats(stats map[iot.Protocol]scan.Stats) {
+	for _, st := range stats {
+		for name, v := range st.Counters() {
+			if a.ScanStats == nil {
+				a.ScanStats = make(map[string]uint64)
+			}
+			a.ScanStats[name] += v
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"openhire/internal/iot"
 	"openhire/internal/netsim"
 	"openhire/internal/obs"
+	"openhire/internal/obs/tsdb"
 	"openhire/internal/prng"
 	"openhire/internal/telescope"
 )
@@ -60,6 +61,15 @@ type Config struct {
 	// continues from the checkpoint found there (fresh start if none).
 	CheckpointDir string
 	Resume        bool
+	// TelescopeDir, when set, persists each cycle's drained telescope
+	// capture as rotated hourly CSV files under this directory.
+	TelescopeDir string
+	// TSDBDisabled turns the time-series observatory off entirely. The
+	// zero-perturbation gate compares runs with it on and off.
+	TSDBDisabled bool
+	// TSDBRetention overrides the observatory's raw retention window in
+	// cycles (0 = tsdb default).
+	TSDBRetention int
 	// Registry, when set, receives watermark gauges at each cycle commit.
 	Registry *obs.Registry
 	// OnPublish, when set, is called with each published snapshot after the
@@ -116,6 +126,15 @@ type serveCheckpoint struct {
 	Events string `json:"events,omitempty"`
 	// Agg is the complete derived state.
 	Agg *Aggregates `json:"agg"`
+	// TSDB is the sim-deterministic time-series state at this cycle, the
+	// source of truth on restore. TSDBDigest is the standalone
+	// serve-tsdb.ckpt file's content digest; Restore rewrites that file
+	// when it disagrees (a kill landed between the two writes).
+	TSDB       *tsdb.State `json:"tsdb,omitempty"`
+	TSDBDigest string      `json:"tsdb_digest,omitempty"`
+	// TelescopeFiles maps persisted hourly capture file names to content
+	// digests, for the run manifest.
+	TelescopeFiles map[string]string `json:"telescope_files,omitempty"`
 	// Checkpoints records every checkpoint committed before this one.
 	Checkpoints []obs.CheckpointRecord `json:"checkpoints,omitempty"`
 }
@@ -140,6 +159,13 @@ type Loop struct {
 	scanner        *scan.Scanner
 	scanState      *scan.SegmentedState
 	ckpts          []obs.CheckpointRecord
+
+	// obsv is the time-series observatory (nil when disabled). telFiles
+	// accumulates persisted hourly telescope file digests; lastCkptCycle
+	// backs the /api/status checkpoint-lag gauge.
+	obsv          *Observatory
+	telFiles      map[string]string
+	lastCkptCycle int
 }
 
 // New builds a Loop (fresh, cycle 0). Call Restore before Run to continue
@@ -159,17 +185,25 @@ func New(cfg Config) *Loop {
 		geodb:    geo.NewDB(cfg.Seed, nil),
 		scanNet:  scanNet,
 		modules:  scan.AllModules(),
+		obsv:     newObservatory(cfg),
 	}
 }
 
 // Publisher returns the snapshot publisher the API handlers read.
 func (l *Loop) Publisher() *Publisher { return l.pub }
 
+// Observatory returns the time-series observatory (nil when disabled).
+func (l *Loop) Observatory() *Observatory { return l.obsv }
+
 // Cycle returns the number of completed cycles.
 func (l *Loop) Cycle() int { return l.cycle }
 
 // Checkpoints returns the records committed so far (for the manifest).
 func (l *Loop) Checkpoints() []obs.CheckpointRecord { return l.ckpts }
+
+// TelescopeFiles returns the persisted hourly capture digests (for the
+// manifest); nil when TelescopeDir is unset.
+func (l *Loop) TelescopeFiles() map[string]string { return l.telFiles }
 
 // monthSeed derives month m's campaign/darknet seed.
 func (l *Loop) monthSeed(m int) uint64 {
@@ -225,6 +259,33 @@ func (l *Loop) Restore() (bool, error) {
 	l.campaignResume = st.Campaign
 	l.scanState = st.Scan
 	l.ckpts = st.Checkpoints
+	l.telFiles = st.TelescopeFiles
+	l.lastCkptCycle = st.Cycle
+	if l.obsv != nil && st.TSDB != nil {
+		// The embedded state is the source of truth; the standalone file is
+		// rewritten when its digest disagrees (the kill landed between the
+		// tsdb file write and the serve record), so the file converges on the
+		// uninterrupted run's bytes regardless of kill history.
+		if err := l.obsv.Sim.LoadState(st.TSDB); err != nil {
+			return false, fmt.Errorf("checkpoint tsdb: %w", err)
+		}
+		data, err := os.ReadFile(checkpoint.FileName(l.cfg.CheckpointDir, "serve-tsdb"))
+		if err != nil || obs.Digest(data) != st.TSDBDigest {
+			if _, err := checkpoint.Save(l.cfg.CheckpointDir, "serve-tsdb", recd.Name, l.cfg.Seed, st.TSDB); err != nil {
+				return false, err
+			}
+		}
+	}
+	if l.obsv != nil {
+		// Wall stream: best effort. Profiling history survives restarts when
+		// the file is readable; otherwise the stream just starts fresh.
+		wallSt := &tsdb.State{}
+		if _, err := checkpoint.Load(l.cfg.CheckpointDir, "serve-tsdb-wall", l.cfg.Seed, wallSt); err == nil {
+			if err := l.obsv.Wall.LoadState(wallSt); err != nil {
+				l.obsv.Wall = tsdb.New(l.obsv.Sim.Options())
+			}
+		}
+	}
 	if l.cycle%monthDays != 0 {
 		// Mid-month: rebuild the month world and replay the committed days'
 		// events into the log (append order is free — every consumer sorts).
@@ -265,6 +326,12 @@ func (l *Loop) runCycle() error {
 	if l.month == nil {
 		l.month = l.buildMonth(m)
 	}
+	// The cycle span attributes wall time across the legs for the tsdb wall
+	// stream and /api/status; it never touches sim state.
+	var span *obs.CycleSpan
+	if l.obsv != nil {
+		span = obs.StartCycleSpan()
+	}
 
 	// Attack leg: one campaign day. The seeded world (pools, plans, intel
 	// services) is rebuilt each cycle by replaying construction — Sources is
@@ -301,22 +368,35 @@ func (l *Loop) runCycle() error {
 	// only cancellation point.
 	campaign.Run(context.Background())
 	l.campaignResume = &captured
+	span.Mark("campaign")
 
 	// Telescope leg: generate and drain the darknet day, folding volume and
-	// rotation buckets into the day's trend row.
+	// rotation buckets into the day's trend row; when TelescopeDir is set,
+	// the drained day is also persisted as rotated hourly capture files.
 	l.month.gen.RunDay(d)
 	flows := l.month.tel.Drain()
 	l.agg.FoldTelescopeDay(l.cycle, attack.DayStart(d), flows)
+	if l.cfg.TelescopeDir != "" {
+		if l.telFiles == nil {
+			l.telFiles = make(map[string]string)
+		}
+		if err := writeHourFiles(l.cfg.TelescopeDir, l.cycle, attack.DayStart(d), flows, l.telFiles); err != nil {
+			return err
+		}
+	}
+	span.Mark("telescope")
 
 	// Honeypot trends: re-derive the month's rows from the canonical log.
 	events := l.month.log.Events()
 	honeypot.SortEventsCanonical(events)
 	l.agg.FoldMonthEvents(m, d, events)
+	span.Mark("honeypots")
 
 	// Scan leg: drain this cycle's segment allowance.
 	if err := l.stepScan(); err != nil {
 		return err
 	}
+	span.Mark("scan")
 
 	if d == monthDays-1 {
 		// Month complete: the world is discarded; next cycle reseeds.
@@ -324,7 +404,7 @@ func (l *Loop) runCycle() error {
 		l.campaignResume = nil
 	}
 	l.cycle++
-	return l.commit(events)
+	return l.commit(events, span)
 }
 
 // stepScan advances the in-flight sweep by up to SegmentsPerCycle segment
@@ -351,9 +431,10 @@ func (l *Loop) stepScan() error {
 		}
 		return nil
 	}
-	_, _, err := l.scanner.RunSegmented(context.Background(), l.modules, l.scanState, l.cfg.SegmentTargets, onCommit)
+	_, stats, err := l.scanner.RunSegmented(context.Background(), l.modules, l.scanState, l.cfg.SegmentTargets, onCommit)
 	switch {
 	case err == nil:
+		l.agg.FoldSweepStats(stats)
 		l.agg.FinishSweep()
 		l.scanner = nil
 		l.scanState = nil
@@ -367,15 +448,21 @@ func (l *Loop) stepScan() error {
 
 // commit makes the finished cycle durable (when checkpointing) and publishes
 // the snapshot — in that order, so a published watermark is always backed by
-// a checkpoint at least as new.
-func (l *Loop) commit(events []honeypot.Event) error {
+// a checkpoint at least as new. The observatory samples happen at the same
+// barrier: the sim stream before the checkpoint (its state rides inside it),
+// the wall stream after (it is excluded from every durability guarantee).
+func (l *Loop) commit(events []honeypot.Event, span *obs.CycleSpan) error {
+	cyc := int64(l.cycle - 1)
+	l.obsv.appendSim(cyc, l.agg, inflightScanStats(l.scanState))
+	name := fmt.Sprintf("cycle%04d", len(l.ckpts))
 	if l.cfg.CheckpointDir != "" {
 		st := serveCheckpoint{
-			Cycle:       l.cycle,
-			Campaign:    l.campaignResume,
-			Scan:        l.scanState,
-			Agg:         l.agg,
-			Checkpoints: l.ckpts,
+			Cycle:          l.cycle,
+			Campaign:       l.campaignResume,
+			Scan:           l.scanState,
+			Agg:            l.agg,
+			TelescopeFiles: l.telFiles,
+			Checkpoints:    l.ckpts,
 		}
 		if l.month != nil {
 			var buf bytes.Buffer
@@ -384,27 +471,66 @@ func (l *Loop) commit(events []honeypot.Event) error {
 			}
 			st.Events = buf.String()
 		}
-		name := fmt.Sprintf("cycle%04d", len(l.ckpts))
+		if l.obsv != nil {
+			simState := l.obsv.Sim.State()
+			tsRec, err := checkpoint.Save(l.cfg.CheckpointDir, "serve-tsdb", name, l.cfg.Seed, simState)
+			if err != nil {
+				return err
+			}
+			crashpoint.Here(crashpoint.SiteServeTSDBWritten)
+			st.TSDB = simState
+			st.TSDBDigest = tsRec.Digest
+		}
 		recd, err := checkpoint.Save(l.cfg.CheckpointDir, "serve", name, l.cfg.Seed, &st)
 		if err != nil {
 			return err
 		}
 		l.ckpts = append(l.ckpts, recd)
+		l.lastCkptCycle = l.cycle
 		crashpoint.Here(crashpoint.SiteServeCycleCommit)
+	}
+	span.Mark("commit")
+	legs, total := span.Finish()
+	l.obsv.appendWall(cyc, legs, total)
+	l.obsv.publish()
+	if l.cfg.CheckpointDir != "" && l.obsv != nil {
+		// The wall file is profiling history only: no crashpoint, no digest,
+		// no determinism claim — Restore loads it leniently.
+		if _, err := checkpoint.Save(l.cfg.CheckpointDir, "serve-tsdb-wall", name, l.cfg.Seed, l.obsv.Wall.State()); err != nil {
+			return err
+		}
 	}
 	return l.publish()
 }
 
 // publish renders and swaps in the snapshot for the current position.
 func (l *Loop) publish() error {
-	snap, err := render(l.agg, l.cycle, statusBody{
+	st := statusBody{
 		Seed:             l.cfg.Seed,
 		Prefix:           l.cfg.Prefix.String(),
 		Intensity:        l.cfg.Intensity,
 		Scale:            l.cfg.Scale,
 		SegmentsPerCycle: l.cfg.SegmentsPerCycle,
 		SegmentTargets:   l.cfg.SegmentTargets,
-	})
+	}
+	if l.obsv != nil {
+		legs, total := l.obsv.LastCycleWall()
+		ops := &OpsStatus{
+			CyclesCompleted:     l.cycle,
+			LastCycleWallNS:     total.Nanoseconds(),
+			CheckpointLag:       l.cycle - l.lastCkptCycle,
+			TSDBRetentionCycles: l.obsv.Retention(),
+			TSDBSeries:          l.obsv.SeriesCount(),
+		}
+		for _, leg := range legs {
+			if ops.LegWallNS == nil {
+				ops.LegWallNS = make(map[string]int64, len(legs))
+			}
+			ops.LegWallNS[leg.Name] = leg.WallNS
+		}
+		st.Ops = ops
+	}
+	snap, err := render(l.agg, l.cycle, st)
 	if err != nil {
 		return err
 	}

@@ -45,6 +45,27 @@ type statusBody struct {
 	// SegmentsPerCycle and SegmentTargets describe the scan cadence.
 	SegmentsPerCycle int `json:"segments_per_cycle"`
 	SegmentTargets   int `json:"segment_targets"`
+	// Ops is the operational-health block. Everything in it is wall-clock
+	// self-profiling — excluded from determinism comparisons, which scrub
+	// this key before diffing status bodies.
+	Ops *OpsStatus `json:"ops,omitempty"`
+}
+
+// OpsStatus reports the daemon's operational health on /api/status.
+type OpsStatus struct {
+	// CyclesCompleted mirrors the watermark cycle for dashboards.
+	CyclesCompleted int `json:"cycles_completed"`
+	// LastCycleWallNS is the previous cycle's total wall time; LegWallNS
+	// attributes it across the legs (campaign/telescope/honeypots/scan/commit).
+	LastCycleWallNS int64            `json:"last_cycle_wall_ns"`
+	LegWallNS       map[string]int64 `json:"leg_wall_ns,omitempty"`
+	// CheckpointLag is cycles completed since the last durable checkpoint
+	// (equals CyclesCompleted when checkpointing is off).
+	CheckpointLag int `json:"checkpoint_lag"`
+	// TSDBRetentionCycles and TSDBSeries describe the observatory's raw
+	// retention window and sim-stream series count.
+	TSDBRetentionCycles int `json:"tsdb_retention_cycles"`
+	TSDBSeries          int `json:"tsdb_series"`
 }
 
 // exposureBody is the /api/exposure rendering.

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -43,7 +44,24 @@ func collect(t *testing.T, cfg Config, cycles int) map[int]*Published {
 	return snaps
 }
 
-// sameSnapshot asserts every endpoint body matches between two snapshots.
+// scrubOps drops the status body's wall-clock ops block, leaving only the
+// deterministic fields (sorted-key re-marshal) for byte comparison.
+func scrubOps(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("status body: %v", err)
+	}
+	delete(m, "ops")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sameSnapshot asserts every endpoint body matches between two snapshots
+// (status bodies compared with the wall-clock ops block scrubbed).
 func sameSnapshot(t *testing.T, label string, want, got *Published) {
 	t.Helper()
 	if got == nil || want == nil {
@@ -56,7 +74,7 @@ func sameSnapshot(t *testing.T, label string, want, got *Published) {
 		{"exposure", want.Exposure, got.Exposure},
 		{"trends", want.Trends, got.Trends},
 		{"correlate", want.Correlate, got.Correlate},
-		{"status", want.Status, got.Status},
+		{"status", scrubOps(t, want.Status), scrubOps(t, got.Status)},
 	} {
 		if !bytes.Equal(b.want, b.got) {
 			t.Errorf("%s: /api/%s bodies differ:\n want: %s\n got:  %s", label, b.name, b.want, b.got)
@@ -168,18 +186,32 @@ func TestKillResumeSnapshots(t *testing.T) {
 	if !bytes.Equal(aggJSON, wantJSON) {
 		t.Errorf("resumed AggregatesJSON differs from uninterrupted run")
 	}
+
+	// The sim time-series state is part of the determinism contract too: the
+	// resumed observatory must land on the uninterrupted run's exact bytes.
+	gotTS, err := second.Observatory().Sim.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTS, err := uninterrupted.Observatory().Sim.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotTS, wantTS) {
+		t.Errorf("resumed sim tsdb state differs from uninterrupted run:\n want: %s\n got:  %s", wantTS, gotTS)
+	}
 }
 
 // TestAPIBeforeFirstCommit asserts every /api endpoint answers 503 until a
 // cycle commits.
 func TestAPIBeforeFirstCommit(t *testing.T) {
 	l := New(testConfig(1))
-	addr, closer, err := obs.StartServer("127.0.0.1:0", NewMux(l.Publisher(), nil))
+	addr, closer, err := obs.StartServer("127.0.0.1:0", NewMux(l.Publisher(), nil, l.Observatory()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = closer() }()
-	for _, ep := range []string{"/api/exposure", "/api/trends", "/api/correlate", "/api/status"} {
+	for _, ep := range []string{"/api/exposure", "/api/trends", "/api/correlate", "/api/status", "/api/timeseries"} {
 		resp, err := http.Get("http://" + addr + ep)
 		if err != nil {
 			t.Fatal(err)
@@ -211,7 +243,7 @@ func TestConcurrentScrapeZeroPerturbation(t *testing.T) {
 	cfg := testConfig(9)
 	cfg.Registry = obs.NewRegistry()
 	l := New(cfg)
-	addr, closer, err := obs.StartServer("127.0.0.1:0", NewMux(l.Publisher(), cfg.Registry))
+	addr, closer, err := obs.StartServer("127.0.0.1:0", NewMux(l.Publisher(), cfg.Registry, l.Observatory()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,6 +252,7 @@ func TestConcurrentScrapeZeroPerturbation(t *testing.T) {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	endpoints := []string{"/api/exposure", "/api/trends", "/api/correlate", "/api/status",
+		"/api/timeseries", "/api/timeseries?metric=serve.trend.attack_events",
 		"/metrics", "/metrics?format=prom"}
 	errCh := make(chan error, len(endpoints))
 	for _, ep := range endpoints {

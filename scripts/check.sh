@@ -12,9 +12,16 @@
 #      (instrumented runs — registry, tracer, progress, day/unit hooks and
 #      the flight recorder — byte-identical to bare runs) under the race
 #      detector; includes the trace determinism tests (identical JSONL
-#      across worker counts); then the service gate — the serve daemon's
-#      snapshot determinism across worker counts and kill/resume, and the
-#      concurrent-scrape zero-perturbation test, under the race detector
+#      across worker counts), the /metrics?format=prom vs manifest-derived
+#      prom byte-parity test, and the tsdb rollup-reconciliation and COW
+#      concurrency tests; then the service gate — the serve daemon's
+#      snapshot determinism across worker counts and kill/resume, the
+#      concurrent-scrape zero-perturbation test, and the time-series
+#      observatory gates (sim-stream byte-identity across worker counts,
+#      tsdb-on vs tsdb-off zero perturbation, checkpointed history matching
+#      the embedded state), under the race detector — these run in --fast
+#      mode too, so the observatory can never perturb the simulation in
+#      the inner loop either
 #   5. the chaos gate: the fault-model equivalence tests (zero-fault noop,
 #      cross-worker determinism, ±2% calibrated classification drift) under
 #      the race detector, plus a short fuzz smoke over the Telnet and MQTT
@@ -25,8 +32,10 @@
 #      against an uninterrupted golden run; --fast sweeps only the three
 #      mid-leg commit sites (go test -short)
 #   7. the serve smoke (scripts/serve_smoke.sh): openhire-serve end to end —
-#      kill/resume byte-identity of the aggregates artifact, the live query
-#      API answering mid-run, and a graceful SIGINT shutdown; then the
+#      kill/resume byte-identity of the aggregates and time-series
+#      artifacts, the live query API (including /api/timeseries) answering
+#      mid-run, openhire-inspect timeline in both file and live-URL modes,
+#      and a graceful SIGINT shutdown; then the
 #      inspect smoke: build openhire-scan + openhire-inspect, run the
 #      scan leg twice with the same seed (traced) plus once bare, and
 #      require empty manifest/trace self-diffs, byte-identical result

@@ -2,14 +2,20 @@
 # serve_smoke.sh — end-to-end smoke for the continuous-measurement daemon,
 # used by `make serve-smoke` and scripts/check.sh.
 #
-#   1. golden: an uninterrupted 3-cycle run writes its aggregates artifact
+#   1. golden: an uninterrupted 3-cycle run writes its aggregates and
+#      time-series artifacts
 #   2. kill/resume: a checkpointed run hard-killed at the registered
 #      serve.cycle.commit crashpoint (second hit, exit 87), then a resumed
 #      run (different worker count) continuing to the same 3-cycle target —
-#      the final aggregates must be byte-identical to golden
-#   3. live API: a -cycles 0 daemon with a listener; once a cycle commits,
+#      the final aggregates AND the sim time-series history must be
+#      byte-identical to golden
+#   3. timeline (file mode): openhire-inspect timeline must render the
+#      resumed run's serve-tsdb.ckpt with per-cycle leg attribution
+#   4. live API: a -cycles 0 daemon with a listener; once a cycle commits,
 #      /api/status and /api/exposure must answer 200 with a coherent
-#      watermark; SIGINT must stop it at the cycle boundary, flush the
+#      watermark, /api/timeseries must serve the catalog and a trend range
+#      (JSON + prom text), and openhire-inspect timeline must render the
+#      live URL; SIGINT must stop it at the cycle boundary, flush the
 #      artifacts, and exit 0
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,12 +28,12 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$SMOKE/" ./cmd/openhire-serve
+go build -o "$SMOKE/" ./cmd/openhire-serve ./cmd/openhire-inspect
 FLAGS="-seed 11 -prefix 100.0.0.0/24 -boost 16 -cycles 3 -segments-per-cycle 2 -segment-targets 64 -intensity 0.002 -scale 0.0002"
 mkdir "$SMOKE/golden" "$SMOKE/resume" "$SMOKE/live"
 
 echo "  golden 3-cycle run"
-(cd "$SMOKE/golden" && "$SMOKE/openhire-serve" $FLAGS -workers 9 -out aggregates.json >/dev/null 2>&1)
+(cd "$SMOKE/golden" && "$SMOKE/openhire-serve" $FLAGS -workers 9 -out aggregates.json -tsdb-out timeseries.json >/dev/null 2>&1)
 
 echo "  kill/resume byte-identity (crashpoint kill at cycle-2 commit, resumed with a different worker count)"
 KILL_RC=0
@@ -37,8 +43,14 @@ if [ "$KILL_RC" != "87" ]; then
 	echo "serve smoke: armed crashpoint run exited $KILL_RC, want 87" >&2
 	exit 1
 fi
-(cd "$SMOKE/resume" && "$SMOKE/openhire-serve" $FLAGS -workers 4 -checkpoint ck -resume -out aggregates.json >/dev/null 2>&1)
+(cd "$SMOKE/resume" && "$SMOKE/openhire-serve" $FLAGS -workers 4 -checkpoint ck -resume -out aggregates.json -tsdb-out timeseries.json >/dev/null 2>&1)
 cmp "$SMOKE/golden/aggregates.json" "$SMOKE/resume/aggregates.json"
+cmp "$SMOKE/golden/timeseries.json" "$SMOKE/resume/timeseries.json"
+
+echo "  inspect timeline from the resumed run's tsdb checkpoint"
+"$SMOKE/openhire-inspect" timeline "$SMOKE/resume/ck/serve-tsdb.ckpt" >"$SMOKE/timeline-file.txt"
+grep -q "per-cycle wall attribution" "$SMOKE/timeline-file.txt"
+grep -q "serve.trend.attack_events" "$SMOKE/timeline-file.txt"
 
 echo "  live query API + graceful SIGINT"
 (cd "$SMOKE/live" && exec "$SMOKE/openhire-serve" ${FLAGS/-cycles 3/-cycles 0} -workers 5 \
@@ -67,6 +79,16 @@ echo "$STATUS" | grep -q '"cycle": [1-9]' || {
 curl -fsS "http://$ADDR/api/exposure" | grep -q '"watermark"'
 curl -fsS "http://$ADDR/api/trends" >/dev/null
 curl -fsS "http://$ADDR/api/correlate" | grep -q '"misconfigured"'
+# Save bodies before grepping: grep -q closes the pipe at first match, which
+# curl -f reports as a write failure on larger responses.
+curl -fsS "http://$ADDR/api/timeseries" -o "$SMOKE/catalog.json"
+grep -q '"stream": "sim"' "$SMOKE/catalog.json"
+curl -fsS "http://$ADDR/api/timeseries?metric=serve.trend.attack_events" -o "$SMOKE/trend.json"
+grep -q '"points"' "$SMOKE/trend.json"
+curl -fsS "http://$ADDR/api/timeseries?metric=serve.trend.attack_events&format=prom" -o "$SMOKE/trend.prom"
+grep -q '^# TYPE serve_trend_attack_events gauge' "$SMOKE/trend.prom"
+"$SMOKE/openhire-inspect" timeline "http://$ADDR" >"$SMOKE/timeline-live.txt"
+grep -q "per-cycle wall attribution" "$SMOKE/timeline-live.txt"
 kill -INT "$DAEMON_PID"
 WAIT_RC=0
 wait "$DAEMON_PID" || WAIT_RC=$?
